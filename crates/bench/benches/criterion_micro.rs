@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the performance-critical simulator
+//! components: buddy alloc/free, TLB lookups, page-table translation,
+//! access-map updates and the pre-zeroing step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hawkeye_core::AccessMap;
+use hawkeye_mem::{AllocPref, Order, PhysMemory, HUGE_ORDER};
+use hawkeye_tlb::{Mmu, TlbConfig};
+use hawkeye_vm::{Hvpn, PageSize, PageTable, Vpn};
+use std::hint::black_box;
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_order0", |b| {
+        let mut pm = PhysMemory::new(64 * 1024);
+        b.iter(|| {
+            let a = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+            pm.free(black_box(a.pfn), Order(0));
+        });
+    });
+    c.bench_function("buddy_alloc_free_huge", |b| {
+        let mut pm = PhysMemory::new(64 * 1024);
+        b.iter(|| {
+            let a = pm.alloc(HUGE_ORDER, AllocPref::Zeroed).unwrap();
+            pm.free(black_box(a.pfn), HUGE_ORDER);
+        });
+    });
+    c.bench_function("prezero_step_1k", |b| {
+        let mut pm = PhysMemory::new(64 * 1024);
+        b.iter(|| {
+            // Steady-state: zero a bounded batch (no-op when clean).
+            black_box(pm.prezero_step(1024));
+        });
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("mmu_access_hit", |b| {
+        let mut mmu = Mmu::new(TlbConfig::haswell());
+        mmu.access(1, Vpn(7), PageSize::Base, false);
+        b.iter(|| black_box(mmu.access(1, Vpn(7), PageSize::Base, false)));
+    });
+    c.bench_function("mmu_access_miss_stream", |b| {
+        let mut mmu = Mmu::new(TlbConfig::haswell());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4096) % (1 << 24);
+            black_box(mmu.access(1, Vpn(i), PageSize::Base, false))
+        });
+    });
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    c.bench_function("page_table_translate", |b| {
+        let mut pt = PageTable::new();
+        for i in 0..4096u64 {
+            pt.map_base(Vpn(i), hawkeye_mem::Pfn(i), false).unwrap();
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(pt.translate(Vpn(i)))
+        });
+    });
+    c.bench_function("page_table_access_sample_region", |b| {
+        let mut pt = PageTable::new();
+        for i in 0..512u64 {
+            pt.map_base(Vpn(i), hawkeye_mem::Pfn(i), false).unwrap();
+        }
+        b.iter(|| black_box(pt.sample_and_clear_access(Hvpn(0))));
+    });
+}
+
+fn bench_access_map(c: &mut Criterion) {
+    c.bench_function("access_map_update", |b| {
+        let mut m = AccessMap::new(0.4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            m.update(Hvpn(i), ((i * 37) % 512) as u32);
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_buddy, bench_tlb, bench_page_table, bench_access_map
+);
+criterion_main!(benches);

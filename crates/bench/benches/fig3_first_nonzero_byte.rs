@@ -1,0 +1,43 @@
+//! Fig. 3: average distance to the first non-zero byte in 4 KB pages.
+//!
+//! The paper measures 9.11 bytes on average across 56 workloads, making
+//! the zero-scan of in-use pages ~400× cheaper than scanning bloat pages.
+//! Here we sample each workload family's content model and print the
+//! empirical means alongside the paper's suite averages.
+
+use hawkeye_metrics::TextTable;
+use hawkeye_workloads::DirtModel;
+
+fn main() {
+    // (family, configured mean, paper context)
+    let families: Vec<(&str, f64)> = vec![
+        ("spec-cpu2006", 11.0),
+        ("parsec", 7.5),
+        ("biobench", 8.0),
+        ("cloudsuite", 12.0),
+        ("redis", 4.0),
+        ("sparsehash", 6.0),
+        ("hacc-io", 3.0),
+        ("graph500", 9.11),
+        ("xsbench", 9.11),
+        ("npb", 9.11),
+    ];
+    let mut t = TextTable::new(vec!["Workload family", "Mean first-non-zero byte (sampled)"])
+        .with_title("Fig. 3: distance to first non-zero byte per 4 KB in-use page");
+    let mut grand = 0.0;
+    for (i, (name, mean)) in families.iter().enumerate() {
+        let mut d = DirtModel::new(*mean, i as u64 + 1);
+        let n = 100_000;
+        let s: u64 = (0..n).map(|_| d.sample() as u64).sum();
+        let emp = s as f64 / n as f64;
+        grand += emp;
+        t.row(vec![name.to_string(), format!("{emp:.2} B")]);
+    }
+    t.row(vec!["AVERAGE".into(), format!("{:.2} B", grand / families.len() as f64)]);
+    println!("{t}");
+    println!("(paper, Fig. 3: average over 56 workloads = 9.11 bytes)");
+    println!(
+        "scan-cost asymmetry: in-use page ~{} bytes vs bloat page 4096 bytes",
+        (grand / families.len() as f64).round()
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 5: performance speedup from huge-page promotion after
+//! fragmentation, and execution time saved per promotion.
+//!
+//! Workloads allocate everything in a fragmented system; policies then
+//! recover from high MMU overheads by promoting. HawkEye's
+//! access-coverage order reaches the hot (high-VA) regions immediately;
+//! Linux and Ingens scan sequentially from low VAs. Paper: HawkEye up to
+//! 22 % over never-promoting, 6.7× (G) / 44× (PMU) better time saved per
+//! promotion than Linux on XSBench.
+
+use hawkeye_bench::{run_one, secs, spd, PolicyKind};
+use hawkeye_kernel::Workload;
+use hawkeye_metrics::TextTable;
+use hawkeye_workloads::{HotspotWorkload, NpbKernel};
+
+fn workload(name: &str) -> Box<dyn Workload> {
+    match name {
+        "graph500" => Box::new(HotspotWorkload::graph500(96, 6000)),
+        "xsbench" => Box::new(HotspotWorkload::xsbench(120, 6000)),
+        "cg.D" => Box::new(NpbKernel::cg(64, 6000)),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "Workload",
+        "Policy",
+        "exec (s)",
+        "speedup vs 4KB",
+        "promotions",
+        "time saved/promotion (ms)",
+    ])
+    .with_title("Fig. 5: promotion efficiency in a fragmented system");
+    for name in ["graph500", "xsbench", "cg.D"] {
+        let base = run_one(PolicyKind::Linux4k, 768, Some((1.0, 0.55)), 300.0, workload(name));
+        let t4k = base.cpu_secs();
+        for kind in
+            [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyePmu, PolicyKind::HawkEyeG]
+        {
+            let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
+            let exec = out.cpu_secs();
+            let promos = out.sim.machine().stats().promotions.max(1);
+            let saved_ms = (t4k - exec).max(0.0) * 1e3 / promos as f64;
+            t.row(vec![
+                name.to_string(),
+                kind.label().to_string(),
+                secs(exec),
+                spd(t4k / exec),
+                promos.to_string(),
+                format!("{saved_ms:.2}"),
+            ]);
+        }
+        t.row(vec![name.to_string(), "Linux-4KB".into(), secs(t4k), "1.00x".into(), "0".into(), "-".into()]);
+    }
+    println!("{t}");
+    println!(
+        "(paper, Fig. 5: HawkEye up to 22% over no-promotion; 13%/12%/6% over\n\
+         Linux & Ingens on Graph500/XSBench/cg.D; HawkEye-PMU saves the most\n\
+         time per promotion because it stops below 2% overhead)"
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 6: MMU overhead and huge-page count over time for Graph500 and
+//! XSBench in a fragmented system.
+//!
+//! The hot regions of both applications live in high virtual addresses,
+//! so Linux's and Ingens' sequential low-to-high scans promote cold
+//! regions for a long time before reaching what matters, while HawkEye's
+//! access-coverage buckets pick the hot regions first — the paper shows
+//! HawkEye eliminating XSBench's overheads in ~300 s while Linux/Ingens
+//! are still above them after 1000 s.
+
+use hawkeye_bench::{print_series, run_one, PolicyKind};
+use hawkeye_kernel::Workload;
+use hawkeye_workloads::HotspotWorkload;
+
+fn workload(name: &str) -> Box<dyn Workload> {
+    match name {
+        "graph500" => Box::new(HotspotWorkload::graph500(96, 6000)),
+        _ => Box::new(HotspotWorkload::xsbench(120, 6000)),
+    }
+}
+
+fn main() {
+    for name in ["graph500", "xsbench"] {
+        println!("===== Fig. 6: {name} =====");
+        for kind in [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyeG] {
+            let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
+            let m = out.sim.machine();
+            let key_mmu = format!("p{}.mmu_overhead", out.pid);
+            let key_huge = format!("p{}.huge_pages", out.pid);
+            if let Some(s) = m.recorder().series(&key_mmu) {
+                print_series(&format!("{} {name}: MMU overhead (fraction)", kind.label()), s, 12);
+            }
+            if let Some(s) = m.recorder().series(&key_huge) {
+                print_series(&format!("{} {name}: huge pages mapped", kind.label()), s, 12);
+            }
+            println!(
+                "{} {name}: final overhead {:.1}%, promotions {}",
+                kind.label(),
+                out.mmu_overhead() * 100.0,
+                m.stats().promotions
+            );
+        }
+    }
+    println!(
+        "\n(paper, Fig. 6: HawkEye promotes the hot high-VA regions first and\n\
+         eliminates MMU overheads several times faster than Linux/Ingens)"
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 8: a TLB-sensitive application co-running with a lightly-loaded
+//! Redis server, launched in both orders.
+//!
+//! Linux promotes in process-launch order, so the sensitive app only wins
+//! when launched first; Ingens' footprint-proportional shares favor the
+//! (large, uniformly-accessed) Redis; HawkEye allocates by MMU overhead
+//! and is order-independent — the paper measures 15–60 % speedups for the
+//! sensitive apps under HawkEye in both orders.
+
+use hawkeye_bench::{spd, PolicyKind};
+use hawkeye_kernel::{Simulator, Workload};
+use hawkeye_metrics::{Cycles, TextTable};
+use hawkeye_workloads::{HotspotWorkload, NpbKernel, RedisKv};
+
+fn sensitive(name: &str) -> Box<dyn Workload> {
+    match name {
+        "graph500" => Box::new(HotspotWorkload::graph500(56, 4500)),
+        "xsbench" => Box::new(HotspotWorkload::xsbench(64, 4500)),
+        _ => Box::new(NpbKernel::cg(48, 4500)),
+    }
+}
+
+fn redis() -> Box<dyn Workload> {
+    // Lightly loaded: 96 MiB of keys, random GETs paced at a low rate.
+    Box::new(RedisKv::lightly_loaded(24 * 1024, 100_000_000, 23))
+}
+
+/// Runs the pair; `sensitive_first` controls launch order. Returns the
+/// sensitive app's completion time.
+fn run_pair(kind: PolicyKind, name: &str, sensitive_first: bool) -> f64 {
+    let mut cfg = kind.config(768);
+    cfg.max_time = Cycles::from_secs(400.0);
+    let mut sim = Simulator::new(cfg, kind.build());
+    sim.machine_mut().fragment(1.0, 0.55, 7);
+    let sens_pid = if sensitive_first {
+        let p = sim.spawn(sensitive(name));
+        sim.spawn(redis());
+        p
+    } else {
+        sim.spawn(redis());
+        sim.spawn(sensitive(name))
+    };
+    sim.run_while(|m| m.process(sens_pid).map(|p| !p.is_finished()).unwrap_or(false));
+    sim.machine()
+        .process(sens_pid)
+        .and_then(|p| p.finish_time())
+        .unwrap_or(sim.machine().now())
+        .as_secs()
+}
+
+fn main() {
+    let mut t = TextTable::new(vec![
+        "Sensitive app",
+        "Policy",
+        "speedup (launched Before)",
+        "speedup (launched After)",
+    ])
+    .with_title("Fig. 8: TLB-sensitive app +/- lightly-loaded Redis, both launch orders");
+    for name in ["graph500", "xsbench", "cg"] {
+        let base_before = run_pair(PolicyKind::Linux4k, name, true);
+        let base_after = run_pair(PolicyKind::Linux4k, name, false);
+        for kind in
+            [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyePmu, PolicyKind::HawkEyeG]
+        {
+            let before = run_pair(kind, name, true);
+            let after = run_pair(kind, name, false);
+            t.row(vec![
+                name.to_string(),
+                kind.label().to_string(),
+                spd(base_before / before),
+                spd(base_after / after),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "(paper, Fig. 8: Linux helps only in the Before order; Ingens favors\n\
+         Redis in both; HawkEye gives the sensitive app 15-60% in both orders)"
+    );
+}

@@ -1,0 +1,242 @@
+//! The `access_map`: HawkEye's per-process promotion index (§3.3).
+//!
+//! Each huge-page-sized region is tracked with an exponential moving
+//! average of its *access-coverage* — how many of its 512 base pages were
+//! touched in the last sampling window. Regions are filed into
+//! [`BUCKETS`] = 10 buckets by EMA (0–49 → bucket 0, 50–99 → bucket 1,
+//! …); rising regions enter at the **head** of their bucket, falling
+//! regions at the **tail**, so each bucket is internally ordered by
+//! recency. Promotions pop from the highest non-empty bucket, head first
+//! — capturing frequency *and* recency without any VA-order bias.
+
+use hawkeye_vm::Hvpn;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Number of coverage buckets (the paper's prototype uses ten).
+pub const BUCKETS: usize = 10;
+
+#[derive(Debug, Clone, Copy)]
+struct RegionState {
+    ema: f64,
+    bucket: usize,
+}
+
+/// Per-process access-coverage index.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_core::AccessMap;
+/// use hawkeye_vm::Hvpn;
+///
+/// let mut map = AccessMap::new(0.5);
+/// map.update(Hvpn(1), 480); // hot region
+/// map.update(Hvpn(2), 30);  // cold region
+/// assert_eq!(map.pop_best(0.0), Some(Hvpn(1)));
+/// assert_eq!(map.pop_best(0.0), Some(Hvpn(2)));
+/// assert_eq!(map.pop_best(0.0), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AccessMap {
+    alpha: f64,
+    regions: BTreeMap<Hvpn, RegionState>,
+    buckets: [VecDeque<Hvpn>; BUCKETS],
+}
+
+impl AccessMap {
+    /// Creates a map whose EMA gives weight `alpha` to the newest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < alpha <= 1.0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "ema weight out of range");
+        AccessMap { alpha, regions: BTreeMap::new(), buckets: Default::default() }
+    }
+
+    /// Number of tracked regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no regions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    fn bucket_for(ema: f64) -> usize {
+        ((ema / 50.0) as usize).min(BUCKETS - 1)
+    }
+
+    /// Feeds one coverage sample (0–512 accessed base pages) for a region,
+    /// updating its EMA and repositioning it.
+    pub fn update(&mut self, hvpn: Hvpn, coverage: u32) {
+        let coverage = coverage.min(512) as f64;
+        match self.regions.get_mut(&hvpn) {
+            Some(s) => {
+                let new_ema = self.alpha * coverage + (1.0 - self.alpha) * s.ema;
+                let new_bucket = Self::bucket_for(new_ema);
+                let old_bucket = s.bucket;
+                s.ema = new_ema;
+                if new_bucket != old_bucket {
+                    s.bucket = new_bucket;
+                    let rising = new_bucket > old_bucket;
+                    self.buckets[old_bucket].retain(|h| *h != hvpn);
+                    if rising {
+                        self.buckets[new_bucket].push_front(hvpn);
+                    } else {
+                        self.buckets[new_bucket].push_back(hvpn);
+                    }
+                }
+            }
+            None => {
+                let ema = self.alpha * coverage; // EMA from a zero prior
+                let bucket = Self::bucket_for(ema);
+                self.regions.insert(hvpn, RegionState { ema, bucket });
+                self.buckets[bucket].push_front(hvpn);
+            }
+        }
+    }
+
+    /// The region's current EMA coverage, if tracked.
+    pub fn ema(&self, hvpn: Hvpn) -> Option<f64> {
+        self.regions.get(&hvpn).map(|s| s.ema)
+    }
+
+    /// Index of the highest non-empty bucket.
+    pub fn highest_index(&self) -> Option<usize> {
+        (0..BUCKETS).rev().find(|i| !self.buckets[*i].is_empty())
+    }
+
+    /// Peeks the head region of the highest non-empty bucket.
+    pub fn peek_best(&self) -> Option<Hvpn> {
+        self.highest_index().and_then(|i| self.buckets[i].front().copied())
+    }
+
+    /// Pops the most promotion-worthy region: highest bucket, head first.
+    /// Regions whose EMA is below `min_coverage` are not returned (they
+    /// stay tracked).
+    pub fn pop_best(&mut self, min_coverage: f64) -> Option<Hvpn> {
+        for i in (0..BUCKETS).rev() {
+            // First entry in this bucket meeting the floor, if any.
+            let pos = self.buckets[i].iter().position(|h| self.regions[h].ema >= min_coverage);
+            if let Some(pos) = pos {
+                let hvpn = self.buckets[i].remove(pos).expect("position valid");
+                self.regions.remove(&hvpn);
+                return Some(hvpn);
+            }
+        }
+        None
+    }
+
+    /// Removes a region (promoted, unmapped, or process exit).
+    pub fn remove(&mut self, hvpn: Hvpn) {
+        if let Some(s) = self.regions.remove(&hvpn) {
+            self.buckets[s.bucket].retain(|h| *h != hvpn);
+        }
+    }
+
+    /// Iterates tracked regions and their EMAs (VA order).
+    pub fn iter(&self) -> impl Iterator<Item = (Hvpn, f64)> + '_ {
+        self.regions.iter().map(|(h, s)| (*h, s.ema))
+    }
+
+    /// Sum of EMA coverage across all tracked regions (the G-variant's
+    /// raw TLB-pressure signal).
+    pub fn total_coverage(&self) -> f64 {
+        self.regions.values().map(|s| s.ema).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_match_paper() {
+        assert_eq!(AccessMap::bucket_for(0.0), 0);
+        assert_eq!(AccessMap::bucket_for(49.9), 0);
+        assert_eq!(AccessMap::bucket_for(50.0), 1);
+        assert_eq!(AccessMap::bucket_for(99.0), 1);
+        assert_eq!(AccessMap::bucket_for(449.0), 8);
+        assert_eq!(AccessMap::bucket_for(450.0), 9);
+        assert_eq!(AccessMap::bucket_for(512.0), 9, "clamped to the top bucket");
+    }
+
+    #[test]
+    fn ema_smooths_samples() {
+        let mut m = AccessMap::new(0.5);
+        m.update(Hvpn(1), 512);
+        assert_eq!(m.ema(Hvpn(1)), Some(256.0));
+        m.update(Hvpn(1), 512);
+        assert_eq!(m.ema(Hvpn(1)), Some(384.0));
+        m.update(Hvpn(1), 0);
+        assert_eq!(m.ema(Hvpn(1)), Some(192.0));
+    }
+
+    #[test]
+    fn pop_orders_by_bucket_then_recency() {
+        let mut m = AccessMap::new(1.0);
+        m.update(Hvpn(10), 480); // bucket 9
+        m.update(Hvpn(20), 480); // bucket 9, more recent -> head
+        m.update(Hvpn(30), 200); // bucket 4
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(20)));
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(10)));
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(30)));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn falling_regions_requeue_at_tail() {
+        let mut m = AccessMap::new(1.0);
+        m.update(Hvpn(1), 200); // bucket 4
+        m.update(Hvpn(2), 480); // bucket 9
+        m.update(Hvpn(2), 210); // falls to bucket 4 -> tail (behind 1)
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(1)));
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(2)));
+    }
+
+    #[test]
+    fn rising_regions_requeue_at_head() {
+        let mut m = AccessMap::new(1.0);
+        m.update(Hvpn(1), 200); // bucket 4
+        m.update(Hvpn(2), 30); // bucket 0
+        m.update(Hvpn(2), 230); // rises to bucket 4 -> head (before 1)
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(2)));
+        assert_eq!(m.pop_best(0.0), Some(Hvpn(1)));
+    }
+
+    #[test]
+    fn min_coverage_floor_hides_cold_regions() {
+        let mut m = AccessMap::new(1.0);
+        m.update(Hvpn(1), 0);
+        assert_eq!(m.pop_best(1.0), None);
+        assert_eq!(m.len(), 1, "still tracked");
+        m.update(Hvpn(1), 40);
+        assert_eq!(m.pop_best(1.0), Some(Hvpn(1)));
+    }
+
+    #[test]
+    fn remove_drops_from_bucket() {
+        let mut m = AccessMap::new(1.0);
+        m.update(Hvpn(1), 100);
+        m.remove(Hvpn(1));
+        assert!(m.is_empty());
+        assert_eq!(m.pop_best(0.0), None);
+        assert_eq!(m.highest_index(), None);
+    }
+
+    #[test]
+    fn total_coverage_sums_emas() {
+        let mut m = AccessMap::new(1.0);
+        m.update(Hvpn(1), 100);
+        m.update(Hvpn(2), 50);
+        assert_eq!(m.total_coverage(), 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ema weight")]
+    fn zero_alpha_rejected() {
+        let _ = AccessMap::new(0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! HawkEye configuration.
+
+use hawkeye_metrics::Cycles;
+use hawkeye_tlb::StoreMode;
+
+/// Which MMU-overhead source drives promotion ordering (§2.4, §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// Estimate overheads from access-coverage (portable; the paper's
+    /// HawkEye-G).
+    #[default]
+    G,
+    /// Measure overheads with hardware performance counters (Table 4; the
+    /// paper's HawkEye-PMU).
+    Pmu,
+}
+
+/// Tunables of the HawkEye policy.
+///
+/// The paper's wall-clock periods (30 s sampling with 1 s access-bit
+/// windows) are scaled down ~500× by default to match the simulator's
+/// compressed timescales (whole experiments last seconds rather than
+/// hours); every experiment in the bench harness uses the same scaling
+/// for every policy, so comparisons are preserved.
+#[derive(Debug, Clone, Copy)]
+pub struct HawkEyeConfig {
+    /// HawkEye-G or HawkEye-PMU.
+    pub variant: Variant,
+    /// Promotions per simulated second (khugepaged rate).
+    pub promotions_per_sec: f64,
+    /// Async pre-zeroing rate in pages per simulated second.
+    pub prezero_pages_per_sec: f64,
+    /// Store flavour used by the pre-zeroing thread (§3.1).
+    pub store_mode: StoreMode,
+    /// Access-coverage sampling period (paper: 30 s).
+    pub sample_period: Cycles,
+    /// Access-bit observation window within each period (paper: 1 s).
+    pub sample_window: Cycles,
+    /// EMA weight of the newest coverage sample.
+    pub ema_alpha: f64,
+    /// Memory-pressure watermark that activates bloat recovery (0.85).
+    pub bloat_high: f64,
+    /// Watermark below which bloat recovery deactivates (0.70).
+    pub bloat_low: f64,
+    /// Huge pages scanned by bloat recovery per simulated second.
+    pub bloat_scans_per_sec: f64,
+    /// Minimum zero-filled base pages for a huge page to be demoted and
+    /// de-duplicated.
+    pub dedup_min_zero: u32,
+    /// HawkEye-PMU stops promoting a process below this measured MMU
+    /// overhead (paper: 2 %).
+    pub pmu_stop_threshold: f64,
+    /// Minimum EMA coverage for a region to be considered for promotion.
+    pub min_coverage: f64,
+    /// Compaction migration budget when contiguity runs out.
+    pub compact_budget: u64,
+    /// Attempt huge mappings at fault time (true = the paper's HawkEye;
+    /// false = the "HawkEye-4KB" rows of Table 8, isolating async
+    /// pre-zeroing from huge pages).
+    pub huge_faults: bool,
+    /// Optional cap on huge pages per process — the starvation guard the
+    /// paper sketches in §3.5(2) (cgroups-style resource limiting). `None`
+    /// (the default) reproduces the paper's unbounded behaviour.
+    pub max_huge_per_process: Option<u64>,
+}
+
+impl Default for HawkEyeConfig {
+    fn default() -> Self {
+        HawkEyeConfig {
+            variant: Variant::G,
+            promotions_per_sec: 40.0,
+            prezero_pages_per_sec: 100_000.0,
+            store_mode: StoreMode::NonTemporal,
+            sample_period: Cycles::from_millis(60),
+            sample_window: Cycles::from_millis(10),
+            ema_alpha: 0.4,
+            bloat_high: 0.85,
+            bloat_low: 0.70,
+            bloat_scans_per_sec: 400.0,
+            dedup_min_zero: 64,
+            pmu_stop_threshold: 0.02,
+            min_coverage: 1.0,
+            compact_budget: 4096,
+            huge_faults: true,
+            max_huge_per_process: None,
+        }
+    }
+}
+
+impl HawkEyeConfig {
+    /// The PMU-driven variant with otherwise default tunables.
+    pub fn pmu() -> Self {
+        HawkEyeConfig { variant: Variant::Pmu, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = HawkEyeConfig::default();
+        assert_eq!(c.variant, Variant::G);
+        assert_eq!(c.bloat_high, 0.85);
+        assert_eq!(c.bloat_low, 0.70);
+        assert_eq!(c.pmu_stop_threshold, 0.02);
+        assert_eq!(c.store_mode, StoreMode::NonTemporal);
+        assert_eq!(HawkEyeConfig::pmu().variant, Variant::Pmu);
+    }
+}

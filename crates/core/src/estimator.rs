@@ -1,0 +1,85 @@
+//! MMU-overhead estimation for HawkEye-G (§2.4, §3.4).
+//!
+//! Without hardware counters, HawkEye-G estimates a process's TLB pressure
+//! from its access-coverage profile: the total EMA coverage of its
+//! *base-mapped* regions approximates the number of base-page TLB entries
+//! the process wants simultaneously. Dividing by the TLB's base-page
+//! capacity (and saturating) gives a unitless pressure score used to rank
+//! processes — §2.4 explains why this estimate can diverge from measured
+//! overheads (prefetch-friendly sequential patterns miss cheaply), which
+//! is exactly the gap Table 9 quantifies between HawkEye-G and
+//! HawkEye-PMU.
+
+use crate::access_map::AccessMap;
+
+/// Estimates a process's MMU-overhead score in `[0, 1]` from its access
+/// map and the TLB's base-page capacity.
+///
+/// A score of 1.0 means the hot base-mapped working set wants at least
+/// `4×` the TLB's base-page entries; 0.0 means no base-mapped coverage at
+/// all (everything cold or already huge-mapped).
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_core::{AccessMap, estimate_overhead};
+/// use hawkeye_vm::Hvpn;
+///
+/// let mut hot = AccessMap::new(1.0);
+/// for r in 0..16 {
+///     hot.update(Hvpn(r), 512);
+/// }
+/// let mut cold = AccessMap::new(1.0);
+/// cold.update(Hvpn(0), 4);
+/// assert!(estimate_overhead(&hot, 1024) > estimate_overhead(&cold, 1024));
+/// ```
+pub fn estimate_overhead(map: &AccessMap, tlb_base_entries: usize) -> f64 {
+    let want = map.total_coverage();
+    let capacity = tlb_base_entries.max(1) as f64;
+    // Pressure ramps from 0 at "fits in the TLB" to 1 at 4x the TLB.
+    let pressure = (want - capacity) / (3.0 * capacity);
+    pressure.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_vm::Hvpn;
+
+    fn map_with(regions: u64, coverage: u32) -> AccessMap {
+        let mut m = AccessMap::new(1.0);
+        for r in 0..regions {
+            m.update(Hvpn(r), coverage);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_map_has_zero_overhead() {
+        assert_eq!(estimate_overhead(&AccessMap::new(0.5), 1024), 0.0);
+    }
+
+    #[test]
+    fn fits_in_tlb_is_zero() {
+        // 1 region x 512 pages = 512 entries < 1024-entry TLB.
+        let m = map_with(1, 512);
+        assert_eq!(estimate_overhead(&m, 1024), 0.0);
+    }
+
+    #[test]
+    fn saturates_at_one() {
+        let m = map_with(100, 512); // 51200 entries >> 4096
+        assert_eq!(estimate_overhead(&m, 1024), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_coverage() {
+        let lo = map_with(4, 300);
+        let hi = map_with(4, 500);
+        assert!(estimate_overhead(&hi, 1024) >= estimate_overhead(&lo, 1024));
+        // And between: a half-pressure case lands strictly inside (0,1).
+        let mid = map_with(4, 512); // 2048 entries: (2048-1024)/3072 = 1/3
+        let e = estimate_overhead(&mid, 1024);
+        assert!((e - 1.0 / 3.0).abs() < 1e-9, "{e}");
+    }
+}

@@ -1,0 +1,565 @@
+//! The HawkEye policy: §3's algorithms behind the
+//! [`hawkeye_kernel::HugePagePolicy`] interface.
+//!
+//! * Faults map huge pages immediately (served from the pre-zeroed pool,
+//!   so latency stays low — §3.1/§3.2).
+//! * Access bits are sampled in two phases (clear, then read after a
+//!   window) into per-process [`AccessMap`]s (§3.3).
+//! * Promotion order: **HawkEye-G** promotes from the globally highest
+//!   non-empty access-coverage bucket, round-robin among tied processes —
+//!   reproducing the paper's `A1,B1,C1,C2,B2,…` example (Fig. 4);
+//!   **HawkEye-PMU** first picks the process with the highest *measured*
+//!   MMU overhead (Table 4 counters) and stops below 2 % (§3.4).
+//! * The pre-zeroing and bloat-recovery daemons run from the same tick.
+
+use crate::access_map::AccessMap;
+use crate::bloat::BloatRecovery;
+use crate::config::{HawkEyeConfig, Variant};
+use crate::estimator::estimate_overhead;
+use crate::prezero::PrezeroDaemon;
+use hawkeye_kernel::{FaultAction, HugePagePolicy, Machine, PromoteError};
+use hawkeye_metrics::Cycles;
+use hawkeye_policies::TokenBucket;
+use hawkeye_vm::{Hvpn, Vpn};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SamplePhase {
+    Idle,
+    Armed { since: Cycles },
+}
+
+/// The HawkEye policy (both variants).
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_core::{HawkEye, HawkEyeConfig};
+/// use hawkeye_kernel::HugePagePolicy;
+///
+/// assert_eq!(HawkEye::new(HawkEyeConfig::default()).name(), "HawkEye-G");
+/// assert_eq!(HawkEye::new(HawkEyeConfig::pmu()).name(), "HawkEye-PMU");
+/// ```
+#[derive(Debug)]
+pub struct HawkEye {
+    cfg: HawkEyeConfig,
+    promo_budget: TokenBucket,
+    prezero: PrezeroDaemon,
+    bloat: BloatRecovery,
+    maps: BTreeMap<u32, AccessMap>,
+    /// Smoothed measured MMU overhead per process (PMU variant).
+    measured: BTreeMap<u32, f64>,
+    phase: SamplePhase,
+    next_sample: Cycles,
+    rr: u64,
+    /// Last process served by HawkEye-G's round-robin (cyclic by pid).
+    last_pid: u32,
+    /// Bucket level the rotation is currently serving (rotation restarts
+    /// when the global level changes).
+    last_bucket: usize,
+}
+
+impl HawkEye {
+    /// Creates the policy.
+    pub fn new(cfg: HawkEyeConfig) -> Self {
+        HawkEye {
+            promo_budget: TokenBucket::new(cfg.promotions_per_sec),
+            prezero: PrezeroDaemon::new(cfg.prezero_pages_per_sec, cfg.store_mode),
+            bloat: BloatRecovery::new(
+                cfg.bloat_high,
+                cfg.bloat_low,
+                cfg.bloat_scans_per_sec,
+                cfg.dedup_min_zero,
+            ),
+            cfg,
+            maps: BTreeMap::new(),
+            measured: BTreeMap::new(),
+            phase: SamplePhase::Idle,
+            next_sample: cfg.sample_period,
+            rr: 0,
+            last_pid: 0,
+            last_bucket: usize::MAX,
+        }
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> Variant {
+        self.cfg.variant
+    }
+
+    /// Read access to a process's access map (for the Fig. 4 example and
+    /// diagnostics).
+    pub fn access_map(&self, pid: u32) -> Option<&AccessMap> {
+        self.maps.get(&pid)
+    }
+
+    /// The current MMU-overhead score used for ranking `pid`.
+    pub fn overhead_score(&self, m: &Machine, pid: u32) -> f64 {
+        match self.cfg.variant {
+            Variant::Pmu => self.measured.get(&pid).copied().unwrap_or(0.0),
+            Variant::G => self
+                .maps
+                .get(&pid)
+                .map(|map| estimate_overhead(map, m.config().tlb.l2_entries))
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Zero pages recovered by bloat recovery so far.
+    pub fn recovered_pages(&self) -> u64 {
+        self.bloat.recovered_pages()
+    }
+
+    fn candidate_regions(m: &Machine, pid: u32) -> Vec<Hvpn> {
+        let Some(p) = m.process(pid) else { return Vec::new() };
+        let pt = p.space().page_table();
+        pt.mapped_regions()
+            .into_iter()
+            .filter(|h| pt.huge_entry(*h).is_none() && p.space().region_promotable(*h))
+            .collect()
+    }
+
+    fn arm_sampling(&mut self, m: &mut Machine) {
+        for pid in m.running_pids() {
+            for h in Self::candidate_regions(m, pid) {
+                let p = m.process_mut(pid).expect("running");
+                let _ = p.space_mut().sample_and_clear_access(h);
+            }
+        }
+    }
+
+    fn read_samples(&mut self, m: &mut Machine) {
+        let alpha = self.cfg.ema_alpha;
+        for pid in m.running_pids() {
+            let regions = Self::candidate_regions(m, pid);
+            let map = self.maps.entry(pid).or_insert_with(|| AccessMap::new(alpha));
+            for h in regions {
+                let p = m.process_mut(pid).expect("running");
+                let s = p.space_mut().sample_and_clear_access(h);
+                map.update(h, s.accessed);
+            }
+            if self.cfg.variant == Variant::Pmu {
+                let w = m.mmu_mut().sample_window(pid);
+                let cur = w.mmu_overhead();
+                let e = self.measured.entry(pid).or_insert(cur);
+                *e = 0.5 * cur + 0.5 * *e;
+            }
+        }
+    }
+
+    fn eligible(m: &Machine, pid: u32, hvpn: Hvpn) -> bool {
+        m.process(pid)
+            .map(|p| {
+                let pt = p.space().page_table();
+                pt.huge_entry(hvpn).is_none()
+                    && p.space().region_promotable(hvpn)
+                    && pt.region_mapped_count(hvpn) > 0
+            })
+            .unwrap_or(false)
+    }
+
+    /// Whether the §3.5(2) starvation guard forbids more huge pages for
+    /// `pid`.
+    fn at_huge_cap(&self, m: &Machine, pid: u32) -> bool {
+        match self.cfg.max_huge_per_process {
+            None => false,
+            Some(cap) => m
+                .process(pid)
+                .map(|p| p.space().huge_pages() >= cap)
+                .unwrap_or(false),
+        }
+    }
+
+    fn try_promote(&mut self, m: &mut Machine, pid: u32, hvpn: Hvpn) -> bool {
+        if self.at_huge_cap(m, pid) {
+            return false;
+        }
+        match m.promote(pid, hvpn) {
+            Ok(_) => true,
+            Err(PromoteError::NoContiguousMemory) => {
+                m.run_compaction(self.cfg.compact_budget);
+                m.promote(pid, hvpn).is_ok()
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// One HawkEye-G promotion: globally highest bucket, round-robin on
+    /// ties. Returns false when nothing is promotable.
+    fn promote_g(&mut self, m: &mut Machine) -> bool {
+        for _attempt in 0..16 {
+            // Highest non-empty bucket index across running processes.
+            let mut best: Option<usize> = None;
+            let mut holders: Vec<u32> = Vec::new();
+            for pid in m.running_pids() {
+                let Some(map) = self.maps.get(&pid) else { continue };
+                let Some(idx) = map.highest_index() else { continue };
+                match best {
+                    Some(b) if idx < b => {}
+                    Some(b) if idx == b => holders.push(pid),
+                    _ => {
+                        best = Some(idx);
+                        holders = vec![pid];
+                    }
+                }
+            }
+            if holders.is_empty() {
+                return false;
+            }
+            // Cyclic round-robin by pid among the tied holders, restarting
+            // whenever the global bucket level changes — this interleaves
+            // processes exactly as the Fig. 4 example (A1, B1, C1, C2, ...).
+            if best != Some(self.last_bucket) {
+                self.last_pid = 0;
+                self.last_bucket = best.expect("non-empty holders imply a bucket");
+            }
+            let pid = holders
+                .iter()
+                .copied()
+                .find(|p| *p > self.last_pid)
+                .unwrap_or(holders[0]);
+            self.last_pid = pid;
+            let map = self.maps.get_mut(&pid).expect("holder has a map");
+            let Some(hvpn) = map.pop_best(self.cfg.min_coverage) else {
+                // Entire map below the coverage floor: drop it from
+                // consideration this round by treating as non-promotable.
+                // (pop_best leaves entries; avoid spinning by removing the
+                // peeked head.)
+                if let Some(h) = map.peek_best() {
+                    map.remove(h);
+                    continue;
+                }
+                return false;
+            };
+            if Self::eligible(m, pid, hvpn) && self.try_promote(m, pid, hvpn) {
+                return true;
+            }
+            // Stale entry: try again with the next candidate.
+        }
+        false
+    }
+
+    /// One HawkEye-PMU promotion: neediest process by measured overhead,
+    /// round-robin among processes within 1% of the top; stop entirely
+    /// below the 2% threshold.
+    fn promote_pmu(&mut self, m: &mut Machine) -> bool {
+        for _attempt in 0..16 {
+            let mut ranked: Vec<(u32, f64)> = m
+                .running_pids()
+                .into_iter()
+                .map(|pid| (pid, self.measured.get(&pid).copied().unwrap_or(0.0)))
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let Some(&(_, top)) = ranked.first() else { return false };
+            if top < self.cfg.pmu_stop_threshold {
+                return false;
+            }
+            let tied: Vec<u32> = ranked
+                .iter()
+                .filter(|(_, o)| top - o < 0.01)
+                .map(|(pid, _)| *pid)
+                .collect();
+            let pid = tied[(self.rr as usize) % tied.len()];
+            let Some(map) = self.maps.get_mut(&pid) else {
+                self.rr = self.rr.wrapping_add(1);
+                continue;
+            };
+            let Some(hvpn) = map.pop_best(self.cfg.min_coverage) else {
+                // Nothing hot to promote for the neediest process; damp
+                // its score so others get a chance.
+                self.measured.insert(pid, 0.0);
+                continue;
+            };
+            self.rr = self.rr.wrapping_add(1);
+            if Self::eligible(m, pid, hvpn) && self.try_promote(m, pid, hvpn) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for HawkEye {
+    fn default() -> Self {
+        Self::new(HawkEyeConfig::default())
+    }
+}
+
+impl HugePagePolicy for HawkEye {
+    fn name(&self) -> &str {
+        if !self.cfg.huge_faults {
+            return "HawkEye-4KB";
+        }
+        match self.cfg.variant {
+            Variant::G => "HawkEye-G",
+            Variant::Pmu => "HawkEye-PMU",
+        }
+    }
+
+    fn on_fault(&mut self, m: &mut Machine, pid: u32, _vpn: Vpn) -> FaultAction {
+        // Aggressive: huge at first fault; the pre-zeroed pool keeps it
+        // cheap and bloat recovery keeps it safe.
+        if self.cfg.huge_faults && !self.at_huge_cap(m, pid) {
+            FaultAction::MapHuge
+        } else {
+            FaultAction::MapBase
+        }
+    }
+
+    fn on_tick(&mut self, m: &mut Machine) {
+        let now = m.now();
+        // 0. Proactive compaction (kcompactd): keep contiguity available
+        // so fault-time huge allocations succeed even after fragmentation.
+        if m.fmfi() > 0.6 && m.pm().free_pages() > 1024 {
+            m.run_compaction(self.cfg.compact_budget);
+        }
+        // 1. Async pre-zeroing.
+        self.prezero.tick(m, now);
+        // 2. Two-phase access-coverage sampling.
+        match self.phase {
+            SamplePhase::Idle if now >= self.next_sample => {
+                self.arm_sampling(m);
+                self.phase = SamplePhase::Armed { since: now };
+            }
+            SamplePhase::Armed { since } if now.saturating_sub(since) >= self.cfg.sample_window => {
+                self.read_samples(m);
+                self.phase = SamplePhase::Idle;
+                self.next_sample = since + self.cfg.sample_period;
+            }
+            _ => {}
+        }
+        // 3. Promotion.
+        self.promo_budget.refill(now);
+        while self.promo_budget.take(1.0) {
+            let promoted = match self.cfg.variant {
+                Variant::G => self.promote_g(m),
+                Variant::Pmu => self.promote_pmu(m),
+            };
+            if !promoted {
+                break;
+            }
+        }
+        // 4. Bloat recovery, scanning lowest-overhead processes first.
+        let scores: BTreeMap<u32, f64> =
+            m.pids().iter().map(|pid| (*pid, self.overhead_score(m, *pid))).collect();
+        self.bloat.tick(m, now, |pid| scores.get(&pid).copied().unwrap_or(0.0));
+    }
+
+    fn on_exit(&mut self, _m: &mut Machine, pid: u32) {
+        self.maps.remove(&pid);
+        self.measured.remove(&pid);
+        self.bloat.forget(pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{workload::script, KernelConfig, MemOp, Simulator};
+    use hawkeye_vm::VmaKind;
+
+    /// Touch a range, then keep re-touching a hot subrange forever-ish.
+    fn hot_tail_workload(total_regions: u64, hot_regions: u64) -> Box<dyn hawkeye_kernel::Workload> {
+        hot_tail_n(total_regions, hot_regions, 2000)
+    }
+
+    fn hot_tail_n(
+        total_regions: u64,
+        hot_regions: u64,
+        iters: u64,
+    ) -> Box<dyn hawkeye_kernel::Workload> {
+        let pages = total_regions * 512;
+        let hot_start = (total_regions - hot_regions) * 512;
+        let mut ops = vec![
+            MemOp::Mmap { start: Vpn(0), pages, kind: VmaKind::Anon },
+            MemOp::TouchRange { start: Vpn(0), pages, write: true, think: 0, stride: 1 , repeats: 1},
+        ];
+        for _ in 0..iters {
+            ops.push(MemOp::TouchRange {
+                start: Vpn(hot_start),
+                pages: hot_regions * 512,
+                write: false,
+                think: 80,
+                stride: 1,
+                repeats: 1,
+            });
+        }
+        script("hot-tail", ops)
+    }
+
+    fn fragmented_sim(policy: HawkEye) -> Simulator {
+        let mut cfg = KernelConfig::small();
+        cfg.frames = 128 * 1024; // 512 MiB
+        let mut sim = Simulator::new(cfg, Box::new(policy));
+        sim.machine_mut().fragment(1.0, 0.55, 9);
+        sim
+    }
+
+    #[test]
+    fn faults_prefer_huge_pages_on_pristine_memory() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(HawkEye::default()));
+        let pid = sim.spawn(script(
+            "w",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 1024, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 1024, write: true, think: 0, stride: 1 , repeats: 1},
+            ],
+        ));
+        sim.run_for(Cycles::from_millis(50));
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().huge_faults, 2);
+    }
+
+    #[test]
+    fn promotes_hot_high_va_regions_first() {
+        // The headline §3.3 behaviour: hot regions in HIGH VAs are
+        // promoted before cold low-VA regions — the opposite of the
+        // sequential scans in Linux/Ingens.
+        let mut sim = fragmented_sim(HawkEye::default());
+        let pid = sim.spawn(hot_tail_workload(16, 2));
+        sim.run_while(|m| m.stats().promotions < 2);
+        let p = sim.machine().process(pid).unwrap();
+        let pt = p.space().page_table();
+        let promoted: Vec<u64> =
+            pt.huge_mappings().map(|(h, _)| h.0).collect();
+        assert!(
+            promoted.iter().all(|h| *h >= 14),
+            "hot tail regions (14,15) must go first, got {promoted:?}"
+        );
+    }
+
+    #[test]
+    fn pmu_variant_promotes_hot_regions_too() {
+        let mut sim = fragmented_sim(HawkEye::new(HawkEyeConfig::pmu()));
+        let pid = sim.spawn(hot_tail_workload(16, 2));
+        sim.run_while(|m| m.stats().promotions < 2);
+        let p = sim.machine().process(pid).unwrap();
+        let promoted: Vec<u64> =
+            p.space().page_table().huge_mappings().map(|(h, _)| h.0).collect();
+        assert!(promoted.iter().all(|h| *h >= 14), "{promoted:?}");
+    }
+
+    #[test]
+    fn fig4_round_robin_order_across_processes() {
+        // Three "processes" with access maps shaped like Fig. 4: the
+        // promotion order must interleave processes holding the globally
+        // highest bucket (A1,B1,C1,C2,B2,...-style), not drain one process.
+        // Disable fault-time huge pages so huge coverage can only come
+        // from the promotion path this test is about.
+        let fast = HawkEyeConfig {
+            sample_period: Cycles::from_millis(40),
+            sample_window: Cycles::from_millis(10),
+            promotions_per_sec: 400.0,
+            huge_faults: false,
+            ..Default::default()
+        };
+        let mut sim = fragmented_sim(HawkEye::new(fast));
+        let mk = || hot_tail_n(8, 2, 1_000_000); // effectively endless
+        let a = sim.spawn(mk());
+        let b = sim.spawn(mk());
+        let c = sim.spawn(mk());
+        sim.run_while(|m| m.stats().promotions < 6 && m.now() < Cycles::from_secs(5.0));
+        assert!(sim.machine().stats().promotions >= 6, "{:?}", sim.machine().stats());
+        let counts: Vec<u64> = [a, b, c]
+            .iter()
+            .map(|pid| sim.machine().process(*pid).unwrap().space().huge_pages())
+            .collect();
+        assert!(
+            counts.iter().all(|c| *c >= 1),
+            "round-robin must reach every process: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn pmu_stops_below_threshold() {
+        // A workload with a tiny working set (fits in the TLB): measured
+        // overhead stays < 2%, so HawkEye-PMU should promote nothing.
+        let mut sim = fragmented_sim(HawkEye::new(HawkEyeConfig::pmu()));
+        let mut ops = vec![MemOp::Mmap { start: Vpn(0), pages: 512, kind: VmaKind::Anon }];
+        for _ in 0..500 {
+            ops.push(MemOp::TouchRange {
+                start: Vpn(0),
+                pages: 16,
+                write: true,
+                think: 100,
+                stride: 1,
+                repeats: 1,
+            });
+        }
+        let pid = sim.spawn(script("tiny", ops));
+        sim.run_for(Cycles::from_secs(3.0));
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.space().huge_pages(), 0, "no promotion below the 2% threshold");
+    }
+
+    #[test]
+    fn bloat_recovery_fires_under_pressure() {
+        let mut cfg = KernelConfig::small();
+        cfg.frames = 24 * 1024; // 96 MiB
+        let mut sim = Simulator::new(cfg, Box::new(HawkEye::default()));
+        // Sparse writer: touches 1 page per region over 40 regions; huge
+        // faults inflate RSS to 40 * 2 MiB = 80 MiB > 85% of 96 MiB.
+        let mut ops = vec![MemOp::Mmap { start: Vpn(0), pages: 41 * 512, kind: VmaKind::Anon }];
+        for r in 0..41 {
+            ops.push(MemOp::Touch { vpn: Vpn(r * 512), write: true, repeats: 1, think: 0 });
+        }
+        ops.push(MemOp::Compute { cycles: 10_000_000_000 });
+        let pid = sim.spawn(script("sparse", ops));
+        sim.run_for(Cycles::from_secs(3.0));
+        let m = sim.machine();
+        assert!(m.stats().deduped_zero_pages > 0, "bloat recovery must fire: {:?}", m.stats());
+        assert!(m.utilization() < 0.85, "pressure relieved: {}", m.utilization());
+        let p = m.process(pid).unwrap();
+        assert!(p.space().huge_pages() < 41);
+        m.pm().check_invariants();
+    }
+
+    #[test]
+    fn prezero_keeps_pool_stocked() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(HawkEye::default()));
+        // Allocate, dirty, release; the daemon should re-stock zeroed pages.
+        let _pid = sim.spawn(script(
+            "churn",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 4096, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 4096, write: true, think: 0, stride: 1 , repeats: 1},
+                MemOp::Madvise { start: Vpn(0), pages: 4096 },
+                MemOp::Compute { cycles: 3_000_000_000 },
+            ],
+        ));
+        sim.run_for(Cycles::from_secs(2.0));
+        let m = sim.machine();
+        assert!(m.stats().prezeroed_pages >= 4096, "{:?}", m.stats());
+        assert_eq!(m.pm().nonzeroed_free_pages(), 0, "pool fully re-zeroed");
+    }
+
+    #[test]
+    fn starvation_guard_caps_huge_pages() {
+        let capped = HawkEyeConfig { max_huge_per_process: Some(2), ..Default::default() };
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(HawkEye::new(capped)));
+        let pid = sim.spawn(script(
+            "big",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 8 * 512, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 8 * 512, write: true, think: 0, stride: 1, repeats: 1 },
+                MemOp::Compute { cycles: 2_000_000_000 },
+            ],
+        ));
+        sim.run_for(Cycles::from_secs(1.0));
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.space().huge_pages() <= 2, "cap violated: {}", p.space().huge_pages());
+        // Uncapped control maps everything hugely.
+        let mut sim2 = Simulator::new(KernelConfig::small(), Box::new(HawkEye::default()));
+        let pid2 = sim2.spawn(script(
+            "big",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 8 * 512, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 8 * 512, write: true, think: 0, stride: 1, repeats: 1 },
+            ],
+        ));
+        sim2.run();
+        assert_eq!(sim2.machine().process(pid2).unwrap().stats().huge_faults, 8);
+    }
+
+    use hawkeye_metrics::Cycles;
+}

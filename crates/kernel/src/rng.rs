@@ -1,0 +1,118 @@
+//! A tiny deterministic PRNG (SplitMix64) for kernel-internal shuffling.
+//!
+//! The kernel avoids a `rand` dependency; workload generators (which need
+//! richer distributions) use `rand` in their own crate. SplitMix64 is more
+//! than adequate for fragmentation-antagonist shuffles and is perfectly
+//! reproducible across platforms.
+
+/// SplitMix64 PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_kernel::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // Multiply-shift bounded rejection-free mapping (slight bias is
+        // irrelevant at simulator scales).
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_nontrivial() {
+        let mut r = SplitMix64::new(1);
+        let xs: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut r2 = SplitMix64::new(1);
+        let ys: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        // roughly uniform: all residues appear
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.below(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn unit_in_zero_one() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(xs, sorted, "shuffle should move things");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

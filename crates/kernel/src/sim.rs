@@ -1,0 +1,508 @@
+//! The simulation run loop.
+//!
+//! Processes run on their own cores: each round grants every runnable
+//! process one quantum of cycles, then wall-clock simulated time advances
+//! by that quantum. Policy ticks (background daemon work) and metric
+//! sampling happen on their configured periods.
+
+use crate::config::KernelConfig;
+use crate::machine::{Machine, OutOfMemory};
+use crate::policy::{FaultAction, HugePagePolicy};
+use crate::process::OpCursor;
+use crate::workload::{MemOp, Workload};
+use hawkeye_mem::Pfn;
+use hawkeye_metrics::Cycles;
+use hawkeye_vm::{PageSize, Vpn};
+
+/// Interposer on the touch path, invoked once per page touch after
+/// translation. The virtualization layer uses this to model the host side
+/// of two-level translation: EPT faults on first access to a
+/// guest-physical frame, copy-on-write on KSM-merged pages, swap-ins, and
+/// the extra nested-walk cost when the host maps the frame with base
+/// pages.
+pub trait AccessHook {
+    /// Returns extra cycles charged to the access. `pfn` is the backing
+    /// frame of the specific page; `walk` is the walk duration of this
+    /// access (zero on TLB hits).
+    fn on_touch(
+        &mut self,
+        pid: u32,
+        vpn: Vpn,
+        pfn: Pfn,
+        size: PageSize,
+        write: bool,
+        walk: Cycles,
+    ) -> Cycles;
+}
+
+/// The simulator: a [`Machine`] plus a policy and the scheduler state.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_kernel::{KernelConfig, Simulator, BasePagesOnly, MemOp, workload::script};
+/// use hawkeye_vm::{Vpn, VmaKind};
+///
+/// let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+/// let pid = sim.spawn(script("w", vec![
+///     MemOp::Mmap { start: Vpn(0), pages: 64, kind: VmaKind::Anon },
+///     MemOp::TouchRange { start: Vpn(0), pages: 64, write: true, think: 50, stride: 1 , repeats: 1},
+/// ]));
+/// sim.run();
+/// let p = sim.machine().process(pid).unwrap();
+/// assert_eq!(p.stats().faults, 64);
+/// ```
+pub struct Simulator {
+    machine: Machine,
+    policy: Option<Box<dyn HugePagePolicy>>,
+    next_tick: Cycles,
+    next_sample: Cycles,
+    hook: Option<Box<dyn AccessHook>>,
+}
+
+impl Simulator {
+    /// Boots a machine and installs a policy.
+    pub fn new(config: KernelConfig, policy: Box<dyn HugePagePolicy>) -> Self {
+        let next_tick = config.tick_period;
+        let next_sample = config.sample_period;
+        Simulator {
+            machine: Machine::new(config),
+            policy: Some(policy),
+            next_tick,
+            next_sample,
+            hook: None,
+        }
+    }
+
+    /// Installs (or clears) the per-touch interposer.
+    pub fn set_access_hook(&mut self, hook: Option<Box<dyn AccessHook>>) {
+        self.hook = hook;
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (experiment setup: fragmentation, VMAs...).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The installed policy's name.
+    pub fn policy_name(&self) -> String {
+        self.policy.as_ref().map(|p| p.name().to_string()).unwrap_or_default()
+    }
+
+    /// Spawns a process running `workload`.
+    pub fn spawn(&mut self, workload: Box<dyn Workload>) -> u32 {
+        self.machine.spawn(workload)
+    }
+
+    /// Runs until every process finishes or `max_time` elapses. Returns
+    /// the final simulated time.
+    pub fn run(&mut self) -> Cycles {
+        self.run_while(|_| true)
+    }
+
+    /// Runs for at most `dur` more simulated time.
+    pub fn run_for(&mut self, dur: Cycles) -> Cycles {
+        let deadline = self.machine.now() + dur;
+        self.run_while(move |m| m.now() < deadline)
+    }
+
+    /// Runs while `keep_going(machine)` holds (checked each round), every
+    /// process is not yet finished, and `max_time` has not elapsed.
+    pub fn run_while(&mut self, mut keep_going: impl FnMut(&Machine) -> bool) -> Cycles {
+        while keep_going(&self.machine)
+            && self.machine.now() < self.machine.config().max_time
+            && self.round()
+        {}
+        self.machine.now()
+    }
+
+    /// Executes one scheduler round. Returns false when no process is
+    /// runnable.
+    pub fn round(&mut self) -> bool {
+        let pids = self.machine.running_pids();
+        if pids.is_empty() {
+            return false;
+        }
+        let quantum = self.machine.config().quantum;
+        let mut policy = self.policy.take().expect("policy installed");
+        for pid in pids {
+            self.step_process(&mut *policy, pid, quantum);
+        }
+        self.machine.advance(quantum);
+        let now = self.machine.now();
+        if now >= self.next_tick {
+            policy.on_tick(&mut self.machine);
+            self.next_tick += self.machine.config().tick_period;
+        }
+        let sample_period = self.machine.config().sample_period;
+        if sample_period > Cycles::ZERO && now >= self.next_sample {
+            self.machine.sample_metrics();
+            self.next_sample += sample_period;
+        }
+        self.policy = Some(policy);
+        true
+    }
+
+    /// Runs one process for (up to) a quantum of its own CPU.
+    fn step_process(&mut self, policy: &mut dyn HugePagePolicy, pid: u32, quantum: Cycles) {
+        let base_now = self.machine.now();
+        let mut spent = Cycles::ZERO;
+        let mut finished = false;
+        let mut oom = false;
+        while spent < quantum {
+            let cursor = {
+                let p = self.machine.process_mut(pid).expect("running process");
+                match p.pending.take() {
+                    Some(c) => Some(c),
+                    None => p.next_op().map(|op| OpCursor { op, progress: 0 }),
+                }
+            };
+            let Some(cursor) = cursor else {
+                finished = true;
+                break;
+            };
+            match self.exec_slice(policy, pid, cursor, quantum, &mut spent) {
+                Ok(Some(rest)) => {
+                    self.machine.process_mut(pid).expect("exists").pending = Some(rest);
+                }
+                Ok(None) => {}
+                Err(OutOfMemory) => {
+                    finished = true;
+                    oom = true;
+                    break;
+                }
+            }
+        }
+        let p = self.machine.process_mut(pid).expect("exists");
+        p.charge(spent);
+        self.machine.mmu_mut().record_unhalted(pid, spent);
+        if finished {
+            if oom {
+                self.machine.stats_oom();
+            }
+            self.machine.exit_process(pid);
+            let at = base_now + spent;
+            self.machine.process_mut(pid).expect("exists").mark_finished(at, oom);
+            policy.on_exit(&mut self.machine, pid);
+        }
+    }
+
+    /// Executes (part of) one op; returns the remaining cursor when the
+    /// quantum expires mid-op.
+    fn exec_slice(
+        &mut self,
+        policy: &mut dyn HugePagePolicy,
+        pid: u32,
+        mut cursor: OpCursor,
+        quantum: Cycles,
+        spent: &mut Cycles,
+    ) -> Result<Option<OpCursor>, OutOfMemory> {
+        let syscall_cost = Cycles::from_nanos(500);
+        match &cursor.op {
+            MemOp::Mmap { start, pages, kind } => {
+                let p = self.machine.process_mut(pid).expect("exists");
+                p.space_mut().mmap(*start, *pages, *kind).expect("workload mmap is valid");
+                *spent += syscall_cost;
+                Ok(None)
+            }
+            MemOp::Munmap { start } => {
+                let start = *start;
+                let range = self
+                    .machine
+                    .process(pid)
+                    .and_then(|p| p.space().find_vma(start).map(|v| (v.start(), v.pages())));
+                if let Some((s, pages)) = range {
+                    *spent += self.machine.madvise_dontneed(pid, s, pages) + syscall_cost;
+                    let p = self.machine.process_mut(pid).expect("exists");
+                    let _ = p.space_mut().munmap(s);
+                    policy.on_release(&mut self.machine, pid, s, pages);
+                }
+                Ok(None)
+            }
+            MemOp::Madvise { start, pages } => {
+                let (start, pages) = (*start, *pages);
+                *spent += self.machine.madvise_dontneed(pid, start, pages) + syscall_cost;
+                policy.on_release(&mut self.machine, pid, start, pages);
+                Ok(None)
+            }
+            MemOp::Compute { cycles } => {
+                let total = Cycles::new(*cycles);
+                let done = Cycles::new(cursor.progress);
+                let left = total.saturating_sub(done);
+                let room = quantum.saturating_sub(*spent);
+                if left <= room {
+                    *spent += left;
+                    Ok(None)
+                } else {
+                    *spent += room;
+                    cursor.progress += room.get();
+                    Ok(Some(cursor))
+                }
+            }
+            MemOp::Touch { vpn, write, repeats, think } => {
+                let (vpn, write, repeats, think) = (*vpn, *write, *repeats, *think);
+                *spent += self.touch_page(policy, pid, vpn, write, repeats, think)?;
+                Ok(None)
+            }
+            MemOp::TouchRange { start, pages, write, think, stride, repeats } => {
+                let (start, pages, write, think, stride, repeats) =
+                    (*start, *pages, *write, *think, (*stride).max(1), (*repeats).max(1));
+                let mut i = cursor.progress;
+                while i < pages {
+                    if *spent >= quantum {
+                        cursor.progress = i;
+                        return Ok(Some(cursor));
+                    }
+                    let vpn = Vpn(start.0 + i * stride);
+                    *spent += self.touch_page(policy, pid, vpn, write, repeats, think)?;
+                    i += 1;
+                }
+                Ok(None)
+            }
+            MemOp::TouchList { vpns, write, think } => {
+                let (write, think) = (*write, *think);
+                let mut i = cursor.progress as usize;
+                while i < vpns.len() {
+                    if *spent >= quantum {
+                        cursor.progress = i as u64;
+                        return Ok(Some(cursor));
+                    }
+                    let vpn = vpns[i];
+                    *spent += self.touch_page(policy, pid, vpn, write, 1, think)?;
+                    i += 1;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// One page touch: translation (with TLB timing), fault handling via
+    /// the policy, content dirtying, and repeat accesses.
+    fn touch_page(
+        &mut self,
+        policy: &mut dyn HugePagePolicy,
+        pid: u32,
+        vpn: Vpn,
+        write: bool,
+        repeats: u32,
+        think: u32,
+    ) -> Result<Cycles, OutOfMemory> {
+        let repeats = repeats.max(1);
+        let access_cost = self.machine.config().costs.access;
+        let mut cost = Cycles::ZERO;
+        let mut guard = 0;
+        let translation = loop {
+            let tr = {
+                let p = self.machine.process_mut(pid).expect("running process");
+                p.space_mut().access(vpn, write)
+            };
+            if let Some(t) = tr {
+                break t;
+            }
+            guard += 1;
+            assert!(guard <= 3, "fault loop did not converge at {vpn}");
+            // Distinguish zero-COW writes from missing mappings.
+            let zero_cow = self
+                .machine
+                .process(pid)
+                .and_then(|p| p.space().translate(vpn))
+                .map(|t| t.zero_cow)
+                .unwrap_or(false);
+            let fault_cost = if write && zero_cow {
+                self.machine.cow_fault(pid, vpn)?
+            } else {
+                let action = policy.on_fault(&mut self.machine, pid, vpn);
+                self.apply_fault_action(pid, vpn, action)?
+            };
+            cost += fault_cost;
+            let p = self.machine.process_mut(pid).expect("exists");
+            let st = p.stats_mut();
+            st.faults += 1;
+            st.fault_cycles += fault_cost;
+        };
+        let out = self.machine.mmu_mut().access(pid, vpn, translation.size, write);
+        cost += out.cycles + (access_cost + Cycles::new(think as u64)) * repeats as u64;
+        if let Some(hook) = self.hook.as_mut() {
+            cost +=
+                hook.on_touch(pid, vpn, translation.pfn, translation.size, write, out.walk_cycles);
+        }
+        if write && !translation.zero_cow {
+            let dirt = self.machine.process_mut(pid).expect("exists").dirt_offset();
+            self.machine
+                .pm_mut()
+                .frame_mut(translation.pfn)
+                .set_content(hawkeye_mem::PageContent::non_zero(dirt));
+        }
+        let p = self.machine.process_mut(pid).expect("exists");
+        let st = p.stats_mut();
+        st.touches += 1;
+        st.accesses += repeats as u64;
+        Ok(cost)
+    }
+
+    fn apply_fault_action(
+        &mut self,
+        pid: u32,
+        vpn: Vpn,
+        action: FaultAction,
+    ) -> Result<Cycles, OutOfMemory> {
+        match action {
+            FaultAction::MapBase => self.machine.fault_map_base(pid, vpn),
+            FaultAction::MapHuge => {
+                let (cost, huge) = self.machine.fault_map_huge(pid, vpn)?;
+                if huge {
+                    let p = self.machine.process_mut(pid).expect("exists");
+                    p.stats_mut().huge_faults += 1;
+                }
+                Ok(cost)
+            }
+            FaultAction::MapBaseAt(pfn) => Ok(self.machine.fault_map_base_at(pid, vpn, pfn)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BasePagesOnly;
+    use crate::workload::script;
+    use hawkeye_vm::VmaKind;
+
+    /// A policy that always tries huge faults (Linux-2MB with THP=always).
+    struct AlwaysHuge;
+    impl HugePagePolicy for AlwaysHuge {
+        fn name(&self) -> &str {
+            "always-huge"
+        }
+        fn on_fault(&mut self, _m: &mut Machine, _pid: u32, _vpn: Vpn) -> FaultAction {
+            FaultAction::MapHuge
+        }
+    }
+
+    fn touch_workload(pages: u64, write: bool) -> Box<dyn Workload> {
+        script(
+            "touch",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages, write, think: 100, stride: 1 , repeats: 1},
+            ],
+        )
+    }
+
+    #[test]
+    fn base_policy_faults_once_per_page() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(touch_workload(2048, true));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.is_finished());
+        assert!(!p.is_oom());
+        assert_eq!(p.stats().faults, 2048);
+        assert_eq!(p.stats().huge_faults, 0);
+        assert_eq!(p.stats().touches, 2048);
+        // Memory was freed at exit.
+        assert_eq!(sim.machine().pm().allocated_pages(), 1);
+    }
+
+    #[test]
+    fn huge_policy_reduces_faults_512x() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(AlwaysHuge));
+        let pid = sim.spawn(touch_workload(2048, true));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().faults, 4, "one fault per 2 MB region");
+        assert_eq!(p.stats().huge_faults, 4);
+    }
+
+    #[test]
+    fn huge_faults_faster_overall_for_spatial_workloads() {
+        // Table 1's core claim, in miniature: despite higher per-fault
+        // latency, huge faults win on total time for sequential touch.
+        let mut sim_base = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid_b = sim_base.spawn(touch_workload(16 * 512, true));
+        sim_base.run();
+        let mut sim_huge = Simulator::new(KernelConfig::small(), Box::new(AlwaysHuge));
+        let pid_h = sim_huge.spawn(touch_workload(16 * 512, true));
+        sim_huge.run();
+        let tb = sim_base.machine().process(pid_b).unwrap().cpu_time();
+        let th = sim_huge.machine().process(pid_h).unwrap().cpu_time();
+        assert!(
+            th.get() * 2 < tb.get(),
+            "huge {th} should beat base {tb} by >2x (sync zeroing dominates either way)"
+        );
+    }
+
+    #[test]
+    fn time_advances_by_quanta_and_finish_time_recorded() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(touch_workload(64, false));
+        let end = sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.finish_time().unwrap() <= end);
+        assert!(p.cpu_time() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn oom_is_detected_and_marked() {
+        let mut cfg = KernelConfig::small();
+        cfg.frames = 1024; // 4 MiB machine
+        let mut sim = Simulator::new(cfg, Box::new(BasePagesOnly));
+        let pid = sim.spawn(touch_workload(4096, true)); // wants 16 MiB
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.is_finished());
+        assert!(p.is_oom());
+        assert_eq!(sim.machine().stats().oom_events, 1);
+    }
+
+    #[test]
+    fn madvise_then_retouch_faults_again() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(script(
+            "cycle",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 128, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 128, write: true, think: 0, stride: 1 , repeats: 1},
+                MemOp::Madvise { start: Vpn(0), pages: 128 },
+                MemOp::TouchRange { start: Vpn(0), pages: 128, write: true, think: 0, stride: 1 , repeats: 1},
+            ],
+        ));
+        sim.run();
+        assert_eq!(sim.machine().process(pid).unwrap().stats().faults, 256);
+    }
+
+    #[test]
+    fn run_for_respects_duration() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        // Endless compute workload.
+        let _pid = sim.spawn(script(
+            "spin",
+            vec![MemOp::Compute { cycles: u64::MAX / 2 }],
+        ));
+        let t = sim.run_for(Cycles::from_millis(50));
+        assert!(t >= Cycles::from_millis(50));
+        assert!(t < Cycles::from_millis(60));
+    }
+
+    #[test]
+    fn repeats_amortize_tlb_cost() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(script(
+            "hot",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 1, kind: VmaKind::Anon },
+                MemOp::Touch { vpn: Vpn(0), write: true, repeats: 1000, think: 10 },
+            ],
+        ));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().touches, 1);
+        assert_eq!(p.stats().accesses, 1000);
+        assert_eq!(p.stats().faults, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Kernel-wide event counters.
+
+use hawkeye_metrics::Cycles;
+
+/// Counters of kernel-level events across a run.
+///
+/// Per-process statistics live in [`crate::ProcStats`]; these are the
+/// machine-wide ones the evaluation tables report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Huge-page promotions (khugepaged collapses + policy promotions).
+    pub promotions: u64,
+    /// Huge-page demotions (splits).
+    pub demotions: u64,
+    /// Base pages copied during promotion collapses.
+    pub promote_copied_pages: u64,
+    /// Zero-filled base pages de-duplicated to the canonical zero page.
+    pub deduped_zero_pages: u64,
+    /// Bloat-recovery scans (regions examined).
+    pub bloat_scans: u64,
+    /// Pages zeroed by the async pre-zeroing daemon.
+    pub prezeroed_pages: u64,
+    /// Pages zeroed synchronously on the fault path.
+    pub sync_zeroed_pages: u64,
+    /// Compaction passes run.
+    pub compaction_runs: u64,
+    /// Pages migrated by compaction.
+    pub compaction_migrated: u64,
+    /// File-cache pages reclaimed.
+    pub reclaimed_pages: u64,
+    /// Out-of-memory events (allocation failed after reclaim).
+    pub oom_events: u64,
+    /// Cycles consumed by background daemons (khugepaged, zeroing thread,
+    /// bloat recovery) — they run on spare cores but are accounted here to
+    /// bound policy overhead.
+    pub daemon_cycles: Cycles,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = KernelStats::default();
+        assert_eq!(s.promotions, 0);
+        assert_eq!(s.daemon_cycles, Cycles::ZERO);
+        assert_eq!(s, KernelStats::default());
+    }
+}

@@ -1,0 +1,159 @@
+//! The workload interface: a stream of memory operations.
+//!
+//! Workload generators (the `workloads` crate) implement [`Workload`] and
+//! emit [`MemOp`]s; the simulator executes them, taking page faults and
+//! charging simulated time. Range and list operations keep per-op overhead
+//! low — a workload can describe millions of page touches in a handful of
+//! ops, and the simulator slices them against scheduler quanta.
+
+use hawkeye_vm::{VmaKind, Vpn};
+
+/// One memory operation emitted by a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemOp {
+    /// Create an anonymous or file-backed area.
+    Mmap {
+        /// First page of the area.
+        start: Vpn,
+        /// Length in base pages.
+        pages: u64,
+        /// Anonymous or file-backed.
+        kind: VmaKind,
+    },
+    /// Remove the area starting at `start`, releasing its memory.
+    Munmap {
+        /// Area start (must match the `Mmap`).
+        start: Vpn,
+    },
+    /// `madvise(MADV_DONTNEED)` on a range: release mappings, keep the VMA.
+    Madvise {
+        /// First page of the range.
+        start: Vpn,
+        /// Length in base pages.
+        pages: u64,
+    },
+    /// Touch a single page `repeats` times (first access may fault; the
+    /// rest model intra-page locality as TLB hits).
+    Touch {
+        /// Page to touch.
+        vpn: Vpn,
+        /// Whether the touches are writes (dirtying the page).
+        write: bool,
+        /// Accesses to this page (≥ 1).
+        repeats: u32,
+        /// Compute cycles charged per access (application "think time").
+        think: u32,
+    },
+    /// Touch `pages` pages starting at `start` with the given stride,
+    /// `repeats` accesses each.
+    TouchRange {
+        /// First page.
+        start: Vpn,
+        /// Number of pages touched.
+        pages: u64,
+        /// Whether the touches are writes.
+        write: bool,
+        /// Compute cycles charged per access.
+        think: u32,
+        /// Distance between consecutive touched pages (≥ 1).
+        stride: u64,
+        /// Accesses per touched page (intra-page locality; ≥ 1).
+        repeats: u32,
+    },
+    /// Touch an explicit list of pages once each (random patterns).
+    TouchList {
+        /// Pages to touch, in order.
+        vpns: Vec<Vpn>,
+        /// Whether the touches are writes.
+        write: bool,
+        /// Compute cycles charged per access.
+        think: u32,
+    },
+    /// Pure computation.
+    Compute {
+        /// Cycles of CPU work.
+        cycles: u64,
+    },
+}
+
+impl MemOp {
+    /// Convenience: a single-access read touch with no think time.
+    pub fn read(vpn: Vpn) -> Self {
+        MemOp::Touch { vpn, write: false, repeats: 1, think: 0 }
+    }
+
+    /// Convenience: a single-access write touch with no think time.
+    pub fn write(vpn: Vpn) -> Self {
+        MemOp::Touch { vpn, write: true, repeats: 1, think: 0 }
+    }
+}
+
+/// A generator of memory operations, driven by the simulator.
+pub trait Workload {
+    /// Short human-readable name (used in series names and tables).
+    fn name(&self) -> &str;
+
+    /// Produces the next operation, or `None` when the workload is done.
+    fn next_op(&mut self) -> Option<MemOp>;
+
+    /// First-non-zero-byte offset for pages this workload dirties (the
+    /// Fig. 3 content model; the measured cross-workload average is 9.11,
+    /// hence the default of 9).
+    fn dirt_offset(&mut self) -> u16 {
+        9
+    }
+}
+
+/// A scripted workload replaying a fixed list of operations.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_kernel::workload::{script, Workload};
+/// use hawkeye_kernel::MemOp;
+/// use hawkeye_vm::Vpn;
+///
+/// let mut w = script("demo", vec![MemOp::read(Vpn(1))]);
+/// assert_eq!(w.name(), "demo");
+/// assert!(w.next_op().is_some());
+/// assert!(w.next_op().is_none());
+/// ```
+pub fn script(name: impl Into<String>, ops: Vec<MemOp>) -> Box<dyn Workload> {
+    Box::new(Script { name: name.into(), ops: ops.into_iter().collect() })
+}
+
+#[derive(Debug)]
+struct Script {
+    name: String,
+    ops: std::collections::VecDeque<MemOp>,
+}
+
+impl Workload for Script {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        self.ops.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_replays_in_order() {
+        let mut w = script("s", vec![MemOp::read(Vpn(1)), MemOp::write(Vpn(2))]);
+        assert_eq!(w.next_op(), Some(MemOp::Touch { vpn: Vpn(1), write: false, repeats: 1, think: 0 }));
+        assert_eq!(w.next_op(), Some(MemOp::Touch { vpn: Vpn(2), write: true, repeats: 1, think: 0 }));
+        assert_eq!(w.next_op(), None);
+        assert_eq!(w.next_op(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn default_dirt_offset_matches_fig3_average() {
+        let mut w = script("s", vec![]);
+        assert_eq!(w.dirt_offset(), 9);
+    }
+}

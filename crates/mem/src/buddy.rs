@@ -1,0 +1,696 @@
+//! Binary buddy allocator with split **zero** / **non-zero** free lists.
+//!
+//! This is the substrate for HawkEye's async pre-zeroing (§3.1): pages
+//! released by applications enter the *non-zero* lists; a rate-limited
+//! daemon moves blocks to the *zero* lists after clearing them (see
+//! [`PhysMemory::prezero_step`]); allocations that need zeroed memory are
+//! served preferentially from the zero lists, while copy-on-write and
+//! file-backed allocations prefer the non-zero lists so pre-zeroed memory
+//! is not wasted on them.
+//!
+//! Zero-ness is authoritative in the per-frame [`PageContent`] tags; a free
+//! block sits in the zero list iff *all* its frames are zero-filled.
+
+use crate::content::PageContent;
+use crate::error::AllocError;
+use crate::frame::{Frame, FrameState, NOT_FREE_HEAD, NO_LINK};
+use crate::types::{Order, Pfn, MAX_ORDER};
+
+const NORDERS: usize = MAX_ORDER.0 as usize + 1;
+
+/// Which free list an allocation prefers.
+///
+/// Either preference falls back to the other list when the preferred one
+/// cannot satisfy the request; [`Allocation::was_zeroed`] reports what the
+/// caller actually got so it can charge synchronous zeroing cost if needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocPref {
+    /// Prefer pre-zeroed blocks (anonymous zero-fill allocations).
+    #[default]
+    Zeroed,
+    /// Prefer non-zeroed blocks (COW targets, file cache) to conserve the
+    /// zeroed pool.
+    NonZeroed,
+}
+
+/// The result of a successful allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// First frame of the allocated block (aligned to `order`).
+    pub pfn: Pfn,
+    /// Block order.
+    pub order: Order,
+    /// Whether every frame in the block was already zero-filled.
+    pub was_zeroed: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FreeList {
+    head: u32,
+    blocks: u64,
+}
+
+impl FreeList {
+    const EMPTY: FreeList = FreeList { head: NO_LINK, blocks: 0 };
+}
+
+/// Simulated physical memory: a frame table plus the buddy allocator.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_mem::{PhysMemory, AllocPref, Order, HUGE_ORDER};
+///
+/// let mut pm = PhysMemory::new(4096);
+/// let a = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+/// let h = pm.alloc(HUGE_ORDER, AllocPref::Zeroed).unwrap();
+/// assert_eq!(pm.allocated_pages(), 513);
+/// pm.free(a.pfn, a.order);
+/// pm.free(h.pfn, h.order);
+/// assert_eq!(pm.allocated_pages(), 0);
+/// assert_eq!(pm.free_pages(), 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    frames: Vec<Frame>,
+    /// `[order][zeroed as usize]`
+    lists: [[FreeList; 2]; NORDERS],
+    free_pages: u64,
+    zeroed_free_pages: u64,
+    /// Whether free blocks of different zero-ness may merge (demoting the
+    /// merged block to non-zero). HawkEye keeps this off to protect the
+    /// pre-zeroed pool; baselines that never read the zero lists turn it on
+    /// to match vanilla Linux merging.
+    cross_merge: bool,
+}
+
+impl PhysMemory {
+    /// Creates `total_frames` of physical memory, all free and zero-filled
+    /// (freshly booted machine). Cross-zero-ness merging is disabled
+    /// (HawkEye semantics) — see [`PhysMemory::with_cross_merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_frames` is 0 or not a multiple of the largest buddy
+    /// block (`2^MAX_ORDER` frames), which keeps the frame table uniform.
+    pub fn new(total_frames: u64) -> Self {
+        Self::with_cross_merge(total_frames, false)
+    }
+
+    /// Creates physical memory choosing the merge policy: when
+    /// `cross_merge` is true, free buddies of different zero-ness merge
+    /// into a non-zero block (vanilla-Linux behaviour, for baselines that
+    /// do not maintain a pre-zeroed pool); when false, such merges are
+    /// deferred until the pre-zeroing daemon equalizes the blocks.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PhysMemory::new`].
+    pub fn with_cross_merge(total_frames: u64, cross_merge: bool) -> Self {
+        let block = MAX_ORDER.pages();
+        assert!(total_frames > 0, "physical memory cannot be empty");
+        assert_eq!(
+            total_frames % block,
+            0,
+            "total_frames must be a multiple of {block} (the max buddy block)"
+        );
+        let mut pm = PhysMemory {
+            frames: vec![Frame::default(); total_frames as usize],
+            lists: [[FreeList::EMPTY; 2]; NORDERS],
+            free_pages: 0,
+            zeroed_free_pages: 0,
+            cross_merge,
+        };
+        let mut pfn = 0;
+        while pfn < total_frames {
+            pm.insert_free_block(Pfn(pfn), MAX_ORDER);
+            pfn += block;
+        }
+        pm
+    }
+
+    /// Total number of frames.
+    pub fn total_frames(&self) -> u64 {
+        self.frames.len() as u64
+    }
+
+    /// Number of free base pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Number of free base pages that are pre-zeroed.
+    pub fn zeroed_free_pages(&self) -> u64 {
+        self.zeroed_free_pages
+    }
+
+    /// Number of free base pages that still need zeroing.
+    pub fn nonzeroed_free_pages(&self) -> u64 {
+        self.free_pages - self.zeroed_free_pages
+    }
+
+    /// Number of allocated base pages.
+    pub fn allocated_pages(&self) -> u64 {
+        self.total_frames() - self.free_pages
+    }
+
+    /// Fraction of memory allocated, 0.0–1.0 (drives the watermark logic of
+    /// HawkEye's bloat recovery).
+    pub fn utilization(&self) -> f64 {
+        self.allocated_pages() as f64 / self.total_frames() as f64
+    }
+
+    /// Shared view of a frame's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is out of range.
+    pub fn frame(&self, pfn: Pfn) -> &Frame {
+        &self.frames[pfn.index()]
+    }
+
+    /// Mutable view of a frame's metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pfn` is out of range.
+    pub fn frame_mut(&mut self, pfn: Pfn) -> &mut Frame {
+        &mut self.frames[pfn.index()]
+    }
+
+    /// Allocates a block of `order` contiguous, aligned frames.
+    ///
+    /// The preferred free list is searched from `order` upward, then the
+    /// other list. Returns the block and whether it was entirely
+    /// pre-zeroed.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidOrder`] if `order > MAX_ORDER`;
+    /// [`AllocError::OutOfMemory`] if no block of sufficient order exists
+    /// in either list (the buddy allocator does not compact here — see
+    /// [`crate::compact`]).
+    pub fn alloc(&mut self, order: Order, pref: AllocPref) -> Result<Allocation, AllocError> {
+        if order > MAX_ORDER {
+            return Err(AllocError::InvalidOrder { order });
+        }
+        let preferred = match pref {
+            AllocPref::Zeroed => 1usize,
+            AllocPref::NonZeroed => 0usize,
+        };
+        let found = self
+            .find_block(order, preferred)
+            .or_else(|| self.find_block(order, 1 - preferred));
+        let (pfn, at_order, listz) = found.ok_or(AllocError::OutOfMemory { order })?;
+        self.remove_free_block(pfn, at_order, listz);
+        // Split down to the requested order, returning upper halves.
+        let mut cur_order = at_order;
+        while cur_order > order {
+            cur_order = Order(cur_order.0 - 1);
+            let upper = Pfn(pfn.0 + cur_order.pages());
+            self.insert_free_block_nomerge(upper, cur_order);
+        }
+        let was_zeroed = self.block_is_zeroed(pfn, order);
+        self.mark_allocated(pfn, order);
+        Ok(Allocation { pfn, order, was_zeroed })
+    }
+
+    /// Frees the block of `order` frames starting at `pfn`, merging with
+    /// free buddies. The frames' content tags are preserved, so a block
+    /// dirtied by the application lands in the non-zero list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not currently allocated, or `pfn` is not
+    /// aligned to `order`.
+    pub fn free(&mut self, pfn: Pfn, order: Order) {
+        assert!(pfn.is_aligned(order), "{pfn} not aligned to {order}");
+        for i in 0..order.pages() {
+            let f = &mut self.frames[pfn.index() + i as usize];
+            assert_eq!(f.state, FrameState::Allocated, "double free of {}", Pfn(pfn.0 + i));
+            f.reset_user_meta();
+        }
+        self.insert_free_block(pfn, order);
+    }
+
+    /// Zero-fills the frames of an *allocated* block (synchronous zeroing
+    /// on the page-fault path). Cost accounting is the caller's job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame in the block is free.
+    pub fn zero_block(&mut self, pfn: Pfn, order: Order) {
+        for i in 0..order.pages() {
+            let f = &mut self.frames[pfn.index() + i as usize];
+            assert_eq!(f.state, FrameState::Allocated, "zeroing a free frame");
+            f.set_content(PageContent::Zero);
+        }
+    }
+
+    /// One step of the async pre-zeroing daemon: takes up to `max_pages`
+    /// frames from the non-zero free lists, zero-fills them, and returns
+    /// them to the zero lists. Returns the number of pages zeroed (0 when
+    /// the non-zero lists are empty or the budget is 0).
+    ///
+    /// Large blocks are split so a small budget still makes progress.
+    pub fn prezero_step(&mut self, max_pages: u64) -> u64 {
+        let mut budget = max_pages;
+        let mut zeroed = 0;
+        while budget > 0 {
+            // Smallest non-zero block that exists.
+            let Some((pfn, order)) = self.pop_smallest_nonzero() else { break };
+            let mut order = order;
+            // Split until the block fits in the remaining budget.
+            while order.pages() > budget && order.0 > 0 {
+                order = Order(order.0 - 1);
+                let upper = Pfn(pfn.0 + order.pages());
+                self.insert_free_block_nomerge(upper, order);
+            }
+            if order.pages() > budget {
+                // budget smaller than a single page cannot happen (order 0
+                // is 1 page); defensive.
+                self.insert_free_block_nomerge(pfn, order);
+                break;
+            }
+            for i in 0..order.pages() {
+                self.frames[pfn.index() + i as usize].set_content(PageContent::Zero);
+            }
+            // Reinsert: merging may now combine zeroed buddies.
+            self.insert_free_block_raw(pfn, order);
+            zeroed += order.pages();
+            budget -= order.pages();
+        }
+        zeroed
+    }
+
+    /// Whether every frame of the (free or allocated) block is zero-filled.
+    pub fn block_is_zeroed(&self, pfn: Pfn, order: Order) -> bool {
+        (0..order.pages()).all(|i| self.frames[pfn.index() + i as usize].is_zeroed())
+    }
+
+    /// Largest order for which a free block exists (in either list).
+    pub fn largest_free_order(&self) -> Option<Order> {
+        (0..NORDERS)
+            .rev()
+            .find(|&o| self.lists[o][0].blocks + self.lists[o][1].blocks > 0)
+            .map(|o| Order(o as u8))
+    }
+
+    /// Histogram of free blocks by order: `hist[order] = block count`
+    /// (zero + non-zero lists combined). Input to the FMFI computation.
+    pub fn free_block_histogram(&self) -> [u64; NORDERS] {
+        let mut h = [0u64; NORDERS];
+        for (o, slot) in h.iter_mut().enumerate() {
+            *slot = self.lists[o][0].blocks + self.lists[o][1].blocks;
+        }
+        h
+    }
+
+    /// Number of free blocks of exactly `order` in the zero list.
+    pub fn zeroed_blocks(&self, order: Order) -> u64 {
+        self.lists[order.index()][1].blocks
+    }
+
+    /// Number of free blocks of exactly `order` in the non-zero list.
+    pub fn nonzeroed_blocks(&self, order: Order) -> u64 {
+        self.lists[order.index()][0].blocks
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn find_block(&self, order: Order, listz: usize) -> Option<(Pfn, Order, usize)> {
+        (order.index()..NORDERS).find_map(|o| {
+            let head = self.lists[o][listz].head;
+            (head != NO_LINK).then(|| (Pfn(head as u64), Order(o as u8), listz))
+        })
+    }
+
+    fn pop_smallest_nonzero(&mut self) -> Option<(Pfn, Order)> {
+        for o in 0..NORDERS {
+            let head = self.lists[o][0].head;
+            if head != NO_LINK {
+                let pfn = Pfn(head as u64);
+                let order = Order(o as u8);
+                self.remove_free_block(pfn, order, 0);
+                return Some((pfn, order));
+            }
+        }
+        None
+    }
+
+    fn mark_allocated(&mut self, pfn: Pfn, order: Order) {
+        for i in 0..order.pages() {
+            let f = &mut self.frames[pfn.index() + i as usize];
+            f.state = FrameState::Allocated;
+            f.free_order = NOT_FREE_HEAD;
+        }
+    }
+
+    /// Inserts a free block with buddy merging.
+    fn insert_free_block(&mut self, pfn: Pfn, order: Order) {
+        self.insert_free_block_raw(pfn, order);
+    }
+
+    fn insert_free_block_raw(&mut self, mut pfn: Pfn, mut order: Order) {
+        // Merge upward while the buddy is a free head of the same order and
+        // the merge policy allows combining the two blocks' zero-ness.
+        let mut zeroed = self.block_is_zeroed(pfn, order);
+        while order < MAX_ORDER {
+            let buddy = pfn.buddy(order);
+            if buddy.index() >= self.frames.len() {
+                break;
+            }
+            let b = &self.frames[buddy.index()];
+            if b.state != FrameState::FreeHead || b.free_order != order.0 {
+                break;
+            }
+            let bz = self.block_is_zeroed(buddy, order);
+            if bz != zeroed && !self.cross_merge {
+                break;
+            }
+            self.remove_free_block(buddy, order, bz as usize);
+            pfn = pfn.min(buddy);
+            order = Order(order.0 + 1);
+            zeroed = zeroed && bz;
+        }
+        self.insert_free_block_nomerge(pfn, order);
+    }
+
+    fn insert_free_block_nomerge(&mut self, pfn: Pfn, order: Order) {
+        let zeroed = self.block_is_zeroed(pfn, order);
+        let listz = zeroed as usize;
+        for i in 0..order.pages() {
+            let f = &mut self.frames[pfn.index() + i as usize];
+            f.state = FrameState::FreeTail;
+            f.free_order = NOT_FREE_HEAD;
+            f.prev = NO_LINK;
+            f.next = NO_LINK;
+        }
+        let head = self.lists[order.index()][listz].head;
+        {
+            let f = &mut self.frames[pfn.index()];
+            f.state = FrameState::FreeHead;
+            f.free_order = order.0;
+            f.next = head;
+        }
+        if head != NO_LINK {
+            self.frames[head as usize].prev = pfn.0 as u32;
+        }
+        self.lists[order.index()][listz].head = pfn.0 as u32;
+        self.lists[order.index()][listz].blocks += 1;
+        self.free_pages += order.pages();
+        if zeroed {
+            self.zeroed_free_pages += order.pages();
+        }
+    }
+
+    fn remove_free_block(&mut self, pfn: Pfn, order: Order, listz: usize) {
+        let (prev, next) = {
+            let f = &self.frames[pfn.index()];
+            debug_assert_eq!(f.state, FrameState::FreeHead);
+            debug_assert_eq!(f.free_order, order.0);
+            (f.prev, f.next)
+        };
+        if prev != NO_LINK {
+            self.frames[prev as usize].next = next;
+        } else {
+            debug_assert_eq!(self.lists[order.index()][listz].head, pfn.0 as u32);
+            self.lists[order.index()][listz].head = next;
+        }
+        if next != NO_LINK {
+            self.frames[next as usize].prev = prev;
+        }
+        let f = &mut self.frames[pfn.index()];
+        f.state = FrameState::FreeTail;
+        f.free_order = NOT_FREE_HEAD;
+        f.prev = NO_LINK;
+        f.next = NO_LINK;
+        self.lists[order.index()][listz].blocks -= 1;
+        self.free_pages -= order.pages();
+        if listz == 1 {
+            self.zeroed_free_pages -= order.pages();
+        }
+    }
+
+    // ---- crate-internal hooks for the compactor --------------------------
+
+    /// Removes a specific free block from its list (compaction claim).
+    pub(crate) fn claim_remove(&mut self, head: Pfn, order: Order, listz: usize) {
+        self.remove_free_block(head, order, listz);
+    }
+
+    /// Marks a (list-removed) frame as kernel-claimed: allocated, unmovable,
+    /// unowned.
+    pub(crate) fn claim_mark(&mut self, pfn: Pfn) {
+        let f = &mut self.frames[pfn.index()];
+        f.state = FrameState::Allocated;
+        f.free_order = NOT_FREE_HEAD;
+        f.set_owner(None);
+        f.set_movable(false);
+    }
+
+    /// Reinserts a single (list-removed) frame into the free lists.
+    pub(crate) fn claim_reinsert(&mut self, pfn: Pfn) {
+        self.insert_free_block_raw(pfn, Order(0));
+    }
+
+    /// Debug invariant check: list membership, counters, and zero-ness all
+    /// agree. Used by tests and property tests; O(frames).
+    pub fn check_invariants(&self) {
+        let mut free = 0u64;
+        let mut zeroed_free = 0u64;
+        let mut seen_heads = 0u64;
+        for (o, pair) in self.lists.iter().enumerate() {
+            for (z, list) in pair.iter().enumerate() {
+                let mut cur = list.head;
+                let mut count = 0u64;
+                let mut prev = NO_LINK;
+                while cur != NO_LINK {
+                    let f = &self.frames[cur as usize];
+                    assert_eq!(f.state, FrameState::FreeHead);
+                    assert_eq!(f.free_order as usize, o);
+                    assert_eq!(f.prev, prev);
+                    let order = Order(o as u8);
+                    let pfn = Pfn(cur as u64);
+                    assert!(pfn.is_aligned(order));
+                    assert_eq!(self.block_is_zeroed(pfn, order), z == 1, "block {pfn} in wrong list");
+                    free += order.pages();
+                    if z == 1 {
+                        zeroed_free += order.pages();
+                    }
+                    count += 1;
+                    seen_heads += 1;
+                    prev = cur;
+                    cur = f.next;
+                }
+                assert_eq!(count, list.blocks, "block counter mismatch at order {o} z {z}");
+            }
+        }
+        assert_eq!(free, self.free_pages, "free page counter mismatch");
+        assert_eq!(zeroed_free, self.zeroed_free_pages, "zeroed counter mismatch");
+        let heads = self
+            .frames
+            .iter()
+            .filter(|f| f.state == FrameState::FreeHead)
+            .count() as u64;
+        assert_eq!(heads, seen_heads, "orphan free heads exist");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::HUGE_ORDER;
+
+    #[test]
+    fn boot_memory_is_all_zeroed() {
+        let pm = PhysMemory::new(2048);
+        assert_eq!(pm.free_pages(), 2048);
+        assert_eq!(pm.zeroed_free_pages(), 2048);
+        assert_eq!(pm.allocated_pages(), 0);
+        pm.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_unaligned_total() {
+        let _ = PhysMemory::new(1000);
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_state() {
+        let mut pm = PhysMemory::new(1024);
+        let a = pm.alloc(Order(3), AllocPref::Zeroed).unwrap();
+        assert!(a.was_zeroed);
+        assert_eq!(pm.free_pages(), 1024 - 8);
+        pm.check_invariants();
+        pm.free(a.pfn, a.order);
+        assert_eq!(pm.free_pages(), 1024);
+        // All merged back into max-order blocks.
+        assert_eq!(pm.largest_free_order(), Some(MAX_ORDER));
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn dirty_free_lands_in_nonzero_list() {
+        let mut pm = PhysMemory::new(1024);
+        let a = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+        pm.frame_mut(a.pfn).set_content(PageContent::non_zero(5));
+        pm.free(a.pfn, a.order);
+        // Without cross-merging, the dirty page stays isolated in the
+        // non-zero list instead of demoting 1023 zeroed buddies.
+        assert_eq!(pm.nonzeroed_free_pages(), 1);
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut pm = PhysMemory::new(1024);
+        // 1024 frames = one max-order block; a second max-order alloc fails.
+        let _a = pm.alloc(MAX_ORDER, AllocPref::Zeroed).unwrap();
+        let err = pm.alloc(Order(0), AllocPref::Zeroed).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let mut pm = PhysMemory::new(1024);
+        let err = pm.alloc(Order(MAX_ORDER.0 + 1), AllocPref::Zeroed).unwrap_err();
+        assert!(matches!(err, AllocError::InvalidOrder { .. }));
+    }
+
+    #[test]
+    fn allocation_prefers_requested_list() {
+        let mut pm = PhysMemory::new(2048);
+        // Dirty one huge block and free it -> non-zero list.
+        let a = pm.alloc(HUGE_ORDER, AllocPref::Zeroed).unwrap();
+        for i in 0..HUGE_ORDER.pages() {
+            pm.frame_mut(Pfn(a.pfn.0 + i)).set_content(PageContent::non_zero(0));
+        }
+        pm.free(a.pfn, a.order);
+        pm.check_invariants();
+        // A non-zero-preferring allocation takes the dirty block.
+        let b = pm.alloc(HUGE_ORDER, AllocPref::NonZeroed).unwrap();
+        assert!(!b.was_zeroed);
+        assert_eq!(b.pfn, a.pfn);
+        // A zero-preferring allocation gets pre-zeroed memory.
+        let c = pm.alloc(HUGE_ORDER, AllocPref::Zeroed).unwrap();
+        assert!(c.was_zeroed);
+    }
+
+    #[test]
+    fn fallback_to_other_list_when_preferred_empty() {
+        let mut pm = PhysMemory::new(1024);
+        // Dirty everything: allocate all, dirty, free.
+        let a = pm.alloc(MAX_ORDER, AllocPref::Zeroed).unwrap();
+        for i in 0..MAX_ORDER.pages() {
+            pm.frame_mut(Pfn(i)).set_content(PageContent::non_zero(1));
+        }
+        pm.free(a.pfn, a.order);
+        assert_eq!(pm.zeroed_free_pages(), 0);
+        let b = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+        assert!(!b.was_zeroed, "fell back to non-zero list");
+    }
+
+    #[test]
+    fn prezero_step_moves_pages_to_zero_list() {
+        let mut pm = PhysMemory::new(1024);
+        let a = pm.alloc(MAX_ORDER, AllocPref::Zeroed).unwrap();
+        for i in 0..MAX_ORDER.pages() {
+            pm.frame_mut(Pfn(i)).set_content(PageContent::non_zero(1));
+        }
+        pm.free(a.pfn, a.order);
+        assert_eq!(pm.zeroed_free_pages(), 0);
+        // Rate-limited: only 100 pages this step.
+        let z = pm.prezero_step(100);
+        assert!(z > 0 && z <= 100, "zeroed {z}");
+        assert_eq!(pm.zeroed_free_pages(), z);
+        pm.check_invariants();
+        // Finish the job.
+        let mut total = z;
+        loop {
+            let z = pm.prezero_step(100);
+            if z == 0 {
+                break;
+            }
+            total += z;
+        }
+        assert_eq!(total, 1024);
+        assert_eq!(pm.zeroed_free_pages(), 1024);
+        // Everything merged back to one max-order zero block.
+        assert_eq!(pm.zeroed_blocks(MAX_ORDER), 1);
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn prezero_step_zero_budget_is_noop() {
+        let mut pm = PhysMemory::new(1024);
+        let a = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+        pm.frame_mut(a.pfn).set_content(PageContent::non_zero(1));
+        pm.free(a.pfn, a.order);
+        assert_eq!(pm.prezero_step(0), 0);
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn zero_block_on_allocated_pages() {
+        let mut pm = PhysMemory::new(1024);
+        let a = pm.alloc(Order(2), AllocPref::Zeroed).unwrap();
+        for i in 0..4 {
+            pm.frame_mut(Pfn(a.pfn.0 + i)).set_content(PageContent::non_zero(3));
+        }
+        pm.zero_block(a.pfn, a.order);
+        assert!(pm.block_is_zeroed(a.pfn, a.order));
+    }
+
+    #[test]
+    fn histogram_reflects_splits() {
+        let mut pm = PhysMemory::new(1024);
+        let _a = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+        let h = pm.free_block_histogram();
+        // Splitting one max-order block for an order-0 alloc leaves one
+        // free block at each order 0..MAX_ORDER-1.
+        for (o, count) in h.iter().enumerate().take(MAX_ORDER.index()) {
+            assert_eq!(*count, 1, "order {o}");
+        }
+        assert_eq!(h[MAX_ORDER.index()], 0);
+    }
+
+    #[test]
+    fn utilization_tracks_allocation() {
+        let mut pm = PhysMemory::new(1024);
+        assert_eq!(pm.utilization(), 0.0);
+        let _a = pm.alloc(HUGE_ORDER, AllocPref::Zeroed).unwrap();
+        assert!((pm.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pm = PhysMemory::new(1024);
+        let a = pm.alloc(Order(0), AllocPref::Zeroed).unwrap();
+        pm.free(a.pfn, a.order);
+        pm.free(a.pfn, a.order);
+    }
+
+    #[test]
+    fn many_small_allocs_exhaust_exactly() {
+        let mut pm = PhysMemory::new(1024);
+        let mut got = Vec::new();
+        while let Ok(a) = pm.alloc(Order(0), AllocPref::Zeroed) {
+            got.push(a.pfn);
+        }
+        assert_eq!(got.len(), 1024);
+        assert_eq!(pm.free_pages(), 0);
+        // all distinct
+        let mut sorted = got.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1024);
+        for pfn in got {
+            pm.free(pfn, Order(0));
+        }
+        assert_eq!(pm.largest_free_order(), Some(MAX_ORDER));
+        pm.check_invariants();
+    }
+}

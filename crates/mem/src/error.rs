@@ -1,0 +1,66 @@
+//! Error types of the physical-memory layer.
+
+use crate::types::Order;
+use std::error::Error;
+use std::fmt;
+
+/// Failure of a physical-memory allocation.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_mem::{PhysMemory, AllocPref, AllocError, MAX_ORDER, Order};
+///
+/// let mut pm = PhysMemory::new(1024);
+/// let _ = pm.alloc(MAX_ORDER, AllocPref::Zeroed)?;
+/// let err = pm.alloc(Order(0), AllocPref::Zeroed).unwrap_err();
+/// assert!(matches!(err, AllocError::OutOfMemory { .. }));
+/// # Ok::<(), AllocError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free block of at least the requested order exists.
+    OutOfMemory {
+        /// The requested order.
+        order: Order,
+    },
+    /// The requested order exceeds [`crate::MAX_ORDER`].
+    InvalidOrder {
+        /// The requested order.
+        order: Order,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory { order } => {
+                write!(f, "out of memory allocating an {order} block")
+            }
+            AllocError::InvalidOrder { order } => {
+                write!(f, "requested {order} exceeds the maximum buddy order")
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AllocError::OutOfMemory { order: Order(9) };
+        assert!(e.to_string().contains("order-9"));
+        let e = AllocError::InvalidOrder { order: Order(20) };
+        assert!(e.to_string().contains("maximum"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AllocError>();
+    }
+}

@@ -1,0 +1,132 @@
+//! Free Memory Fragmentation Index (FMFI).
+//!
+//! Gorman & Whitcroft's index ([50] in the paper): for a requested order
+//! `j`, how fragmented is free memory with respect to that request?
+//!
+//! ```text
+//! FMFI(j) = (TotalFreePages - sum_{i >= j} 2^i * k_i) / TotalFreePages
+//! ```
+//!
+//! where `k_i` is the number of free blocks of order `i`. The index is 0
+//! when all free memory is already in blocks large enough for the request
+//! and approaches 1 when free memory exists only as smaller fragments.
+//!
+//! Ingens uses FMFI at the huge-page order with a 0.5 threshold to switch
+//! between its aggressive and conservative promotion modes (§2.1).
+
+use crate::buddy::PhysMemory;
+use crate::types::Order;
+
+/// Computes the FMFI of `pm` for allocations of `order`.
+///
+/// Returns 0.0 when there is no free memory at all (nothing is fragmented —
+/// the system is simply full; callers normally also check free levels).
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_mem::{PhysMemory, fmfi::fmfi, HUGE_ORDER};
+///
+/// let pm = PhysMemory::new(2048);
+/// assert_eq!(fmfi(&pm, HUGE_ORDER), 0.0); // pristine memory: no fragmentation
+/// ```
+pub fn fmfi(pm: &PhysMemory, order: Order) -> f64 {
+    let total_free = pm.free_pages();
+    if total_free == 0 {
+        return 0.0;
+    }
+    let hist = pm.free_block_histogram();
+    let satisfying: u64 = hist
+        .iter()
+        .enumerate()
+        .skip(order.index())
+        .map(|(i, k)| k * (1u64 << i))
+        .sum();
+    (total_free - satisfying) as f64 / total_free as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buddy::AllocPref;
+    use crate::types::{Pfn, HUGE_ORDER, MAX_ORDER};
+
+    #[test]
+    fn pristine_memory_is_unfragmented() {
+        let pm = PhysMemory::new(4096);
+        assert_eq!(fmfi(&pm, HUGE_ORDER), 0.0);
+        assert_eq!(fmfi(&pm, Order(0)), 0.0);
+    }
+
+    #[test]
+    fn order_zero_requests_never_fragmented() {
+        // Any free page satisfies an order-0 request.
+        let mut pm = PhysMemory::new(2048);
+        let _holes: Vec<_> = (0..64).map(|_| pm.alloc(Order(0), AllocPref::Zeroed).unwrap()).collect();
+        assert_eq!(fmfi(&pm, Order(0)), 0.0);
+    }
+
+    #[test]
+    fn scattered_pins_raise_huge_order_fmfi() {
+        let mut pm = PhysMemory::new(4096);
+        // Allocate everything as base pages, then free every other page:
+        // free memory is plentiful but has no huge blocks at all.
+        let mut pages = Vec::new();
+        while let Ok(a) = pm.alloc(Order(0), AllocPref::Zeroed) {
+            pages.push(a.pfn);
+        }
+        for pfn in pages.iter().filter(|p| p.0 % 2 == 0) {
+            pm.free(*pfn, Order(0));
+        }
+        let f = fmfi(&pm, HUGE_ORDER);
+        assert_eq!(f, 1.0, "only order-0 fragments remain: fully fragmented");
+        // ... and recovers when the other half is freed (buddies merge).
+        for pfn in pages.iter().filter(|p| p.0 % 2 == 1) {
+            pm.free(*pfn, Order(0));
+        }
+        assert_eq!(fmfi(&pm, HUGE_ORDER), 0.0);
+        assert_eq!(pm.largest_free_order(), Some(MAX_ORDER));
+    }
+
+    #[test]
+    fn fmfi_is_monotone_in_order() {
+        let mut pm = PhysMemory::new(4096);
+        // Create a mixed state: some huge blocks gone, some small holes.
+        let _h = pm.alloc(HUGE_ORDER, AllocPref::Zeroed).unwrap();
+        let keep: Vec<_> = (0..100).map(|_| pm.alloc(Order(0), AllocPref::Zeroed).unwrap()).collect();
+        for (i, a) in keep.iter().enumerate() {
+            if i % 2 == 0 {
+                pm.free(a.pfn, Order(0));
+            }
+        }
+        let f_low = fmfi(&pm, Order(3));
+        let f_high = fmfi(&pm, HUGE_ORDER);
+        assert!(f_high >= f_low, "harder requests are at least as fragmented");
+        assert!((0.0..=1.0).contains(&f_high));
+    }
+
+    #[test]
+    fn full_memory_reports_zero() {
+        let mut pm = PhysMemory::new(1024);
+        let _a = pm.alloc(MAX_ORDER, AllocPref::Zeroed).unwrap();
+        assert_eq!(pm.free_pages(), 0);
+        assert_eq!(fmfi(&pm, HUGE_ORDER), 0.0);
+    }
+
+    #[test]
+    fn partial_fragmentation_between_zero_and_one() {
+        let mut pm = PhysMemory::new(4096);
+        // Take all order-0 pages from one max block region by alloc order 0
+        // 1024 times (pins 1024 pages), leaving 3 pristine max blocks.
+        let pages: Vec<Pfn> =
+            (0..1024).map(|_| pm.alloc(Order(0), AllocPref::Zeroed).unwrap().pfn).collect();
+        // Free every other page in that region only.
+        for pfn in pages.iter().filter(|p| p.0 % 2 == 0) {
+            pm.free(*pfn, Order(0));
+        }
+        let f = fmfi(&pm, HUGE_ORDER);
+        // 3072 pages free in huge blocks, 512 free as fragments.
+        let expected = 512.0 / 3584.0;
+        assert!((f - expected).abs() < 1e-9, "got {f}, expected {expected}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Page geometry and identifier newtypes.
+//!
+//! The simulator uses the x86-64 geometry the paper evaluates on: 4 KB base
+//! pages and 2 MB huge pages (order 9), with buddy orders up to
+//! [`MAX_ORDER`] = 10 as in Linux's default `MAX_ORDER - 1`.
+
+use std::fmt;
+
+/// log2 of the base page size (4 KB).
+pub const BASE_PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes (4 KB).
+pub const BASE_PAGE_SIZE: u64 = 1 << BASE_PAGE_SHIFT;
+/// Buddy order of a huge page (2 MB = 512 base pages).
+pub const HUGE_ORDER: Order = Order(9);
+/// Number of base pages per huge page (512).
+pub const BASE_PAGES_PER_HUGE: u64 = 1 << HUGE_ORDER.0;
+/// Huge page size in bytes (2 MB).
+pub const HUGE_PAGE_SIZE: u64 = BASE_PAGE_SIZE * BASE_PAGES_PER_HUGE;
+/// Largest buddy order tracked by the allocator (4 MB blocks).
+pub const MAX_ORDER: Order = Order(10);
+
+/// A page frame number: the index of a 4 KB physical frame.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_mem::{Pfn, HUGE_ORDER};
+///
+/// let pfn = Pfn(1536);
+/// assert!(pfn.is_aligned(HUGE_ORDER));
+/// assert_eq!(pfn.buddy(HUGE_ORDER), Pfn(1024));
+/// assert_eq!(pfn.block_base(HUGE_ORDER), Pfn(1536));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl Pfn {
+    /// Frame index as `usize` (for table indexing).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Physical byte address of the frame.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        self.0 << BASE_PAGE_SHIFT
+    }
+
+    /// Whether this frame is aligned to a block of the given order.
+    #[inline]
+    pub fn is_aligned(self, order: Order) -> bool {
+        self.0 & ((1u64 << order.0) - 1) == 0
+    }
+
+    /// The buddy block of the `order`-sized block starting at `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `self` is not aligned to `order`.
+    #[inline]
+    pub fn buddy(self, order: Order) -> Pfn {
+        debug_assert!(self.is_aligned(order));
+        Pfn(self.0 ^ (1u64 << order.0))
+    }
+
+    /// The base (aligned-down) frame of the `order` block containing `self`.
+    #[inline]
+    pub fn block_base(self, order: Order) -> Pfn {
+        Pfn(self.0 & !((1u64 << order.0) - 1))
+    }
+
+    /// Offset of this frame within its `order` block.
+    #[inline]
+    pub fn block_offset(self, order: Order) -> u64 {
+        self.0 & ((1u64 << order.0) - 1)
+    }
+}
+
+impl fmt::Display for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pfn {
+    fn from(v: u64) -> Self {
+        Pfn(v)
+    }
+}
+
+/// A buddy order: a block of `2^order` contiguous base pages.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_mem::{Order, HUGE_ORDER};
+///
+/// assert_eq!(HUGE_ORDER.pages(), 512);
+/// assert_eq!(Order(0).pages(), 1);
+/// assert_eq!(HUGE_ORDER.bytes(), 2 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Order(pub u8);
+
+impl Order {
+    /// Number of base pages in a block of this order.
+    #[inline]
+    pub fn pages(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Size in bytes of a block of this order.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        self.pages() * BASE_PAGE_SIZE
+    }
+
+    /// Order value as `usize` (for list indexing).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next larger order, if any (bounded by [`MAX_ORDER`]).
+    #[inline]
+    pub fn parent(self) -> Option<Order> {
+        if self.0 < MAX_ORDER.0 {
+            Some(Order(self.0 + 1))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Order {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "order-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants() {
+        assert_eq!(BASE_PAGE_SIZE, 4096);
+        assert_eq!(HUGE_PAGE_SIZE, 2 * 1024 * 1024);
+        assert_eq!(BASE_PAGES_PER_HUGE, 512);
+        assert_eq!(HUGE_ORDER.pages(), BASE_PAGES_PER_HUGE);
+    }
+
+    #[test]
+    fn pfn_alignment_and_buddies() {
+        assert!(Pfn(0).is_aligned(MAX_ORDER));
+        assert!(Pfn(512).is_aligned(HUGE_ORDER));
+        assert!(!Pfn(511).is_aligned(Order(1)));
+        assert_eq!(Pfn(0).buddy(HUGE_ORDER), Pfn(512));
+        assert_eq!(Pfn(512).buddy(HUGE_ORDER), Pfn(0));
+        assert_eq!(Pfn(1025).block_base(HUGE_ORDER), Pfn(1024));
+        assert_eq!(Pfn(1025).block_offset(HUGE_ORDER), 1);
+    }
+
+    #[test]
+    fn order_parent_chain_is_bounded() {
+        let mut o = Order(0);
+        let mut steps = 0;
+        while let Some(p) = o.parent() {
+            o = p;
+            steps += 1;
+        }
+        assert_eq!(o, MAX_ORDER);
+        assert_eq!(steps, MAX_ORDER.0 as usize);
+    }
+
+    #[test]
+    fn pfn_addr() {
+        assert_eq!(Pfn(1).addr(), 4096);
+        assert_eq!(Pfn(512).addr(), HUGE_PAGE_SIZE);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the buddy allocator and compactor.
+//!
+//! Random interleavings of alloc / dirty / free / pre-zero / compact must
+//! preserve the allocator's structural invariants, never hand out
+//! overlapping blocks, and conserve pages exactly.
+
+use hawkeye_mem::{
+    compact::compact, AllocPref, Order, PageContent, Pfn, PhysMemory, MAX_ORDER,
+};
+use proptest::prelude::*;
+
+const FRAMES: u64 = 4096;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { order: u8, zeroed: bool },
+    Free { slot: usize },
+    Dirty { slot: usize, offset: u16 },
+    Prezero { budget: u16 },
+    Compact { budget: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..=MAX_ORDER.0, any::<bool>()).prop_map(|(order, zeroed)| Op::Alloc { order, zeroed }),
+        (any::<usize>()).prop_map(|slot| Op::Free { slot }),
+        (any::<usize>(), 0u16..4096).prop_map(|(slot, offset)| Op::Dirty { slot, offset }),
+        (0u16..2048).prop_map(|budget| Op::Prezero { budget }),
+        (0u16..512).prop_map(|budget| Op::Compact { budget }),
+    ]
+}
+
+fn overlaps(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_preserve_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut pm = PhysMemory::new(FRAMES);
+        let mut live: Vec<(Pfn, Order)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { order, zeroed } => {
+                    let pref = if zeroed { AllocPref::Zeroed } else { AllocPref::NonZeroed };
+                    if let Ok(a) = pm.alloc(Order(order), pref) {
+                        // aligned & in-range
+                        prop_assert!(a.pfn.is_aligned(a.order));
+                        prop_assert!(a.pfn.0 + a.order.pages() <= FRAMES);
+                        // zero promise honored
+                        if a.was_zeroed {
+                            prop_assert!(pm.block_is_zeroed(a.pfn, a.order));
+                        }
+                        // disjoint from every live allocation
+                        let range = (a.pfn.0, a.pfn.0 + a.order.pages());
+                        for (p, o) in &live {
+                            prop_assert!(!overlaps(range, (p.0, p.0 + o.pages())),
+                                "allocator returned overlapping block");
+                        }
+                        live.push((a.pfn, a.order));
+                    }
+                }
+                Op::Free { slot } => {
+                    if !live.is_empty() {
+                        let (pfn, order) = live.swap_remove(slot % live.len());
+                        pm.free(pfn, order);
+                    }
+                }
+                Op::Dirty { slot, offset } => {
+                    if !live.is_empty() {
+                        let (pfn, order) = live[slot % live.len()];
+                        // dirty a deterministic page of the block
+                        let page = Pfn(pfn.0 + (offset as u64 % order.pages()));
+                        pm.frame_mut(page).set_content(PageContent::non_zero(offset));
+                    }
+                }
+                Op::Prezero { budget } => {
+                    let z = pm.prezero_step(budget as u64);
+                    prop_assert!(z <= budget as u64);
+                }
+                Op::Compact { budget } => {
+                    // Compaction must not touch owned blocks: our live blocks
+                    // have no owner and are movable, so vetoing them keeps
+                    // them in place. Veto everything not ours as well.
+                    let stats = compact(&mut pm, budget as u64, |_, _, _| false);
+                    prop_assert_eq!(stats.migrated_pages, 0);
+                }
+            }
+            // Page conservation.
+            let live_pages: u64 = live.iter().map(|(_, o)| o.pages()).sum();
+            prop_assert_eq!(pm.allocated_pages(), live_pages);
+            prop_assert!(pm.zeroed_free_pages() <= pm.free_pages());
+        }
+        pm.check_invariants();
+        // Freeing everything restores a fully-free system.
+        for (pfn, order) in live.drain(..) {
+            pm.free(pfn, order);
+        }
+        prop_assert_eq!(pm.free_pages(), FRAMES);
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn prezero_converges_to_fully_zeroed(dirties in proptest::collection::vec((0u64..FRAMES, 0u16..4096), 0..64)) {
+        let mut pm = PhysMemory::new(FRAMES);
+        // Allocate everything, dirty random pages, free everything.
+        let a = loop {
+            match pm.alloc(MAX_ORDER, AllocPref::Zeroed) {
+                Ok(a) => break a, // first block; grab the rest below
+                Err(_) => unreachable!(),
+            }
+        };
+        let mut blocks = vec![a];
+        while let Ok(b) = pm.alloc(MAX_ORDER, AllocPref::Zeroed) {
+            blocks.push(b);
+        }
+        for (pfn, off) in &dirties {
+            pm.frame_mut(Pfn(*pfn)).set_content(PageContent::non_zero(*off));
+        }
+        for b in blocks {
+            pm.free(b.pfn, b.order);
+        }
+        // Daemon with any positive budget eventually zeroes everything.
+        let mut guard = 0;
+        while pm.prezero_step(97) > 0 {
+            guard += 1;
+            prop_assert!(guard < 10_000, "pre-zeroing failed to converge");
+        }
+        prop_assert_eq!(pm.zeroed_free_pages(), FRAMES);
+        // And the zero pool re-merges into max-order blocks.
+        prop_assert_eq!(pm.zeroed_blocks(MAX_ORDER), FRAMES / MAX_ORDER.pages());
+        pm.check_invariants();
+    }
+
+    #[test]
+    fn compaction_with_permissive_migration_never_loses_pages(
+        keep_mod in 3u64..64,
+        budget in 0u64..4096,
+    ) {
+        let mut pm = PhysMemory::new(FRAMES);
+        let mut live = Vec::new();
+        while let Ok(a) = pm.alloc(Order(0), AllocPref::Zeroed) {
+            live.push(a.pfn);
+        }
+        let mut kept = 0u64;
+        for pfn in live {
+            if pfn.0 % keep_mod == 0 {
+                pm.frame_mut(pfn).set_content(PageContent::non_zero(7));
+                kept += 1;
+            } else {
+                pm.free(pfn, Order(0));
+            }
+        }
+        let before_alloc = pm.allocated_pages();
+        prop_assert_eq!(before_alloc, kept);
+        let stats = compact(&mut pm, budget, |_, _, _| true);
+        prop_assert!(stats.migrated_pages <= budget);
+        // Allocated page count is unchanged: migration moves, never drops.
+        prop_assert_eq!(pm.allocated_pages(), kept);
+        pm.check_invariants();
+    }
+}

@@ -1,0 +1,214 @@
+//! Time-series recording for figure reproduction.
+//!
+//! The paper's figures plot quantities over time (RSS in Fig. 1, MMU
+//! overhead and huge-page counts in Figs. 6–7). Experiments attach a
+//! [`Recorder`] to the kernel and sample named series at a fixed simulated
+//! period; bench targets then render the series as text columns.
+
+use crate::time::Cycles;
+use std::collections::BTreeMap;
+
+/// One (time, value) observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Simulated time of the observation, in seconds.
+    pub secs: f64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A named sequence of observations ordered by time.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_metrics::TimeSeries;
+///
+/// let mut rss = TimeSeries::new("rss_mb");
+/// rss.push(0.0, 10.0);
+/// rss.push(1.0, 42.0);
+/// assert_eq!(rss.last().unwrap().value, 42.0);
+/// assert_eq!(rss.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    name: String,
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), samples: Vec::new() }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation. Times should be non-decreasing; this is not
+    /// enforced, but [`TimeSeries::value_at`] assumes it.
+    pub fn push(&mut self, secs: f64, value: f64) {
+        self.samples.push(Sample { secs, value });
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All observations in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Maximum observed value (`None` if empty).
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples.iter().map(|s| s.value).fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Step-interpolated value at time `secs`: the value of the latest
+    /// sample at or before `secs`, or `None` if `secs` precedes all samples.
+    pub fn value_at(&self, secs: f64) -> Option<f64> {
+        self.samples.iter().take_while(|s| s.secs <= secs).last().map(|s| s.value)
+    }
+
+    /// Downsamples to at most `n` evenly spaced samples (by index), always
+    /// keeping the final sample. Useful when printing long runs as figures.
+    pub fn downsample(&self, n: usize) -> Vec<Sample> {
+        if n == 0 || self.samples.is_empty() {
+            return Vec::new();
+        }
+        if self.samples.len() <= n {
+            return self.samples.clone();
+        }
+        let stride = self.samples.len() as f64 / n as f64;
+        let mut out: Vec<Sample> = (0..n).map(|i| self.samples[(i as f64 * stride) as usize]).collect();
+        let last = *self.samples.last().expect("non-empty");
+        if out.last().map(|s| s.secs) != Some(last.secs) {
+            *out.last_mut().expect("n > 0") = last;
+        }
+        out
+    }
+}
+
+/// A collection of named [`TimeSeries`], keyed by name.
+///
+/// Experiments record into a `Recorder`; bench targets iterate it to print
+/// figure data. Keys are ordered (BTreeMap) so output is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_metrics::Recorder;
+///
+/// let mut rec = Recorder::new();
+/// rec.record("mmu_overhead", 0.5, 31.0);
+/// rec.record("mmu_overhead", 1.0, 12.0);
+/// assert_eq!(rec.series("mmu_overhead").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    series: BTreeMap<String, TimeSeries>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `(secs, value)` to the series called `name`, creating it on
+    /// first use.
+    pub fn record(&mut self, name: &str, secs: f64, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(name))
+            .push(secs, value);
+    }
+
+    /// Convenience: record using a [`Cycles`] timestamp.
+    pub fn record_at(&mut self, name: &str, at: Cycles, value: f64) {
+        self.record(name, at.as_secs(), value);
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterates all series in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names of all recorded series.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrip() {
+        let mut s = TimeSeries::new("x");
+        assert!(s.is_empty());
+        s.push(0.0, 1.0);
+        s.push(2.0, 5.0);
+        assert_eq!(s.name(), "x");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_value(), Some(5.0));
+        assert_eq!(s.last().unwrap().secs, 2.0);
+    }
+
+    #[test]
+    fn value_at_is_step_interpolated() {
+        let mut s = TimeSeries::new("x");
+        s.push(1.0, 10.0);
+        s.push(3.0, 30.0);
+        assert_eq!(s.value_at(0.5), None);
+        assert_eq!(s.value_at(1.0), Some(10.0));
+        assert_eq!(s.value_at(2.9), Some(10.0));
+        assert_eq!(s.value_at(3.0), Some(30.0));
+        assert_eq!(s.value_at(99.0), Some(30.0));
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let mut s = TimeSeries::new("x");
+        for i in 0..100 {
+            s.push(i as f64, i as f64);
+        }
+        let d = s.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0].secs, 0.0);
+        assert_eq!(d.last().unwrap().secs, 99.0);
+        assert!(s.downsample(0).is_empty());
+        assert_eq!(s.downsample(1000).len(), 100);
+    }
+
+    #[test]
+    fn recorder_orders_by_name() {
+        let mut r = Recorder::new();
+        r.record("b", 0.0, 1.0);
+        r.record("a", 0.0, 2.0);
+        r.record("b", 1.0, 3.0);
+        assert_eq!(r.names(), vec!["a", "b"]);
+        assert_eq!(r.series("b").unwrap().len(), 2);
+        assert!(r.series("zz").is_none());
+    }
+}

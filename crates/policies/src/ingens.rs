@@ -1,0 +1,374 @@
+//! Ingens (Kwon et al., OSDI'16), as characterized in the paper's §1–§2.
+//!
+//! * Faults map **base pages only**; huge pages come from an asynchronous
+//!   promotion thread (low fault latency, but more faults — Table 1).
+//! * Promotion is **utilization-threshold** based: a region is eligible
+//!   once `util_threshold` of its 512 pages are mapped. The adaptive
+//!   variant watches the Free Memory Fragmentation Index: FMFI < 0.5 →
+//!   aggressive (threshold 1, Linux-like), FMFI ≥ 0.5 → conservative
+//!   (90 % by default). Bloat created in the aggressive phase is never
+//!   recovered — the weakness Fig. 1 demonstrates.
+//! * Fairness treats *memory contiguity as a resource*: processes are
+//!   promoted round-robin proportionally to footprint, with **idle huge
+//!   pages** (access-bit sampling) counted against a process's share via
+//!   an idleness penalty factor.
+//! * Recently-faulted regions are prioritized over older allocations.
+
+use crate::util::TokenBucket;
+use hawkeye_kernel::{FaultAction, HugePagePolicy, Machine, PromoteError};
+use hawkeye_metrics::Cycles;
+use hawkeye_vm::{Hvpn, Vpn};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tunables of the Ingens policy.
+#[derive(Debug, Clone, Copy)]
+pub struct IngensConfig {
+    /// Conservative promotion threshold in mapped base pages (461 ≈ 90 %).
+    pub util_threshold: u32,
+    /// Adapt the threshold with FMFI (the paper's default Ingens); when
+    /// false the configured threshold always applies (Ingens-90 % /
+    /// Ingens-50 % variants of Table 7).
+    pub adaptive: bool,
+    /// FMFI above which promotion turns conservative.
+    pub fmfi_threshold: f64,
+    /// Promotions per simulated second.
+    pub promotions_per_sec: f64,
+    /// Compaction migration budget when contiguity runs out.
+    pub compact_budget: u64,
+    /// Weight of an idle huge page in the fairness share (1.0 = counts
+    /// double).
+    pub idle_penalty: f64,
+    /// Access-bit sampling period for idleness estimation.
+    pub sample_period: Cycles,
+}
+
+impl Default for IngensConfig {
+    fn default() -> Self {
+        IngensConfig {
+            util_threshold: 461,
+            adaptive: true,
+            fmfi_threshold: 0.5,
+            promotions_per_sec: 40.0,
+            compact_budget: 4096,
+            idle_penalty: 1.0,
+            sample_period: Cycles::from_millis(200),
+        }
+    }
+}
+
+impl IngensConfig {
+    /// The fixed-threshold variant the paper calls `Ingens-90%`.
+    pub fn fixed_90() -> Self {
+        IngensConfig { adaptive: false, util_threshold: 461, ..Default::default() }
+    }
+
+    /// The fixed-threshold variant the paper calls `Ingens-50%`.
+    pub fn fixed_50() -> Self {
+        IngensConfig { adaptive: false, util_threshold: 256, ..Default::default() }
+    }
+}
+
+/// The Ingens policy.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_policies::{Ingens, IngensConfig};
+/// use hawkeye_kernel::HugePagePolicy;
+///
+/// assert_eq!(Ingens::default().name(), "Ingens");
+/// assert_eq!(Ingens::new(IngensConfig::fixed_90()).name(), "Ingens-90%");
+/// ```
+#[derive(Debug)]
+pub struct Ingens {
+    cfg: IngensConfig,
+    name: String,
+    budget: TokenBucket,
+    /// Recently-faulted regions, most recent last (promotion priority).
+    recent: VecDeque<(u32, Hvpn)>,
+    /// Per-process sequential VA scan cursors.
+    cursors: BTreeMap<u32, u64>,
+    /// Idle huge pages per process from the last sampling pass.
+    idle_huge: BTreeMap<u32, u64>,
+    next_sample: Cycles,
+}
+
+const RECENT_CAP: usize = 8192;
+
+impl Ingens {
+    /// Creates the policy with explicit tunables.
+    pub fn new(cfg: IngensConfig) -> Self {
+        let name = if cfg.adaptive {
+            "Ingens".to_string()
+        } else {
+            format!("Ingens-{}%", (cfg.util_threshold as f64 / 512.0 * 100.0).round())
+        };
+        Ingens {
+            budget: TokenBucket::new(cfg.promotions_per_sec),
+            cfg,
+            name,
+            recent: VecDeque::new(),
+            cursors: BTreeMap::new(),
+            idle_huge: BTreeMap::new(),
+            next_sample: cfg.sample_period,
+        }
+    }
+
+    /// The promotion threshold currently in force.
+    pub fn effective_threshold(&self, m: &Machine) -> u32 {
+        if self.cfg.adaptive && m.fmfi() < self.cfg.fmfi_threshold {
+            1
+        } else {
+            self.cfg.util_threshold
+        }
+    }
+
+    /// Ingens' proportional promotion metric: huge-page share (idle pages
+    /// penalized) over footprint. Lower = more deserving.
+    fn promotion_metric(&self, m: &Machine, pid: u32) -> f64 {
+        let Some(p) = m.process(pid) else { return f64::INFINITY };
+        let rss = p.space().rss_pages().max(1) as f64;
+        let huge = p.space().huge_pages() as f64;
+        let idle = self.idle_huge.get(&pid).copied().unwrap_or(0) as f64;
+        (huge + self.cfg.idle_penalty * idle) * 512.0 / rss
+    }
+
+    fn region_eligible(m: &Machine, pid: u32, hvpn: Hvpn, threshold: u32) -> bool {
+        m.process(pid)
+            .map(|p| {
+                let pt = p.space().page_table();
+                pt.huge_entry(hvpn).is_none()
+                    && p.space().region_promotable(hvpn)
+                    && pt.region_mapped_count(hvpn) >= threshold
+            })
+            .unwrap_or(false)
+    }
+
+    /// Picks the next region to promote for `pid`: recently-faulted
+    /// regions first, then the sequential VA scan.
+    fn next_candidate(&mut self, m: &Machine, pid: u32, threshold: u32) -> Option<Hvpn> {
+        let mut i = self.recent.len();
+        while i > 0 {
+            i -= 1;
+            let (rp, h) = self.recent[i];
+            if rp == pid && Self::region_eligible(m, pid, h, threshold) {
+                self.recent.remove(i);
+                return Some(h);
+            }
+        }
+        let cursor = self.cursors.get(&pid).copied().unwrap_or(0);
+        let p = m.process(pid)?;
+        let regions = p.space().page_table().mapped_regions();
+        let found = regions
+            .iter()
+            .copied()
+            .filter(|h| h.0 >= cursor)
+            .find(|h| Self::region_eligible(m, pid, *h, threshold))
+            .or_else(|| {
+                // Wrap the sequential scan.
+                regions
+                    .iter()
+                    .copied()
+                    .filter(|h| h.0 < cursor)
+                    .find(|h| Self::region_eligible(m, pid, *h, threshold))
+            });
+        if let Some(h) = found {
+            self.cursors.insert(pid, h.0 + 1);
+        }
+        found
+    }
+
+    fn sample_idleness(&mut self, m: &mut Machine) {
+        let pids = m.running_pids();
+        for pid in pids {
+            let Some(p) = m.process_mut(pid) else { continue };
+            let regions: Vec<Hvpn> =
+                p.space().page_table().huge_mappings().map(|(h, _)| h).collect();
+            let mut idle = 0;
+            for h in regions {
+                let s = p.space_mut().sample_and_clear_access(h);
+                if s.accessed == 0 {
+                    idle += 1;
+                }
+            }
+            self.idle_huge.insert(pid, idle);
+        }
+    }
+
+    fn try_promote(&mut self, m: &mut Machine, pid: u32, hvpn: Hvpn) -> bool {
+        match m.promote(pid, hvpn) {
+            Ok(_) => true,
+            Err(PromoteError::NoContiguousMemory) => {
+                m.run_compaction(self.cfg.compact_budget);
+                m.promote(pid, hvpn).is_ok()
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Default for Ingens {
+    fn default() -> Self {
+        Self::new(IngensConfig::default())
+    }
+}
+
+impl HugePagePolicy for Ingens {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_fault(&mut self, _m: &mut Machine, pid: u32, vpn: Vpn) -> FaultAction {
+        let key = (pid, vpn.hvpn());
+        if self.recent.back() != Some(&key) {
+            self.recent.push_back(key);
+            if self.recent.len() > RECENT_CAP {
+                self.recent.pop_front();
+            }
+        }
+        FaultAction::MapBase
+    }
+
+    fn on_tick(&mut self, m: &mut Machine) {
+        let now = m.now();
+        if now >= self.next_sample {
+            self.sample_idleness(m);
+            self.next_sample = now + self.cfg.sample_period;
+        }
+        self.budget.refill(now);
+        while self.budget.take(1.0) {
+            let threshold = self.effective_threshold(m);
+            // Fair share: promote for the process with the lowest metric
+            // that has an eligible region.
+            let mut pids = m.running_pids();
+            pids.sort_by(|a, b| {
+                self.promotion_metric(m, *a)
+                    .partial_cmp(&self.promotion_metric(m, *b))
+                    .expect("metrics are finite")
+            });
+            let mut promoted = false;
+            for pid in pids {
+                if let Some(h) = self.next_candidate(m, pid, threshold) {
+                    if self.try_promote(m, pid, h) {
+                        promoted = true;
+                        break;
+                    }
+                }
+            }
+            if !promoted {
+                break;
+            }
+        }
+    }
+
+    fn on_exit(&mut self, _m: &mut Machine, pid: u32) {
+        self.cursors.remove(&pid);
+        self.idle_huge.remove(&pid);
+        self.recent.retain(|(p, _)| *p != pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{workload::script, KernelConfig, MemOp, Simulator};
+    use hawkeye_vm::VmaKind;
+
+    fn touch_then_idle(pages: u64) -> Vec<MemOp> {
+        vec![
+            MemOp::Mmap { start: Vpn(0), pages, kind: VmaKind::Anon },
+            MemOp::TouchRange { start: Vpn(0), pages, write: true, think: 0, stride: 1 , repeats: 1},
+            MemOp::Compute { cycles: 10_000_000_000 },
+        ]
+    }
+
+    #[test]
+    fn faults_always_map_base_pages() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(Ingens::default()));
+        let pid = sim.spawn(script("w", touch_then_idle(1024)));
+        sim.run_for(Cycles::from_millis(20));
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().faults, 1024);
+        assert_eq!(p.stats().huge_faults, 0);
+    }
+
+    #[test]
+    fn async_promotion_follows_when_unfragmented() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(Ingens::default()));
+        let pid = sim.spawn(script("w", touch_then_idle(2048)));
+        sim.run_for(Cycles::from_secs(1.0));
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.space().huge_pages(), 4, "aggressive mode promotes fully-used regions");
+    }
+
+    #[test]
+    fn conservative_mode_skips_underutilized_regions() {
+        let mut cfg = KernelConfig::small();
+        cfg.cross_merge = true;
+        let mut sim = Simulator::new(cfg, Box::new(Ingens::new(IngensConfig::fixed_90())));
+        // Two regions: one 95% utilized, one 50%.
+        let pid = sim.spawn(script(
+            "mixed",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 1024, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 487, write: true, think: 0, stride: 1 , repeats: 1},
+                MemOp::TouchRange { start: Vpn(512), pages: 256, write: true, think: 0, stride: 1 , repeats: 1},
+                MemOp::Compute { cycles: 10_000_000_000 },
+            ],
+        ));
+        sim.run_for(Cycles::from_secs(1.0));
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.space().huge_pages(), 1, "only the 95% region crosses 90%");
+        assert!(p.space().page_table().huge_entry(Hvpn(0)).is_some());
+    }
+
+    #[test]
+    fn adaptive_threshold_reacts_to_fmfi() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(Ingens::default()));
+        let ing = Ingens::default();
+        assert_eq!(ing.effective_threshold(sim.machine()), 1, "pristine memory: aggressive");
+        sim.machine_mut().fragment(0.9, 0.5, 11);
+        assert!(sim.machine().fmfi() > 0.5);
+        assert_eq!(ing.effective_threshold(sim.machine()), 461, "fragmented: conservative");
+    }
+
+    #[test]
+    fn fairness_shares_promotions_across_processes() {
+        let mut cfg = KernelConfig::small();
+        // Slow promotions so we can observe interleaving.
+        let ing = Ingens::new(IngensConfig { promotions_per_sec: 20.0, ..Default::default() });
+        cfg.cross_merge = true;
+        let mut sim = Simulator::new(cfg, Box::new(ing));
+        let mk = || touch_then_idle(8 * 512);
+        let a = sim.spawn(script("a", mk()));
+        let b = sim.spawn(script("b", mk()));
+        // Run until ~half the total promotions have happened.
+        sim.run_while(|m| m.stats().promotions < 8);
+        let ha = sim.machine().process(a).unwrap().space().huge_pages() as i64;
+        let hb = sim.machine().process(b).unwrap().space().huge_pages() as i64;
+        assert!((ha - hb).abs() <= 2, "proportional promotion: a={ha} b={hb}");
+    }
+
+    #[test]
+    fn recently_faulted_regions_have_priority() {
+        let mut cfg = KernelConfig::small();
+        cfg.cross_merge = true;
+        let ing = Ingens::new(IngensConfig { promotions_per_sec: 5.0, ..Default::default() });
+        let mut sim = Simulator::new(cfg, Box::new(ing));
+        // Touch low VA region, then a high VA region last.
+        let pid = sim.spawn(script(
+            "w",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 16 * 512, kind: VmaKind::Anon },
+                MemOp::TouchRange { start: Vpn(0), pages: 512, write: true, think: 0, stride: 1 , repeats: 1},
+                MemOp::TouchRange { start: Vpn(15 * 512), pages: 512, write: true, think: 0, stride: 1 , repeats: 1},
+                MemOp::Compute { cycles: 10_000_000_000 },
+            ],
+        ));
+        sim.run_while(|m| m.stats().promotions < 1);
+        let p = sim.machine().process(pid).unwrap();
+        // The most recently faulted region (high VA) went first.
+        assert!(p.space().page_table().huge_entry(Hvpn(15)).is_some());
+        assert!(p.space().page_table().huge_entry(Hvpn(0)).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Baseline huge-page policies: Linux THP, FreeBSD reservations, Ingens.
+//!
+//! These are the systems HawkEye is evaluated against. Each is implemented
+//! against the [`hawkeye_kernel::HugePagePolicy`] interface with the
+//! behaviours the paper's §1–§2 describe:
+//!
+//! * [`LinuxThp`] — synchronous huge allocation at fault time; background
+//!   `khugepaged` promotion in **FCFS process order** with a
+//!   **sequential low-to-high VA scan** within each process; compaction
+//!   when contiguity runs out.
+//! * [`FreeBsd`] — physical *reservations* at first fault; promotion only
+//!   once all 512 base pages of a region are populated; reservations are
+//!   broken under memory pressure.
+//! * [`Ingens`] — base pages at fault time, asynchronous utilization-
+//!   threshold promotion (90 % when fragmented, aggressive when not —
+//!   switched by FMFI at 0.5), share-based fairness with an idleness
+//!   penalty, and prioritization of recently-faulted regions.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawkeye_kernel::{KernelConfig, Simulator};
+//! use hawkeye_policies::LinuxThp;
+//!
+//! let sim = Simulator::new(KernelConfig::small(), Box::new(LinuxThp::default()));
+//! assert_eq!(sim.policy_name(), "Linux-2MB");
+//! ```
+
+pub mod freebsd;
+pub mod ingens;
+pub mod linux;
+pub mod util;
+
+pub use freebsd::{FreeBsd, FreeBsdConfig};
+pub use ingens::{Ingens, IngensConfig};
+pub use linux::{LinuxConfig, LinuxThp};
+pub use util::TokenBucket;

@@ -1,0 +1,279 @@
+//! Linux transparent huge pages (THP), as described in the paper's §1.
+//!
+//! Two mechanisms:
+//!
+//! 1. **Synchronous fault-time allocation**: if the faulting region is
+//!    huge-eligible and a contiguous block exists, map a huge page
+//!    immediately — zeroing it synchronously (the 465 µs faults of
+//!    Table 1).
+//! 2. **`khugepaged`**: a background thread that picks processes in
+//!    **first-come-first-serve order** and, within a process, promotes
+//!    regions by a **sequential scan from lower to higher virtual
+//!    addresses**, compacting memory when no contiguous block is free.
+//!    Linux promotes a region when *any* of its pages are mapped
+//!    (`max_ptes_none` defaults to permissive), which is exactly the
+//!    memory-bloat hazard of §2.1.
+
+use crate::util::TokenBucket;
+use hawkeye_kernel::{FaultAction, HugePagePolicy, Machine, PromoteError};
+use hawkeye_vm::{Hvpn, Vpn};
+
+/// Tunables of the Linux policy.
+#[derive(Debug, Clone, Copy)]
+pub struct LinuxConfig {
+    /// khugepaged promotions per simulated second.
+    pub promotions_per_sec: f64,
+    /// Minimum mapped base pages for khugepaged to collapse a region
+    /// (Linux default is permissive: 1).
+    pub min_mapped: u32,
+    /// Compaction migration budget per attempt.
+    pub compact_budget: u64,
+    /// Whether fault-time huge allocation is attempted (THP=always).
+    pub huge_faults: bool,
+}
+
+impl Default for LinuxConfig {
+    fn default() -> Self {
+        LinuxConfig {
+            promotions_per_sec: 40.0,
+            min_mapped: 1,
+            compact_budget: 4096,
+            huge_faults: true,
+        }
+    }
+}
+
+/// The Linux THP policy ("Linux-2MB" in the paper's tables).
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_policies::LinuxThp;
+/// use hawkeye_kernel::HugePagePolicy;
+///
+/// assert_eq!(LinuxThp::default().name(), "Linux-2MB");
+/// ```
+#[derive(Debug)]
+pub struct LinuxThp {
+    cfg: LinuxConfig,
+    budget: TokenBucket,
+    /// FCFS scan state: index into the pid list and the VA scan cursor.
+    current: Option<(u32, u64)>,
+}
+
+impl LinuxThp {
+    /// Creates the policy with explicit tunables.
+    pub fn new(cfg: LinuxConfig) -> Self {
+        LinuxThp { budget: TokenBucket::new(cfg.promotions_per_sec), cfg, current: None }
+    }
+
+    /// Next process after `pid` in FCFS (pid) order, wrapping around.
+    fn next_process(m: &Machine, after: Option<u32>) -> Option<u32> {
+        let running = m.running_pids();
+        if running.is_empty() {
+            return None;
+        }
+        match after {
+            None => running.first().copied(),
+            Some(p) => running
+                .iter()
+                .copied()
+                .find(|x| *x > p)
+                .or_else(|| running.first().copied()),
+        }
+    }
+
+    /// Finds the next collapsible region of `pid` at or after the cursor
+    /// (sequential low-to-high VA scan).
+    fn next_candidate(&self, m: &Machine, pid: u32, cursor: u64) -> Option<Hvpn> {
+        let p = m.process(pid)?;
+        let pt = p.space().page_table();
+        p.space()
+            .page_table()
+            .mapped_regions()
+            .into_iter()
+            .filter(|h| h.0 >= cursor)
+            .find(|h| {
+                pt.huge_entry(*h).is_none()
+                    && p.space().region_promotable(*h)
+                    && pt.region_mapped_count(*h) >= self.cfg.min_mapped
+            })
+    }
+
+    fn try_promote(&mut self, m: &mut Machine, pid: u32, hvpn: Hvpn) -> bool {
+        match m.promote(pid, hvpn) {
+            Ok(_) => true,
+            Err(PromoteError::NoContiguousMemory) => {
+                m.run_compaction(self.cfg.compact_budget);
+                m.promote(pid, hvpn).is_ok()
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Default for LinuxThp {
+    fn default() -> Self {
+        Self::new(LinuxConfig::default())
+    }
+}
+
+impl HugePagePolicy for LinuxThp {
+    fn name(&self) -> &str {
+        "Linux-2MB"
+    }
+
+    fn on_fault(&mut self, _m: &mut Machine, _pid: u32, _vpn: Vpn) -> FaultAction {
+        if self.cfg.huge_faults {
+            FaultAction::MapHuge
+        } else {
+            FaultAction::MapBase
+        }
+    }
+
+    fn on_tick(&mut self, m: &mut Machine) {
+        self.budget.refill(m.now());
+        while self.budget.take(1.0) {
+            // Resume the FCFS scan: finish the current process before
+            // moving to the next.
+            let mut promoted = false;
+            let mut hops = 0;
+            while !promoted {
+                let (pid, cursor) = match self.current {
+                    Some(s) if m.process(s.0).map(|p| !p.is_finished()).unwrap_or(false) => s,
+                    _ => match Self::next_process(m, self.current.map(|s| s.0)) {
+                        Some(pid) => (pid, 0),
+                        None => return,
+                    },
+                };
+                self.current = Some((pid, cursor));
+                match self.next_candidate(m, pid, cursor) {
+                    Some(h) => {
+                        if self.try_promote(m, pid, h) {
+                            self.current = Some((pid, h.0 + 1));
+                            promoted = true;
+                        } else {
+                            // Skip this region (uncollapsible for now).
+                            self.current = Some((pid, h.0 + 1));
+                        }
+                    }
+                    None => {
+                        // Done with this process; FCFS-advance.
+                        let next = Self::next_process(m, Some(pid));
+                        self.current = next.map(|n| (n, 0));
+                        hops += 1;
+                        if hops > m.pids().len() + 1 {
+                            return; // nothing promotable anywhere
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_exit(&mut self, _m: &mut Machine, pid: u32) {
+        if let Some((cur, _)) = self.current {
+            if cur == pid {
+                self.current = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{workload::script, KernelConfig, MemOp, Simulator};
+    use hawkeye_vm::VmaKind;
+
+    fn touch(pages: u64) -> Vec<MemOp> {
+        vec![
+            MemOp::Mmap { start: Vpn(0), pages, kind: VmaKind::Anon },
+            MemOp::TouchRange { start: Vpn(0), pages, write: true, think: 50, stride: 1 , repeats: 1},
+            // Keep the process alive so khugepaged can work on it.
+            MemOp::Compute { cycles: 20_000_000_000 },
+        ]
+    }
+
+    #[test]
+    fn fault_time_huge_allocation_on_pristine_memory() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(LinuxThp::default()));
+        let pid = sim.spawn(script("w", touch(2048)));
+        sim.run_for(hawkeye_metrics::Cycles::from_millis(100));
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().huge_faults, 4);
+        assert_eq!(p.space().huge_pages(), 4);
+    }
+
+    #[test]
+    fn khugepaged_promotes_after_fragmentation_clears() {
+        let mut cfg = KernelConfig::small();
+        cfg.cross_merge = true;
+        let mut sim = Simulator::new(cfg, Box::new(LinuxThp::default()));
+        // Fragment so fault-time huge allocation fails (fill everything,
+        // then free a scattered 45%).
+        sim.machine_mut().fragment(1.0, 0.45, 1);
+        let pid = sim.spawn(script("w", touch(1024)));
+        sim.run_for(hawkeye_metrics::Cycles::from_secs(2.0));
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.stats().huge_faults < 2, "fragmented: fault-time huge mostly fails");
+        // ...but khugepaged (with compaction) eventually promotes.
+        assert!(
+            sim.machine().process(pid).unwrap().space().huge_pages() >= 1,
+            "khugepaged should promote; stats: {:?}",
+            sim.machine().stats()
+        );
+    }
+
+    #[test]
+    fn promotes_sparse_regions_causing_bloat() {
+        // One page mapped in a region is enough for khugepaged (min_mapped
+        // = 1): promotion inflates RSS by 511 pages — §2.1's bloat.
+        // Disable fault-time huge so only khugepaged acts.
+        let mut pol = LinuxThp::new(LinuxConfig { huge_faults: false, ..Default::default() });
+        let _ = &mut pol;
+        let mut sim2 = Simulator::new(KernelConfig::small(), Box::new(pol));
+        let pid = sim2.spawn(script(
+            "sparse",
+            vec![
+                MemOp::Mmap { start: Vpn(0), pages: 512, kind: VmaKind::Anon },
+                MemOp::Touch { vpn: Vpn(7), write: true, repeats: 1, think: 0 },
+                MemOp::Compute { cycles: 5_000_000_000 },
+            ],
+        ));
+        sim2.run_for(hawkeye_metrics::Cycles::from_secs(1.0));
+        let p = sim2.machine().process(pid).unwrap();
+        assert_eq!(p.space().huge_pages(), 1, "sparse region was promoted");
+        assert_eq!(p.space().rss_pages(), 512, "bloat: 1 useful page, 512 resident");
+    }
+
+    #[test]
+    fn fcfs_finishes_first_process_before_second() {
+        let mut cfg = KernelConfig::small();
+        cfg.cross_merge = true;
+        let lin = LinuxThp::new(LinuxConfig {
+            huge_faults: false,
+            promotions_per_sec: 10.0,
+            ..Default::default()
+        });
+        let mut sim = Simulator::new(cfg, Box::new(lin));
+        let mk = |n: u64| {
+            script(
+                format!("w{n}"),
+                vec![
+                    MemOp::Mmap { start: Vpn(0), pages: 8 * 512, kind: VmaKind::Anon },
+                    MemOp::TouchRange { start: Vpn(0), pages: 8 * 512, write: true, think: 0, stride: 1 , repeats: 1},
+                    MemOp::Compute { cycles: 50_000_000_000 },
+                ],
+            )
+        };
+        let a = sim.spawn(mk(1));
+        let b = sim.spawn(mk(2));
+        // Run until process A is fully promoted.
+        sim.run_while(|m| m.process(1).map(|p| p.space().huge_pages() < 8).unwrap_or(false));
+        let ha = sim.machine().process(a).unwrap().space().huge_pages();
+        let hb = sim.machine().process(b).unwrap().space().huge_pages();
+        assert_eq!(ha, 8);
+        assert!(hb <= 1, "FCFS: B should barely have started (got {hb})");
+    }
+}

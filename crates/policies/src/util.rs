@@ -1,0 +1,100 @@
+//! Shared policy plumbing: rate limiting.
+
+use hawkeye_metrics::Cycles;
+
+/// A token bucket keyed to simulated time, used to rate-limit daemon work
+/// (promotions per second, zeroed pages per second, scanned regions per
+/// second).
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_policies::TokenBucket;
+/// use hawkeye_metrics::Cycles;
+///
+/// let mut b = TokenBucket::new(10.0); // 10 tokens per simulated second
+/// b.refill(Cycles::from_secs(1.0));
+/// assert!(b.take(10.0));
+/// assert!(!b.take(1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    tokens: f64,
+    cap: f64,
+    last: Cycles,
+}
+
+impl TokenBucket {
+    /// Creates a bucket refilling at `rate_per_sec`, with a burst capacity
+    /// of one second's worth of tokens.
+    pub fn new(rate_per_sec: f64) -> Self {
+        TokenBucket { rate_per_sec, tokens: 0.0, cap: rate_per_sec.max(1.0), last: Cycles::ZERO }
+    }
+
+    /// Sets the burst capacity.
+    pub fn with_cap(mut self, cap: f64) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Advances the bucket to simulated time `now`, accruing tokens.
+    pub fn refill(&mut self, now: Cycles) {
+        let dt = now.saturating_sub(self.last).as_secs();
+        self.last = self.last.max(now);
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.cap);
+    }
+
+    /// Takes `n` tokens if available.
+    pub fn take(&mut self, n: f64) -> bool {
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accrues_with_time_and_caps() {
+        let mut b = TokenBucket::new(100.0);
+        b.refill(Cycles::from_millis(100));
+        assert!((b.available() - 10.0).abs() < 1e-6);
+        b.refill(Cycles::from_secs(100.0));
+        assert!((b.available() - 100.0).abs() < 1e-6, "capped at 1s worth");
+    }
+
+    #[test]
+    fn take_debits() {
+        let mut b = TokenBucket::new(10.0);
+        b.refill(Cycles::from_secs(0.5));
+        assert!(b.take(5.0));
+        assert!(!b.take(0.1));
+    }
+
+    #[test]
+    fn refill_is_monotone() {
+        let mut b = TokenBucket::new(10.0);
+        b.refill(Cycles::from_secs(1.0));
+        let t = b.available();
+        b.refill(Cycles::from_secs(0.5)); // going "backwards" adds nothing
+        assert_eq!(b.available(), t);
+    }
+
+    #[test]
+    fn custom_cap() {
+        let mut b = TokenBucket::new(10.0).with_cap(3.0);
+        b.refill(Cycles::from_secs(10.0));
+        assert_eq!(b.available(), 3.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! TLB hierarchy and walk-cost configuration.
+
+/// Structural and timing parameters of the simulated MMU.
+///
+/// The default ([`TlbConfig::haswell`]) mirrors the paper's testbed, an
+/// Intel E5-2690 v3: L1 DTLB with 64 entries for 4 KB pages and 8 entries
+/// for 2 MB pages, and a unified 1024-entry L2 TLB for both sizes.
+///
+/// Walk costs are deliberately locality-dependent (see [`crate::walker`]):
+/// `walk_fetch_hot` approximates a page-table-entry fetch that hits the
+/// data caches, `walk_fetch_cold` one that misses to DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_tlb::TlbConfig;
+///
+/// let cfg = TlbConfig::haswell();
+/// assert_eq!(cfg.l1_4k_entries, 64);
+/// assert_eq!(cfg.l1_2m_entries, 8);
+/// assert_eq!(cfg.l2_entries, 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// L1 DTLB entries for 4 KB pages.
+    pub l1_4k_entries: usize,
+    /// L1 DTLB associativity for 4 KB pages.
+    pub l1_4k_assoc: usize,
+    /// L1 DTLB entries for 2 MB pages.
+    pub l1_2m_entries: usize,
+    /// L1 DTLB associativity for 2 MB pages.
+    pub l1_2m_assoc: usize,
+    /// Unified L2 TLB entries (shared by 4 KB and 2 MB pages).
+    pub l2_entries: usize,
+    /// L2 TLB associativity.
+    pub l2_assoc: usize,
+    /// Page-walk-cache entries for PDEs (each covers 2 MB of VA).
+    pub pwc_pde_entries: usize,
+    /// Page-walk-cache entries for PDPTEs (each covers 1 GB of VA).
+    pub pwc_pdpte_entries: usize,
+    /// Extra cycles for an L2-TLB lookup after an L1 miss.
+    pub l2_lookup_cycles: u64,
+    /// Cycles for a page-table-entry fetch that hits the cache hierarchy.
+    pub walk_fetch_hot: u64,
+    /// Cycles for a page-table-entry fetch from memory.
+    pub walk_fetch_cold: u64,
+    /// Multiplier applied to every walk fetch under nested paging
+    /// (two-dimensional walks touch up to 24 entries instead of 4).
+    pub nested_fetch_factor: u64,
+}
+
+impl TlbConfig {
+    /// The paper's Haswell-EP testbed.
+    pub fn haswell() -> Self {
+        TlbConfig {
+            l1_4k_entries: 64,
+            l1_4k_assoc: 4,
+            l1_2m_entries: 8,
+            l1_2m_assoc: 8,
+            l2_entries: 1024,
+            l2_assoc: 8,
+            pwc_pde_entries: 32,
+            pwc_pdpte_entries: 4,
+            l2_lookup_cycles: 7,
+            walk_fetch_hot: 30,
+            walk_fetch_cold: 170,
+            nested_fetch_factor: 3,
+        }
+    }
+
+    /// A tiny configuration for unit tests (fast to overflow).
+    pub fn tiny() -> Self {
+        TlbConfig {
+            l1_4k_entries: 4,
+            l1_4k_assoc: 2,
+            l1_2m_entries: 2,
+            l1_2m_assoc: 2,
+            l2_entries: 8,
+            l2_assoc: 2,
+            pwc_pde_entries: 2,
+            pwc_pdpte_entries: 1,
+            l2_lookup_cycles: 7,
+            walk_fetch_hot: 30,
+            walk_fetch_cold: 170,
+            nested_fetch_factor: 3,
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_haswell() {
+        assert_eq!(TlbConfig::default(), TlbConfig::haswell());
+    }
+
+    #[test]
+    fn haswell_reach_matches_paper_narrative() {
+        let c = TlbConfig::haswell();
+        // L2 reach with 4 KB pages: 4 MiB; with 2 MB pages: 2 GiB. The
+        // three-orders-of-magnitude difference is the whole point of huge
+        // pages.
+        let reach_4k = c.l2_entries as u64 * 4096;
+        let reach_2m = c.l2_entries as u64 * 2 * 1024 * 1024;
+        assert_eq!(reach_4k, 4 * 1024 * 1024);
+        assert_eq!(reach_2m, 2 * 1024 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,53 @@
+//! Hardware model: TLB hierarchy, page-walk caches, PMU, and LLC
+//! interference.
+//!
+//! The paper measures MMU overhead with hardware performance counters
+//! (Table 4): `(DTLB_LOAD_MISSES_WALK_DURATION +
+//! DTLB_STORE_MISSES_WALK_DURATION) * 100 / CPU_CLK_UNHALTED`. This crate
+//! reproduces that methodology over a structural model of the paper's
+//! Haswell-EP testbed:
+//!
+//! * [`SetAssocTlb`] — set-associative translation caches; the default
+//!   [`TlbConfig`] mirrors the paper's machine (L1: 64 × 4 KB + 8 × 2 MB
+//!   entries, L2: 1024 shared entries).
+//! * [`walker`] — the page-table walker with page-walk caches; its cost
+//!   model makes walk latency depend on *locality* (a PWC hit means the
+//!   leaf PTE is cache-resident), which is exactly why working-set size is
+//!   a poor predictor of MMU overhead (§2.4, Table 3).
+//! * [`Pmu`] — per-process walk-duration and cycle counters; the
+//!   HawkEye-PMU variant reads these, HawkEye-G must estimate instead.
+//! * [`Mmu`] — the per-access front end gluing TLBs, walker and PMU, with
+//!   an optional *nested* (two-dimensional) walk mode for virtualized
+//!   experiments.
+//! * [`cache`] — the analytic LLC-pollution model behind the async
+//!   pre-zeroing interference experiment (Fig. 10).
+//!
+//! # Examples
+//!
+//! ```
+//! use hawkeye_tlb::{Mmu, TlbConfig};
+//! use hawkeye_vm::{Vpn, PageSize};
+//!
+//! let mut mmu = Mmu::new(TlbConfig::haswell());
+//! // First touch of a page walks the page table...
+//! let miss = mmu.access(1, Vpn(42), PageSize::Base, false);
+//! assert!(miss.tlb_miss);
+//! // ...the second hits the TLB.
+//! let hit = mmu.access(1, Vpn(42), PageSize::Base, false);
+//! assert!(!hit.tlb_miss);
+//! assert!(hit.walk_cycles.get() == 0);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod mmu;
+pub mod pmu;
+pub mod tlb;
+pub mod walker;
+
+pub use cache::{InterferenceModel, StoreMode};
+pub use config::TlbConfig;
+pub use mmu::{AccessOutcome, Mmu};
+pub use pmu::{Pmu, PmuWindow};
+pub use tlb::SetAssocTlb;
+pub use walker::PageWalker;

@@ -1,0 +1,180 @@
+//! Performance-monitoring counters (Table 4 methodology).
+//!
+//! The paper measures MMU overhead as
+//! `(DTLB_LOAD_MISSES_WALK_DURATION + DTLB_STORE_MISSES_WALK_DURATION) *
+//! 100 / CPU_CLK_UNHALTED`. The simulator keeps exactly those counters per
+//! process: walk durations are charged by the [`crate::Mmu`]; unhalted
+//! cycles are charged by the kernel as a process executes.
+//!
+//! HawkEye-PMU samples a *window* (recent overhead) rather than lifetime
+//! totals, so counters support snapshot-and-reset windows.
+
+use hawkeye_metrics::Cycles;
+use std::collections::BTreeMap;
+
+/// One process's counter set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    load_walk: Cycles,
+    store_walk: Cycles,
+    unhalted: Cycles,
+    walks: u64,
+}
+
+/// A snapshot of one measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PmuWindow {
+    /// `DTLB_LOAD_MISSES_WALK_DURATION` for the window.
+    pub load_walk: Cycles,
+    /// `DTLB_STORE_MISSES_WALK_DURATION` for the window.
+    pub store_walk: Cycles,
+    /// `CPU_CLK_UNHALTED` for the window.
+    pub unhalted: Cycles,
+    /// Page walks observed.
+    pub walks: u64,
+}
+
+impl PmuWindow {
+    /// MMU overhead per Table 4, as a fraction (0.0–1.0). Returns 0 for an
+    /// empty window.
+    pub fn mmu_overhead(&self) -> f64 {
+        if self.unhalted == Cycles::ZERO {
+            return 0.0;
+        }
+        (self.load_walk + self.store_walk).get() as f64 / self.unhalted.get() as f64
+    }
+}
+
+/// Per-process performance counters.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_tlb::Pmu;
+/// use hawkeye_metrics::Cycles;
+///
+/// let mut pmu = Pmu::new();
+/// pmu.record_walk(1, Cycles::new(300), false);
+/// pmu.record_unhalted(1, Cycles::new(1000));
+/// assert!((pmu.lifetime(1).mmu_overhead() - 0.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Pmu {
+    lifetime: BTreeMap<u32, Counters>,
+    window: BTreeMap<u32, Counters>,
+}
+
+impl Pmu {
+    /// Creates an empty counter file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges a page-walk duration to `pid` (`store` selects the store
+    /// counter, mirroring the two Table 4 events).
+    pub fn record_walk(&mut self, pid: u32, duration: Cycles, store: bool) {
+        for c in [self.lifetime.entry(pid).or_default(), self.window.entry(pid).or_default()] {
+            if store {
+                c.store_walk += duration;
+            } else {
+                c.load_walk += duration;
+            }
+            c.walks += 1;
+        }
+    }
+
+    /// Charges executed cycles (`CPU_CLK_UNHALTED`) to `pid`.
+    pub fn record_unhalted(&mut self, pid: u32, cycles: Cycles) {
+        self.lifetime.entry(pid).or_default().unhalted += cycles;
+        self.window.entry(pid).or_default().unhalted += cycles;
+    }
+
+    /// Lifetime counters for `pid` (zeroes if never seen).
+    pub fn lifetime(&self, pid: u32) -> PmuWindow {
+        Self::to_window(self.lifetime.get(&pid))
+    }
+
+    /// Current-window counters for `pid` without resetting.
+    pub fn window(&self, pid: u32) -> PmuWindow {
+        Self::to_window(self.window.get(&pid))
+    }
+
+    /// Returns the current window for `pid` and starts a new one —
+    /// HawkEye-PMU's periodic sampling.
+    pub fn sample_window(&mut self, pid: u32) -> PmuWindow {
+        let w = Self::to_window(self.window.get(&pid));
+        self.window.remove(&pid);
+        w
+    }
+
+    /// Drops all state for an exited process.
+    pub fn remove(&mut self, pid: u32) {
+        self.lifetime.remove(&pid);
+        self.window.remove(&pid);
+    }
+
+    /// All pids with lifetime counters.
+    pub fn pids(&self) -> Vec<u32> {
+        self.lifetime.keys().copied().collect()
+    }
+
+    fn to_window(c: Option<&Counters>) -> PmuWindow {
+        c.map(|c| PmuWindow {
+            load_walk: c.load_walk,
+            store_walk: c.store_walk,
+            unhalted: c.unhalted,
+            walks: c.walks,
+        })
+        .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_formula_matches_table4() {
+        let mut pmu = Pmu::new();
+        pmu.record_walk(3, Cycles::new(100), false);
+        pmu.record_walk(3, Cycles::new(50), true);
+        pmu.record_unhalted(3, Cycles::new(1000));
+        let w = pmu.lifetime(3);
+        assert_eq!(w.walks, 2);
+        // (C1 + C2) / C3 = 150/1000
+        assert!((w.mmu_overhead() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_resets_but_lifetime_accumulates() {
+        let mut pmu = Pmu::new();
+        pmu.record_walk(1, Cycles::new(10), false);
+        pmu.record_unhalted(1, Cycles::new(100));
+        let w1 = pmu.sample_window(1);
+        assert!((w1.mmu_overhead() - 0.1).abs() < 1e-12);
+        // New window is empty.
+        assert_eq!(pmu.window(1), PmuWindow::default());
+        pmu.record_walk(1, Cycles::new(90), true);
+        pmu.record_unhalted(1, Cycles::new(100));
+        let w2 = pmu.sample_window(1);
+        assert!((w2.mmu_overhead() - 0.9).abs() < 1e-12);
+        // Lifetime saw everything.
+        assert!((pmu.lifetime(1).mmu_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_pid_reads_zero() {
+        let pmu = Pmu::new();
+        assert_eq!(pmu.lifetime(42).mmu_overhead(), 0.0);
+        assert_eq!(pmu.window(42).walks, 0);
+    }
+
+    #[test]
+    fn remove_clears_state() {
+        let mut pmu = Pmu::new();
+        pmu.record_unhalted(1, Cycles::new(5));
+        assert_eq!(pmu.pids(), vec![1]);
+        pmu.remove(1);
+        assert!(pmu.pids().is_empty());
+    }
+}

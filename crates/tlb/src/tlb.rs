@@ -1,0 +1,225 @@
+//! Set-associative translation caches with true-LRU replacement.
+//!
+//! Entries are keyed by `(pid, page number)`; the simulator does not store
+//! translations (correctness lives in the page tables) — the TLB model only
+//! determines *timing*: hit or miss. Invalidation hooks let the kernel
+//! model TLB shootdowns on unmap, promotion, demotion and migration.
+
+/// A set-associative TLB (or page-walk cache) for one page size.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_tlb::SetAssocTlb;
+///
+/// let mut tlb = SetAssocTlb::new(8, 2);
+/// assert!(!tlb.lookup(1, 100));
+/// tlb.insert(1, 100);
+/// assert!(tlb.lookup(1, 100));
+/// assert!(!tlb.lookup(2, 100)); // other process, other entry
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocTlb {
+    sets: Vec<Vec<Entry>>,
+    assoc: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pid: u32,
+    key: u64,
+    stamp: u64,
+}
+
+impl SetAssocTlb {
+    /// Creates a TLB with `entries` total entries and `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is 0, `assoc` is 0, or `assoc` does not divide
+    /// `entries`.
+    pub fn new(entries: usize, assoc: usize) -> Self {
+        assert!(entries > 0 && assoc > 0, "empty tlb");
+        assert_eq!(entries % assoc, 0, "associativity must divide entry count");
+        let nsets = entries / assoc;
+        SetAssocTlb {
+            sets: vec![Vec::with_capacity(assoc); nsets],
+            assoc,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.assoc
+    }
+
+    #[inline]
+    fn set_index(&self, key: u64) -> usize {
+        (key as usize) % self.sets.len()
+    }
+
+    /// Looks up `(pid, key)`, refreshing LRU on hit. Returns whether it
+    /// hit. Statistics are updated.
+    pub fn lookup(&mut self, pid: u32, key: u64) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.pid == pid && e.key == key) {
+            e.stamp = stamp;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Checks presence without updating LRU or statistics.
+    pub fn probe(&self, pid: u32, key: u64) -> bool {
+        let idx = self.set_index(key);
+        self.sets[idx].iter().any(|e| e.pid == pid && e.key == key)
+    }
+
+    /// Inserts `(pid, key)`, evicting the set's LRU entry if full.
+    /// Idempotent for present entries (refreshes LRU instead).
+    pub fn insert(&mut self, pid: u32, key: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let assoc = self.assoc;
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.pid == pid && e.key == key) {
+            e.stamp = stamp;
+            return;
+        }
+        if set.len() < assoc {
+            set.push(Entry { pid, key, stamp });
+            return;
+        }
+        let lru = set
+            .iter_mut()
+            .min_by_key(|e| e.stamp)
+            .expect("set is full, hence non-empty");
+        *lru = Entry { pid, key, stamp };
+    }
+
+    /// Drops one entry if present.
+    pub fn invalidate(&mut self, pid: u32, key: u64) {
+        let idx = self.set_index(key);
+        self.sets[idx].retain(|e| !(e.pid == pid && e.key == key));
+    }
+
+    /// Drops all entries of a process (context switch with ASID reuse,
+    /// or process exit).
+    pub fn invalidate_pid(&mut self, pid: u32) {
+        for set in &mut self.sets {
+            set.retain(|e| e.pid != pid);
+        }
+    }
+
+    /// Drops every entry whose key satisfies the predicate for `pid`
+    /// (range shootdowns).
+    pub fn invalidate_if(&mut self, pid: u32, mut pred: impl FnMut(u64) -> bool) {
+        for set in &mut self.sets {
+            set.retain(|e| e.pid != pid || !pred(e.key));
+        }
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 4 entries, 2 ways -> 2 sets; keys 0,2,4 land in set 0.
+        let mut t = SetAssocTlb::new(4, 2);
+        t.insert(1, 0);
+        t.insert(1, 2);
+        assert!(t.lookup(1, 0)); // refresh 0; 2 becomes LRU
+        t.insert(1, 4); // evicts 2
+        assert!(t.probe(1, 0));
+        assert!(!t.probe(1, 2));
+        assert!(t.probe(1, 4));
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut t = SetAssocTlb::new(4, 2);
+        t.insert(1, 0);
+        t.insert(1, 0);
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn pid_isolation() {
+        let mut t = SetAssocTlb::new(8, 2);
+        t.insert(1, 5);
+        assert!(!t.lookup(2, 5));
+        t.insert(2, 5);
+        assert!(t.lookup(1, 5) && t.lookup(2, 5));
+        t.invalidate_pid(1);
+        assert!(!t.probe(1, 5));
+        assert!(t.probe(2, 5));
+    }
+
+    #[test]
+    fn invalidate_single_and_predicate() {
+        let mut t = SetAssocTlb::new(8, 4);
+        for k in 0..6 {
+            t.insert(1, k);
+        }
+        t.invalidate(1, 3);
+        assert!(!t.probe(1, 3));
+        t.invalidate_if(1, |k| k < 2);
+        assert!(!t.probe(1, 0) && !t.probe(1, 1));
+        assert!(t.probe(1, 4));
+    }
+
+    #[test]
+    fn hit_miss_statistics() {
+        let mut t = SetAssocTlb::new(4, 4);
+        assert!(!t.lookup(1, 1));
+        t.insert(1, 1);
+        assert!(t.lookup(1, 1));
+        assert_eq!((t.hits(), t.misses()), (1, 1));
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let mut t = SetAssocTlb::new(8, 2);
+        for k in 0..100 {
+            t.insert(7, k);
+        }
+        assert!(t.occupancy() <= t.capacity());
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn bad_geometry_rejected() {
+        let _ = SetAssocTlb::new(10, 4);
+    }
+}

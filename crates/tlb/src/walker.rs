@@ -1,0 +1,175 @@
+//! Page-table walker with page-walk caches and a locality-aware cost model.
+//!
+//! x86-64 walks four levels for a 4 KB translation (PML4 → PDPT → PD → PT)
+//! and three for a 2 MB translation (the PDE *is* the leaf). Hardware
+//! page-walk caches (PWCs) short-circuit the upper levels; whether the
+//! *leaf* fetch hits the data caches depends on access locality: a PT page
+//! holds 512 consecutive PTEs, so sequential access patterns fetch leaf
+//! PTEs from L1/L2 while pointer-chasing patterns miss to DRAM.
+//!
+//! This is the mechanism behind the paper's §2.4 observation that
+//! working-set size is a poor predictor of MMU overhead: `mg.D` (24 GB,
+//! sequential) pays almost nothing per walk while `cg.D` (16 GB, random)
+//! pays a cold fetch nearly every time.
+
+use crate::config::TlbConfig;
+use crate::tlb::SetAssocTlb;
+use hawkeye_metrics::Cycles;
+use hawkeye_vm::{PageSize, Vpn};
+
+/// The simulated page-table walker.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_tlb::{PageWalker, TlbConfig};
+/// use hawkeye_vm::{Vpn, PageSize};
+///
+/// let mut w = PageWalker::new(&TlbConfig::haswell());
+/// let cold = w.walk(1, Vpn(0), PageSize::Base, false);
+/// let warm = w.walk(1, Vpn(1), PageSize::Base, false);
+/// assert!(warm < cold, "second walk reuses the page-walk caches");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageWalker {
+    /// PDE cache: key = vpn >> 9 (one entry per 2 MB of VA).
+    pwc_pde: SetAssocTlb,
+    /// PDPTE cache: key = vpn >> 18 (one entry per 1 GB of VA).
+    pwc_pdpte: SetAssocTlb,
+    fetch_hot: u64,
+    fetch_cold: u64,
+    nested_factor: u64,
+    walks: u64,
+}
+
+impl PageWalker {
+    /// Creates a walker with the PWC geometry and fetch costs of `cfg`.
+    pub fn new(cfg: &TlbConfig) -> Self {
+        PageWalker {
+            pwc_pde: SetAssocTlb::new(cfg.pwc_pde_entries, cfg.pwc_pde_entries.min(4)),
+            pwc_pdpte: SetAssocTlb::new(cfg.pwc_pdpte_entries, cfg.pwc_pdpte_entries),
+            fetch_hot: cfg.walk_fetch_hot,
+            fetch_cold: cfg.walk_fetch_cold,
+            nested_factor: cfg.nested_fetch_factor,
+            walks: 0,
+        }
+    }
+
+    /// Walks the page table for `vpn`, returning the walk duration.
+    ///
+    /// `nested` models two-dimensional (guest + host) walks by scaling
+    /// every fetch, reflecting the up-to-24-step nested walk.
+    pub fn walk(&mut self, pid: u32, vpn: Vpn, size: PageSize, nested: bool) -> Cycles {
+        self.walks += 1;
+        let pde_key = vpn.0 >> 9;
+        let pdpte_key = vpn.0 >> 18;
+        let factor = if nested { self.nested_factor } else { 1 };
+
+        let mut fetches_hot: u64 = 0;
+        let mut fetches_cold: u64 = 0;
+
+        let pde_hit = self.pwc_pde.lookup(pid, pde_key);
+        if !pde_hit {
+            let pdpte_hit = self.pwc_pdpte.lookup(pid, pdpte_key);
+            if !pdpte_hit {
+                // PML4E + PDPTE fetches; upper levels cover huge spans and
+                // are essentially always cache-resident.
+                fetches_hot += 2;
+                self.pwc_pdpte.insert(pid, pdpte_key);
+            }
+            // PDE fetch: cold when this 2 MB neighbourhood has not been
+            // walked recently.
+            fetches_cold += 1;
+            self.pwc_pde.insert(pid, pde_key);
+            if size == PageSize::Base {
+                // Leaf PTE fetch shares the PT page's cache line locality
+                // with the PDE: a cold PDE implies a cold leaf.
+                fetches_cold += 1;
+            }
+        } else if size == PageSize::Base {
+            // Warm neighbourhood: the PT page is cache-resident.
+            fetches_hot += 1;
+        }
+        // Huge translation with PDE-PWC hit: the PWC itself supplies the
+        // leaf; only minimal latency remains.
+        let base = if pde_hit && size == PageSize::Huge { self.fetch_hot / 2 } else { 0 };
+
+        Cycles::new(factor * (base + fetches_hot * self.fetch_hot + fetches_cold * self.fetch_cold))
+    }
+
+    /// Drops a process's PWC entries (exit / flush).
+    pub fn invalidate_pid(&mut self, pid: u32) {
+        self.pwc_pde.invalidate_pid(pid);
+        self.pwc_pdpte.invalidate_pid(pid);
+    }
+
+    /// Drops the PWC entry covering one huge region (after remapping it).
+    pub fn invalidate_region(&mut self, pid: u32, region: u64) {
+        self.pwc_pde.invalidate(pid, region);
+    }
+
+    /// Number of walks performed.
+    pub fn walks(&self) -> u64 {
+        self.walks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walker() -> PageWalker {
+        PageWalker::new(&TlbConfig::haswell())
+    }
+
+    #[test]
+    fn sequential_walks_are_cheap_after_first() {
+        let mut w = walker();
+        let first = w.walk(1, Vpn(0), PageSize::Base, false);
+        // Pages 1..512 share the PDE/PT page with page 0.
+        let next = w.walk(1, Vpn(1), PageSize::Base, false);
+        assert!(next.get() <= TlbConfig::haswell().walk_fetch_hot);
+        assert!(first.get() >= TlbConfig::haswell().walk_fetch_cold);
+    }
+
+    #[test]
+    fn random_far_walks_stay_cold() {
+        let mut w = walker();
+        let mut total = 0;
+        // Strides of 2 MB+ defeat the PDE cache (32 entries).
+        for i in 0..1000u64 {
+            total += w.walk(1, Vpn((i * 97) << 9), PageSize::Base, false).get();
+        }
+        let avg = total / 1000;
+        assert!(avg >= TlbConfig::haswell().walk_fetch_cold, "avg {avg}");
+    }
+
+    #[test]
+    fn huge_walks_cheaper_than_base_when_cold() {
+        let mut wb = walker();
+        let mut wh = walker();
+        let base = wb.walk(1, Vpn(123 << 9), PageSize::Base, false);
+        let huge = wh.walk(1, Vpn(123 << 9), PageSize::Huge, false);
+        assert!(huge < base, "huge walk skips the leaf level");
+    }
+
+    #[test]
+    fn nested_walks_scale_costs() {
+        let mut wn = walker();
+        let mut wv = walker();
+        let native = wn.walk(1, Vpn(7 << 9), PageSize::Base, false);
+        let nested = wv.walk(1, Vpn(7 << 9), PageSize::Base, true);
+        assert_eq!(nested.get(), native.get() * TlbConfig::haswell().nested_fetch_factor);
+    }
+
+    #[test]
+    fn invalidation_makes_next_walk_cold() {
+        let mut w = walker();
+        let _ = w.walk(1, Vpn(0), PageSize::Base, false);
+        let warm = w.walk(1, Vpn(1), PageSize::Base, false);
+        w.invalidate_region(1, 0);
+        let cold = w.walk(1, Vpn(2), PageSize::Base, false);
+        assert!(cold > warm);
+        assert_eq!(w.walks(), 3);
+    }
+}

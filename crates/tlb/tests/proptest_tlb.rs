@@ -1,0 +1,97 @@
+//! Property-based tests of the TLB hierarchy: inclusion-free timing
+//! sanity, capacity bounds, invalidation completeness, and PMU accounting
+//! conservation.
+
+use hawkeye_metrics::Cycles;
+use hawkeye_tlb::{Mmu, SetAssocTlb, TlbConfig};
+use hawkeye_vm::{PageSize, Vpn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A set-associative TLB never exceeds capacity and always hits a key
+    /// that was just inserted.
+    #[test]
+    fn tlb_capacity_and_recency(keys in proptest::collection::vec(0u64..10_000, 1..500)) {
+        let mut t = SetAssocTlb::new(64, 4);
+        for k in &keys {
+            t.insert(1, *k);
+            prop_assert!(t.probe(1, *k), "just-inserted key must be present");
+            prop_assert!(t.occupancy() <= t.capacity());
+        }
+    }
+
+    /// Invalidate-by-pid removes exactly that pid's entries.
+    #[test]
+    fn pid_invalidation_is_complete_and_precise(
+        a in proptest::collection::vec(0u64..1_000, 1..100),
+        b in proptest::collection::vec(0u64..1_000, 1..100),
+    ) {
+        let mut t = SetAssocTlb::new(1024, 8);
+        for k in &a {
+            t.insert(1, *k);
+        }
+        for k in &b {
+            t.insert(2, *k);
+        }
+        t.invalidate_pid(1);
+        for k in &a {
+            prop_assert!(!t.probe(1, *k));
+        }
+        // Pid 2 survivors: whatever was resident stays resident.
+        let survivors = b.iter().filter(|k| t.probe(2, **k)).count();
+        prop_assert!(survivors > 0, "other pid must not be wiped");
+    }
+
+    /// Region invalidation forces the next access in that region to walk.
+    #[test]
+    fn region_shootdown_forces_walks(pages in proptest::collection::btree_set(0u64..512, 1..64)) {
+        let mut mmu = Mmu::new(TlbConfig::haswell());
+        for p in &pages {
+            mmu.access(1, Vpn(*p), PageSize::Base, false);
+        }
+        mmu.invalidate_region(1, 0);
+        for p in &pages {
+            let o = mmu.access(1, Vpn(*p), PageSize::Base, false);
+            prop_assert!(o.tlb_miss, "page {p} must miss after shootdown");
+        }
+    }
+
+    /// PMU conservation: lifetime walk cycles equal the sum of outcome
+    /// walk durations, and overhead is within [0, 1] when unhalted covers
+    /// at least the walk time.
+    #[test]
+    fn pmu_accounting_is_conservative(
+        accesses in proptest::collection::vec((0u64..100_000, any::<bool>()), 1..300),
+    ) {
+        let mut mmu = Mmu::new(TlbConfig::haswell());
+        let mut total_walk = Cycles::ZERO;
+        let mut spent = Cycles::ZERO;
+        for (vpn, write) in &accesses {
+            let o = mmu.access(7, Vpn(*vpn), PageSize::Base, *write);
+            total_walk += o.walk_cycles;
+            spent += o.cycles + Cycles::new(100);
+        }
+        mmu.record_unhalted(7, spent);
+        let life = mmu.lifetime(7);
+        prop_assert_eq!(life.load_walk + life.store_walk, total_walk);
+        let ov = life.mmu_overhead();
+        prop_assert!((0.0..=1.0).contains(&ov), "overhead {ov}");
+    }
+
+    /// Huge mappings never increase the miss count relative to base
+    /// mappings for the same access stream.
+    #[test]
+    fn huge_never_misses_more(trace in proptest::collection::vec(0u64..8192, 50..400)) {
+        let mut base = Mmu::new(TlbConfig::haswell());
+        let mut huge = Mmu::new(TlbConfig::haswell());
+        let mut bm = 0u64;
+        let mut hm = 0u64;
+        for v in &trace {
+            bm += base.access(1, Vpn(*v), PageSize::Base, false).tlb_miss as u64;
+            hm += huge.access(1, Vpn(*v), PageSize::Huge, false).tlb_miss as u64;
+        }
+        prop_assert!(hm <= bm, "huge {hm} > base {bm}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Two-level (guest/host) virtualization experiments.
+//!
+//! Virtualized systems translate twice — guest-virtual → guest-physical
+//! (the guest's page tables) and guest-physical → host-physical (EPT/NPT)
+//! — so a TLB miss walks a two-dimensional structure of up to 24 entries.
+//! Huge pages only deliver their full benefit when **both** layers map
+//! huge; the paper's Fig. 9 evaluates HawkEye at the host, the guest, and
+//! both, and Fig. 11 shows that guest-side async pre-zeroing plus
+//! host-side same-page merging recovers free guest memory *without* a
+//! balloon driver.
+//!
+//! [`VirtSystem`] runs full guest kernels (policies and all) whose
+//! "physical" frames are guest-physical addresses backed 1:1 by a host
+//! process per VM; guest accesses drive host faults (EPT violations), a
+//! nested TLB, host-side KSM, and a simple SSD swap for overcommit.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawkeye_virt::{VirtSystem, VmSpec};
+//! use hawkeye_kernel::{KernelConfig, BasePagesOnly, MemOp, workload::script};
+//! use hawkeye_policies::LinuxThp;
+//! use hawkeye_vm::{Vpn, VmaKind};
+//!
+//! let mut sys = VirtSystem::new(KernelConfig::small(), Box::new(LinuxThp::default()));
+//! let vm = sys.add_vm(VmSpec { frames: 8 * 1024 }, Box::new(BasePagesOnly));
+//! sys.spawn_in_vm(vm, script("w", vec![
+//!     MemOp::Mmap { start: Vpn(0), pages: 512, kind: VmaKind::Anon },
+//!     MemOp::TouchRange { start: Vpn(0), pages: 512, write: true, think: 50, stride: 1, repeats: 1 },
+//! ]));
+//! sys.run();
+//! assert!(sys.guest(vm).process(1).unwrap().is_finished());
+//! ```
+
+pub mod system;
+
+pub use system::{VirtConfig, VirtSystem, VmId, VmSpec};

@@ -1,0 +1,80 @@
+//! Error types of the virtual-memory layer.
+
+use crate::types::{Hvpn, Vpn};
+use std::error::Error;
+use std::fmt;
+
+/// Failure of a mapping operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// The virtual page is already mapped.
+    AlreadyMapped {
+        /// Offending page.
+        vpn: Vpn,
+    },
+    /// The virtual page (or region) has no mapping.
+    NotMapped {
+        /// Offending page.
+        vpn: Vpn,
+    },
+    /// The huge region is already covered by a huge mapping.
+    HugeAlreadyMapped {
+        /// Offending region.
+        hvpn: Hvpn,
+    },
+    /// No VMA covers the address.
+    NoVma {
+        /// Offending page.
+        vpn: Vpn,
+    },
+    /// The requested VMA overlaps an existing one.
+    VmaOverlap {
+        /// Start of the requested area.
+        start: Vpn,
+    },
+    /// The region is not entirely inside one VMA (huge mappings must be).
+    RegionNotCovered {
+        /// Offending region.
+        hvpn: Hvpn,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::AlreadyMapped { vpn } => write!(f, "{vpn} is already mapped"),
+            MapError::NotMapped { vpn } => write!(f, "{vpn} is not mapped"),
+            MapError::HugeAlreadyMapped { hvpn } => {
+                write!(f, "{hvpn} is already mapped by a huge page")
+            }
+            MapError::NoVma { vpn } => write!(f, "no vma covers {vpn}"),
+            MapError::VmaOverlap { start } => {
+                write!(f, "requested vma at {start} overlaps an existing area")
+            }
+            MapError::RegionNotCovered { hvpn } => {
+                write!(f, "{hvpn} is not fully covered by a single vma")
+            }
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_address() {
+        let e = MapError::AlreadyMapped { vpn: Vpn(0x10) };
+        assert!(e.to_string().contains("0x10"));
+        let e = MapError::RegionNotCovered { hvpn: Hvpn(2) };
+        assert!(e.to_string().contains("hvpn"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MapError>();
+    }
+}

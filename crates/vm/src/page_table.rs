@@ -1,0 +1,453 @@
+//! Mixed-granularity page table with accessed/dirty bits.
+//!
+//! One table maps base pages (4 KB) and huge regions (2 MB) side by side;
+//! a huge mapping covers its whole region and shadows any base mapping
+//! (the two are kept mutually exclusive per region).
+//!
+//! Accessed bits are set on every simulated access and sampled-and-cleared
+//! by the policies — this is the substrate for Ingens' utilization
+//! tracking and HawkEye's access-coverage sampling (§3.3).
+
+use crate::error::MapError;
+use crate::types::{Hvpn, PageSize, Vpn};
+use hawkeye_mem::Pfn;
+use std::collections::BTreeMap;
+
+/// A 4 KB page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaseEntry {
+    /// Backing frame.
+    pub pfn: Pfn,
+    /// Hardware accessed bit (set on access, cleared by sampling).
+    pub accessed: bool,
+    /// Hardware dirty bit.
+    pub dirty: bool,
+    /// This entry maps the canonical zero page copy-on-write: reads share
+    /// the zero frame; the first write must fault to allocate a private
+    /// frame. Set by bloat recovery's zero-page de-duplication.
+    pub zero_cow: bool,
+}
+
+/// A 2 MB page-table entry (`pfn` is huge-aligned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HugeEntry {
+    /// Backing frame of the first base page (huge-aligned).
+    pub pfn: Pfn,
+    /// Hardware accessed bit.
+    pub accessed: bool,
+    /// Hardware dirty bit.
+    pub dirty: bool,
+}
+
+/// Result of a successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Frame backing the *specific base page* queried (for huge mappings,
+    /// the region frame plus the page's offset).
+    pub pfn: Pfn,
+    /// Granularity of the mapping that translated the address.
+    pub size: PageSize,
+    /// Whether the mapping is a zero-page COW entry.
+    pub zero_cow: bool,
+}
+
+/// One access-coverage sample of a huge region (see §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessSample {
+    /// Base pages currently mapped in the region (0-512); 512 if mapped
+    /// huge.
+    pub mapped: u32,
+    /// Base pages whose accessed bit was set (for huge mappings: 512 if
+    /// the single entry was accessed, else 0).
+    pub accessed: u32,
+    /// Whether the region is mapped by a huge page.
+    pub is_huge: bool,
+}
+
+/// Mixed 4 KB / 2 MB page table.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_vm::{PageTable, Vpn, Hvpn, PageSize};
+/// use hawkeye_mem::Pfn;
+///
+/// let mut pt = PageTable::new();
+/// pt.map_base(Vpn(0), Pfn(10), false)?;
+/// pt.map_huge(Hvpn(1), Pfn(512))?;
+/// assert_eq!(pt.translate(Vpn(0)).unwrap().size, PageSize::Base);
+/// let t = pt.translate(Vpn(512 + 7)).unwrap();
+/// assert_eq!(t.size, PageSize::Huge);
+/// assert_eq!(t.pfn, Pfn(512 + 7));
+/// # Ok::<(), hawkeye_vm::MapError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    base: BTreeMap<Vpn, BaseEntry>,
+    huge: BTreeMap<Hvpn, HugeEntry>,
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of base-page mappings.
+    pub fn base_count(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Number of huge mappings.
+    pub fn huge_count(&self) -> u64 {
+        self.huge.len() as u64
+    }
+
+    /// Resident set size in base pages (base mappings + 512 per huge
+    /// mapping). Zero-COW mappings count, as Linux's RSS does for mapped
+    /// zero pages backed by real huge frames; callers wanting "unique"
+    /// memory subtract shared zero pages themselves.
+    pub fn rss_pages(&self) -> u64 {
+        self.base_count() + 512 * self.huge_count()
+    }
+
+    /// Translates a base page, without touching accessed bits.
+    pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
+        if let Some(h) = self.huge.get(&vpn.hvpn()) {
+            return Some(Translation {
+                pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
+                size: PageSize::Huge,
+                zero_cow: false,
+            });
+        }
+        self.base.get(&vpn).map(|e| Translation { pfn: e.pfn, size: PageSize::Base, zero_cow: e.zero_cow })
+    }
+
+    /// Translates and records an access (sets accessed, and dirty on
+    /// writes). Returns `None` when unmapped — the caller takes a fault.
+    ///
+    /// A *write* to a zero-COW entry also returns `None`: the caller must
+    /// take a COW fault and replace the mapping.
+    pub fn access(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
+        if let Some(h) = self.huge.get_mut(&vpn.hvpn()) {
+            h.accessed = true;
+            h.dirty |= write;
+            return Some(Translation {
+                pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
+                size: PageSize::Huge,
+                zero_cow: false,
+            });
+        }
+        let e = self.base.get_mut(&vpn)?;
+        if write && e.zero_cow {
+            return None;
+        }
+        e.accessed = true;
+        e.dirty |= write;
+        Some(Translation { pfn: e.pfn, size: PageSize::Base, zero_cow: e.zero_cow })
+    }
+
+    /// Looks up the base entry for `vpn`, if any.
+    pub fn base_entry(&self, vpn: Vpn) -> Option<&BaseEntry> {
+        self.base.get(&vpn)
+    }
+
+    /// Looks up the huge entry for `hvpn`, if any.
+    pub fn huge_entry(&self, hvpn: Hvpn) -> Option<&HugeEntry> {
+        self.huge.get(&hvpn)
+    }
+
+    /// Maps a base page.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::AlreadyMapped`] if the page is mapped (by a base or
+    /// huge entry).
+    pub fn map_base(&mut self, vpn: Vpn, pfn: Pfn, zero_cow: bool) -> Result<(), MapError> {
+        if self.huge.contains_key(&vpn.hvpn()) || self.base.contains_key(&vpn) {
+            return Err(MapError::AlreadyMapped { vpn });
+        }
+        self.base.insert(vpn, BaseEntry { pfn, accessed: false, dirty: false, zero_cow });
+        Ok(())
+    }
+
+    /// Maps a huge region.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::HugeAlreadyMapped`] if a huge mapping exists;
+    /// [`MapError::AlreadyMapped`] if any base page in the region is
+    /// mapped (the caller must collapse/unmap those first).
+    pub fn map_huge(&mut self, hvpn: Hvpn, pfn: Pfn) -> Result<(), MapError> {
+        if self.huge.contains_key(&hvpn) {
+            return Err(MapError::HugeAlreadyMapped { hvpn });
+        }
+        if let Some((vpn, _)) = self.base.range(hvpn.base_vpn()..=hvpn.vpn_at(511)).next() {
+            return Err(MapError::AlreadyMapped { vpn: *vpn });
+        }
+        self.huge.insert(hvpn, HugeEntry { pfn, accessed: false, dirty: false });
+        Ok(())
+    }
+
+    /// Removes a base mapping, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if no base entry exists for `vpn`.
+    pub fn unmap_base(&mut self, vpn: Vpn) -> Result<BaseEntry, MapError> {
+        self.base.remove(&vpn).ok_or(MapError::NotMapped { vpn })
+    }
+
+    /// Removes a huge mapping, returning its entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if no huge entry exists for `hvpn`.
+    pub fn unmap_huge(&mut self, hvpn: Hvpn) -> Result<HugeEntry, MapError> {
+        self.huge.remove(&hvpn).ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })
+    }
+
+    /// Splits a huge mapping into 512 base mappings over the same frames
+    /// (demotion). Accessed/dirty bits are inherited by every base entry,
+    /// as hardware cannot tell which constituent pages were touched.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if the region has no huge mapping.
+    pub fn split_huge(&mut self, hvpn: Hvpn) -> Result<HugeEntry, MapError> {
+        let entry = self.unmap_huge(hvpn)?;
+        for i in 0..512u64 {
+            self.base.insert(
+                hvpn.vpn_at(i),
+                BaseEntry {
+                    pfn: Pfn(entry.pfn.0 + i),
+                    accessed: entry.accessed,
+                    dirty: entry.dirty,
+                    zero_cow: false,
+                },
+            );
+        }
+        Ok(entry)
+    }
+
+    /// Removes and returns every base entry inside a huge region
+    /// (promotion collapse: the caller copies the pages into a huge frame
+    /// and then maps it with [`PageTable::map_huge`]).
+    pub fn take_base_entries_in_region(&mut self, hvpn: Hvpn) -> Vec<(Vpn, BaseEntry)> {
+        let keys: Vec<Vpn> =
+            self.base.range(hvpn.base_vpn()..=hvpn.vpn_at(511)).map(|(k, _)| *k).collect();
+        keys.into_iter().map(|k| (k, self.base.remove(&k).expect("key just seen"))).collect()
+    }
+
+    /// Number of base pages mapped in a region (512 for huge mappings) —
+    /// Ingens' *utilization* metric.
+    pub fn region_mapped_count(&self, hvpn: Hvpn) -> u32 {
+        if self.huge.contains_key(&hvpn) {
+            return 512;
+        }
+        self.base.range(hvpn.base_vpn()..=hvpn.vpn_at(511)).count() as u32
+    }
+
+    /// Samples a region's accessed bits and clears them — one window of
+    /// HawkEye's access-coverage measurement.
+    pub fn sample_and_clear_access(&mut self, hvpn: Hvpn) -> AccessSample {
+        if let Some(h) = self.huge.get_mut(&hvpn) {
+            let accessed = if h.accessed { 512 } else { 0 };
+            h.accessed = false;
+            return AccessSample { mapped: 512, accessed, is_huge: true };
+        }
+        let mut mapped = 0;
+        let mut accessed = 0;
+        for (_, e) in self.base.range_mut(hvpn.base_vpn()..=hvpn.vpn_at(511)) {
+            mapped += 1;
+            if e.accessed {
+                accessed += 1;
+                e.accessed = false;
+            }
+        }
+        AccessSample { mapped, accessed, is_huge: false }
+    }
+
+    /// Iterates all huge mappings in VA order.
+    pub fn huge_mappings(&self) -> impl Iterator<Item = (Hvpn, &HugeEntry)> {
+        self.huge.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Iterates all base mappings in VA order.
+    pub fn base_mappings(&self) -> impl Iterator<Item = (Vpn, &BaseEntry)> {
+        self.base.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// The distinct huge regions that currently have any mapping, in VA
+    /// order (the scan list used by promotion policies).
+    pub fn mapped_regions(&self) -> Vec<Hvpn> {
+        let mut out: Vec<Hvpn> = self.huge.keys().copied().collect();
+        let mut last: Option<Hvpn> = None;
+        for vpn in self.base.keys() {
+            let h = vpn.hvpn();
+            if last != Some(h) {
+                out.push(h);
+                last = Some(h);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Rewrites the frame of the base mapping at `vpn` (page migration).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::NotMapped`] if no base entry exists.
+    pub fn remap_base(&mut self, vpn: Vpn, new_pfn: Pfn) -> Result<(), MapError> {
+        let e = self.base.get_mut(&vpn).ok_or(MapError::NotMapped { vpn })?;
+        e.pfn = new_pfn;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_and_huge_coexist_in_different_regions() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(0), Pfn(1), false).unwrap();
+        pt.map_huge(Hvpn(1), Pfn(512)).unwrap();
+        assert_eq!(pt.base_count(), 1);
+        assert_eq!(pt.huge_count(), 1);
+        assert_eq!(pt.rss_pages(), 513);
+    }
+
+    #[test]
+    fn huge_mapping_shadows_whole_region() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Hvpn(0), Pfn(0)).unwrap();
+        for i in [0u64, 100, 511] {
+            let t = pt.translate(Vpn(i)).unwrap();
+            assert_eq!(t.size, PageSize::Huge);
+            assert_eq!(t.pfn, Pfn(i));
+        }
+        assert!(pt.translate(Vpn(512)).is_none());
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(5), Pfn(1), false).unwrap();
+        assert!(matches!(pt.map_base(Vpn(5), Pfn(2), false), Err(MapError::AlreadyMapped { .. })));
+        // Huge map over existing base entry rejected.
+        assert!(matches!(pt.map_huge(Hvpn(0), Pfn(0)), Err(MapError::AlreadyMapped { .. })));
+        pt.map_huge(Hvpn(1), Pfn(512)).unwrap();
+        assert!(matches!(pt.map_huge(Hvpn(1), Pfn(1024)), Err(MapError::HugeAlreadyMapped { .. })));
+        // Base map under a huge mapping rejected.
+        assert!(matches!(
+            pt.map_base(Vpn(513), Pfn(9), false),
+            Err(MapError::AlreadyMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn access_sets_and_sampling_clears_bits() {
+        let mut pt = PageTable::new();
+        for i in 0..10 {
+            pt.map_base(Vpn(i), Pfn(100 + i), false).unwrap();
+        }
+        pt.access(Vpn(0), false).unwrap();
+        pt.access(Vpn(1), true).unwrap();
+        let s = pt.sample_and_clear_access(Hvpn(0));
+        assert_eq!(s.mapped, 10);
+        assert_eq!(s.accessed, 2);
+        assert!(!s.is_huge);
+        // Bits were cleared.
+        let s2 = pt.sample_and_clear_access(Hvpn(0));
+        assert_eq!(s2.accessed, 0);
+        // Dirty bit persists.
+        assert!(pt.base_entry(Vpn(1)).unwrap().dirty);
+        assert!(!pt.base_entry(Vpn(0)).unwrap().dirty);
+    }
+
+    #[test]
+    fn huge_access_sampling() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Hvpn(2), Pfn(1024)).unwrap();
+        assert_eq!(pt.sample_and_clear_access(Hvpn(2)).accessed, 0);
+        pt.access(Vpn(2 * 512 + 3), false).unwrap();
+        let s = pt.sample_and_clear_access(Hvpn(2));
+        assert_eq!((s.mapped, s.accessed), (512, 512));
+        assert!(s.is_huge);
+    }
+
+    #[test]
+    fn zero_cow_write_faults() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(7), Pfn(0), true).unwrap();
+        // Reads succeed.
+        let t = pt.access(Vpn(7), false).unwrap();
+        assert!(t.zero_cow);
+        // Writes demand a COW fault.
+        assert!(pt.access(Vpn(7), true).is_none());
+        // Kernel resolves the fault by remapping.
+        pt.unmap_base(Vpn(7)).unwrap();
+        pt.map_base(Vpn(7), Pfn(55), false).unwrap();
+        assert!(pt.access(Vpn(7), true).is_some());
+    }
+
+    #[test]
+    fn split_huge_inherits_bits() {
+        let mut pt = PageTable::new();
+        pt.map_huge(Hvpn(0), Pfn(0)).unwrap();
+        pt.access(Vpn(5), true).unwrap();
+        let e = pt.split_huge(Hvpn(0)).unwrap();
+        assert_eq!(e.pfn, Pfn(0));
+        assert_eq!(pt.base_count(), 512);
+        assert_eq!(pt.huge_count(), 0);
+        let b = pt.base_entry(Vpn(100)).unwrap();
+        assert_eq!(b.pfn, Pfn(100));
+        assert!(b.accessed && b.dirty);
+    }
+
+    #[test]
+    fn collapse_takes_all_entries() {
+        let mut pt = PageTable::new();
+        for i in 0..50 {
+            pt.map_base(Vpn(i * 2), Pfn(i), false).unwrap();
+        }
+        let taken = pt.take_base_entries_in_region(Hvpn(0));
+        assert_eq!(taken.len(), 50);
+        assert_eq!(pt.base_count(), 0);
+        pt.map_huge(Hvpn(0), Pfn(512)).unwrap();
+        assert_eq!(pt.region_mapped_count(Hvpn(0)), 512);
+    }
+
+    #[test]
+    fn mapped_regions_sorted_and_deduped() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(1030), Pfn(1), false).unwrap();
+        pt.map_base(Vpn(1031), Pfn(2), false).unwrap();
+        pt.map_huge(Hvpn(0), Pfn(0)).unwrap();
+        pt.map_base(Vpn(5000), Pfn(3), false).unwrap();
+        assert_eq!(pt.mapped_regions(), vec![Hvpn(0), Hvpn(2), Hvpn(9)]);
+    }
+
+    #[test]
+    fn remap_base_moves_frame() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(3), Pfn(9), false).unwrap();
+        pt.remap_base(Vpn(3), Pfn(90)).unwrap();
+        assert_eq!(pt.translate(Vpn(3)).unwrap().pfn, Pfn(90));
+        assert!(pt.remap_base(Vpn(4), Pfn(1)).is_err());
+    }
+
+    #[test]
+    fn region_mapped_count_partial() {
+        let mut pt = PageTable::new();
+        for i in 0..461 {
+            pt.map_base(Vpn(i), Pfn(i), false).unwrap();
+        }
+        // 461/512 = 90%: Ingens' default promotion threshold.
+        assert_eq!(pt.region_mapped_count(Hvpn(0)), 461);
+    }
+}

@@ -1,0 +1,169 @@
+//! Virtual-address newtypes.
+
+use hawkeye_mem::{BASE_PAGES_PER_HUGE, BASE_PAGE_SHIFT};
+use std::fmt;
+
+/// Page size of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageSize {
+    /// 4 KB base page.
+    #[default]
+    Base,
+    /// 2 MB huge page.
+    Huge,
+}
+
+impl PageSize {
+    /// Number of base pages this mapping covers (1 or 512).
+    #[inline]
+    pub fn base_pages(self) -> u64 {
+        match self {
+            PageSize::Base => 1,
+            PageSize::Huge => BASE_PAGES_PER_HUGE,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Base => write!(f, "4KB"),
+            PageSize::Huge => write!(f, "2MB"),
+        }
+    }
+}
+
+/// A virtual page number at base-page (4 KB) granularity.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_vm::{Vpn, Hvpn};
+///
+/// let vpn = Vpn(513);
+/// assert_eq!(vpn.hvpn(), Hvpn(1));
+/// assert_eq!(vpn.huge_offset(), 1);
+/// assert!(!vpn.is_huge_aligned());
+/// assert!(Vpn(512).is_huge_aligned());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// The huge-page-sized region containing this page.
+    #[inline]
+    pub fn hvpn(self) -> Hvpn {
+        Hvpn(self.0 >> 9)
+    }
+
+    /// Offset (0-511) of this page within its huge region.
+    #[inline]
+    pub fn huge_offset(self) -> u64 {
+        self.0 & (BASE_PAGES_PER_HUGE - 1)
+    }
+
+    /// Whether this page starts a huge region.
+    #[inline]
+    pub fn is_huge_aligned(self) -> bool {
+        self.huge_offset() == 0
+    }
+
+    /// The virtual byte address of this page.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        self.0 << BASE_PAGE_SHIFT
+    }
+
+    /// Constructs from a virtual byte address (truncating within the page).
+    #[inline]
+    pub fn from_addr(addr: u64) -> Self {
+        Vpn(addr >> BASE_PAGE_SHIFT)
+    }
+}
+
+impl fmt::Display for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+/// A huge-page-region number: index of a 2 MB-aligned virtual region.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_vm::{Hvpn, Vpn};
+///
+/// let h = Hvpn(2);
+/// assert_eq!(h.base_vpn(), Vpn(1024));
+/// assert_eq!(h.vpn_at(5), Vpn(1029));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Hvpn(pub u64);
+
+impl Hvpn {
+    /// First base page of the region.
+    #[inline]
+    pub fn base_vpn(self) -> Vpn {
+        Vpn(self.0 << 9)
+    }
+
+    /// The `i`-th base page of the region (`i` in 0..512).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= 512`.
+    #[inline]
+    pub fn vpn_at(self, i: u64) -> Vpn {
+        debug_assert!(i < BASE_PAGES_PER_HUGE);
+        Vpn((self.0 << 9) + i)
+    }
+
+    /// Iterates the 512 base pages of the region.
+    pub fn base_pages(self) -> impl Iterator<Item = Vpn> {
+        let start = self.0 << 9;
+        (start..start + BASE_PAGES_PER_HUGE).map(Vpn)
+    }
+}
+
+impl fmt::Display for Hvpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hvpn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_hvpn_mapping() {
+        assert_eq!(Vpn(0).hvpn(), Hvpn(0));
+        assert_eq!(Vpn(511).hvpn(), Hvpn(0));
+        assert_eq!(Vpn(512).hvpn(), Hvpn(1));
+        assert_eq!(Hvpn(1).base_vpn(), Vpn(512));
+        assert_eq!(Vpn(1000).huge_offset(), 1000 - 512);
+    }
+
+    #[test]
+    fn region_iteration_covers_512_pages() {
+        let pages: Vec<Vpn> = Hvpn(3).base_pages().collect();
+        assert_eq!(pages.len(), 512);
+        assert_eq!(pages[0], Vpn(3 * 512));
+        assert_eq!(pages[511], Vpn(4 * 512 - 1));
+        assert!(pages.iter().all(|v| v.hvpn() == Hvpn(3)));
+    }
+
+    #[test]
+    fn addr_round_trip() {
+        assert_eq!(Vpn::from_addr(0x1234_5678), Vpn(0x1234_5678 >> 12));
+        assert_eq!(Vpn(5).addr(), 5 * 4096);
+    }
+
+    #[test]
+    fn page_size_base_pages() {
+        assert_eq!(PageSize::Base.base_pages(), 1);
+        assert_eq!(PageSize::Huge.base_pages(), 512);
+        assert_eq!(format!("{} {}", PageSize::Base, PageSize::Huge), "4KB 2MB");
+    }
+}

@@ -1,0 +1,162 @@
+//! Virtual memory areas.
+//!
+//! A [`Vma`] is a contiguous range of virtual pages with a kind. Linux THP
+//! only backs *anonymous* areas with huge pages, which is the property
+//! HawkEye's bloat recovery relies on (§3.2: huge pages are zero-filled
+//! anonymous allocations), so the kind matters to every policy.
+
+use crate::types::{Hvpn, Vpn};
+use std::fmt;
+
+/// What backs a virtual memory area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VmaKind {
+    /// Anonymous, zero-fill-on-demand memory (heap, mmap(MAP_ANONYMOUS)).
+    /// The only kind eligible for transparent huge pages.
+    #[default]
+    Anon,
+    /// File-backed mapping; never huge, prefers non-zeroed frames.
+    File,
+}
+
+/// A contiguous virtual memory area.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_vm::{Vma, VmaKind, Vpn};
+///
+/// let vma = Vma::new(Vpn(1024), 2048, VmaKind::Anon);
+/// assert!(vma.contains(Vpn(1024)));
+/// assert!(vma.contains(Vpn(3071)));
+/// assert!(!vma.contains(Vpn(3072)));
+/// assert_eq!(vma.pages(), 2048);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vma {
+    start: Vpn,
+    pages: u64,
+    kind: VmaKind,
+}
+
+impl Vma {
+    /// Creates an area of `pages` base pages starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is 0.
+    pub fn new(start: Vpn, pages: u64, kind: VmaKind) -> Self {
+        assert!(pages > 0, "empty vma");
+        Vma { start, pages, kind }
+    }
+
+    /// First page of the area.
+    pub fn start(&self) -> Vpn {
+        self.start
+    }
+
+    /// One past the last page of the area.
+    pub fn end(&self) -> Vpn {
+        Vpn(self.start.0 + self.pages)
+    }
+
+    /// Length in base pages.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// The area's kind.
+    pub fn kind(&self) -> VmaKind {
+        self.kind
+    }
+
+    /// Whether `vpn` lies inside the area.
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        vpn >= self.start && vpn < self.end()
+    }
+
+    /// Whether the area is eligible for transparent huge pages.
+    pub fn huge_eligible(&self) -> bool {
+        self.kind == VmaKind::Anon
+    }
+
+    /// Whether an entire huge region lies inside the area (a precondition
+    /// for mapping it with a huge page).
+    pub fn covers_region(&self, hvpn: Hvpn) -> bool {
+        let first = hvpn.base_vpn();
+        let last = hvpn.vpn_at(511);
+        self.contains(first) && self.contains(last)
+    }
+
+    /// Whether two areas overlap.
+    pub fn overlaps(&self, other: &Vma) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Iterates the huge regions fully covered by this area.
+    pub fn covered_regions(&self) -> impl Iterator<Item = Hvpn> + '_ {
+        let first = self.start.0.div_ceil(512);
+        let last = self.end().0 / 512;
+        (first..last).map(Hvpn)
+    }
+}
+
+impl fmt::Display for Vma {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vma[{:#x}..{:#x} {:?}]", self.start.0, self.end().0, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_bounds() {
+        let v = Vma::new(Vpn(10), 5, VmaKind::Anon);
+        assert!(v.contains(Vpn(10)));
+        assert!(v.contains(Vpn(14)));
+        assert!(!v.contains(Vpn(15)));
+        assert!(!v.contains(Vpn(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vma")]
+    fn empty_vma_rejected() {
+        let _ = Vma::new(Vpn(0), 0, VmaKind::Anon);
+    }
+
+    #[test]
+    fn only_anon_is_huge_eligible() {
+        assert!(Vma::new(Vpn(0), 512, VmaKind::Anon).huge_eligible());
+        assert!(!Vma::new(Vpn(0), 512, VmaKind::File).huge_eligible());
+    }
+
+    #[test]
+    fn region_coverage() {
+        // Aligned, exactly one region.
+        let v = Vma::new(Vpn(512), 512, VmaKind::Anon);
+        assert!(v.covers_region(Hvpn(1)));
+        assert!(!v.covers_region(Hvpn(0)));
+        assert!(!v.covers_region(Hvpn(2)));
+        // Unaligned VMA covers no complete region despite 512 pages.
+        let v = Vma::new(Vpn(100), 512, VmaKind::Anon);
+        assert!(!v.covers_region(Hvpn(0)));
+        assert!(!v.covers_region(Hvpn(1)));
+        assert_eq!(v.covered_regions().count(), 0);
+        // Large area covers interior regions only.
+        let v = Vma::new(Vpn(100), 3 * 512, VmaKind::Anon);
+        let regions: Vec<Hvpn> = v.covered_regions().collect();
+        assert_eq!(regions, vec![Hvpn(1), Hvpn(2)]);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Vma::new(Vpn(0), 100, VmaKind::Anon);
+        let b = Vma::new(Vpn(99), 10, VmaKind::Anon);
+        let c = Vma::new(Vpn(100), 10, VmaKind::Anon);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+}

@@ -1,0 +1,231 @@
+//! The Table 2 census: 79 application profiles across 7 benchmark suites.
+//!
+//! The paper observes that fewer than 20 % of applications in popular
+//! suites are TLB-sensitive (> 3 % speedup from huge pages):
+//!
+//! | Suite            | Total | TLB-sensitive |
+//! |------------------|-------|---------------|
+//! | SPEC CPU2006 int | 12    | 4 (mcf, astar, omnetpp, xalancbmk) |
+//! | SPEC CPU2006 fp  | 19    | 3 (zeusmp, GemsFDTD, cactusADM)    |
+//! | PARSEC           | 13    | 2 (canneal, dedup)                 |
+//! | SPLASH-2         | 10    | 0                                  |
+//! | Biobench         | 9     | 2 (tigr, mummer)                   |
+//! | NPB              | 9     | 2 (cg, bt)                         |
+//! | CloudSuite       | 7     | 2 (graph-, data-analytics)         |
+//!
+//! Each profile is a synthetic kernel whose pattern shape makes it TLB
+//! sensitive (random gathers over a large footprint) or insensitive
+//! (sequential/strided sweeps or small footprints).
+
+use crate::npb::{NpbKernel, Pattern};
+
+/// One application profile in the census.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Benchmark suite the application belongs to.
+    pub suite: &'static str,
+    /// Application name.
+    pub name: &'static str,
+    /// Footprint in 2 MB regions.
+    pub regions: u64,
+    /// Access-pattern shape.
+    pub pattern: Pattern,
+    /// Whether the paper classifies it TLB-sensitive.
+    pub expected_sensitive: bool,
+}
+
+impl AppProfile {
+    /// Builds a runnable workload for this profile performing `iters`
+    /// pattern chunks.
+    pub fn workload(&self, iters: u64) -> NpbKernel {
+        let seed = self
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        NpbKernel::new(self.name, self.regions, self.pattern, iters, 60, seed)
+    }
+}
+
+const RND: Pattern = Pattern::Random { wss: 0.6 };
+const SEQ: Pattern = Pattern::Sequential { repeats: 48 };
+const STR: Pattern = Pattern::Strided { stride: 5, repeats: 32 };
+
+fn app(
+    suite: &'static str,
+    name: &'static str,
+    regions: u64,
+    pattern: Pattern,
+    expected_sensitive: bool,
+) -> AppProfile {
+    AppProfile { suite, name, regions, pattern, expected_sensitive }
+}
+
+/// The full 79-application census.
+pub fn census() -> Vec<AppProfile> {
+    let mut apps = Vec::new();
+    // SPEC CPU2006 integer: 12 apps, 4 sensitive.
+    for (name, regions, pat, s) in [
+        ("perlbench", 4, SEQ, false),
+        ("bzip2", 6, SEQ, false),
+        ("gcc", 6, STR, false),
+        ("mcf", 24, RND, true),
+        ("gobmk", 2, SEQ, false),
+        ("hmmer", 2, SEQ, false),
+        ("sjeng", 2, SEQ, false),
+        ("libquantum", 4, SEQ, false),
+        ("h264ref", 3, SEQ, false),
+        ("omnetpp", 16, RND, true),
+        ("astar", 16, RND, true),
+        ("xalancbmk", 18, RND, true),
+    ] {
+        apps.push(app("spec-int", name, regions, pat, s));
+    }
+    // SPEC CPU2006 fp: 19 apps, 3 sensitive.
+    for (name, regions, pat, s) in [
+        ("bwaves", 12, SEQ, false),
+        ("gamess", 2, SEQ, false),
+        ("milc", 10, STR, false),
+        ("zeusmp", 16, RND, true),
+        ("gromacs", 2, SEQ, false),
+        ("cactusADM", 16, RND, true),
+        ("leslie3d", 8, SEQ, false),
+        ("namd", 2, SEQ, false),
+        ("dealII", 4, SEQ, false),
+        ("soplex", 8, STR, false),
+        ("povray", 1, SEQ, false),
+        ("calculix", 2, SEQ, false),
+        ("GemsFDTD", 16, RND, true),
+        ("tonto", 2, SEQ, false),
+        ("lbm", 6, SEQ, false),
+        ("wrf", 8, STR, false),
+        ("sphinx3", 2, SEQ, false),
+        ("gemsfdtd-train", 4, SEQ, false),
+        ("specrand", 1, SEQ, false),
+    ] {
+        apps.push(app("spec-fp", name, regions, pat, s));
+    }
+    // PARSEC: 13 apps, 2 sensitive.
+    for (name, regions, pat, s) in [
+        ("blackscholes", 2, SEQ, false),
+        ("bodytrack", 2, SEQ, false),
+        ("canneal", 20, RND, true),
+        ("dedup", 18, RND, true),
+        ("facesim", 4, SEQ, false),
+        ("ferret", 3, STR, false),
+        ("fluidanimate", 4, SEQ, false),
+        ("freqmine", 4, SEQ, false),
+        ("raytrace", 4, SEQ, false),
+        ("streamcluster", 6, SEQ, false),
+        ("swaptions", 1, SEQ, false),
+        ("vips", 3, SEQ, false),
+        ("x264", 3, SEQ, false),
+    ] {
+        apps.push(app("parsec", name, regions, pat, s));
+    }
+    // SPLASH-2: 10 apps, none sensitive.
+    for name in
+        ["barnes", "fmm", "ocean", "radiosity", "radix", "raytrace-s", "volrend", "water-ns", "water-sp", "cholesky"]
+    {
+        apps.push(app("splash-2", name, 3, SEQ, false));
+    }
+    // Biobench: 9 apps, 2 sensitive.
+    for (name, regions, pat, s) in [
+        ("blastn", 4, SEQ, false),
+        ("blastp", 4, SEQ, false),
+        ("clustalw", 2, SEQ, false),
+        ("fasta", 4, STR, false),
+        ("hmmer-bio", 2, SEQ, false),
+        ("mummer", 20, RND, true),
+        ("phylip", 2, SEQ, false),
+        ("tigr", 22, RND, true),
+        ("ce", 2, SEQ, false),
+    ] {
+        apps.push(app("biobench", name, regions, pat, s));
+    }
+    // NPB: 9 apps, 2 sensitive (cg, bt per Table 2).
+    for (name, regions, pat, s) in [
+        ("bt", 14, Pattern::Random { wss: 0.35 }, true),
+        ("cg", 16, RND, true),
+        ("dc", 4, SEQ, false),
+        ("ep", 1, SEQ, false),
+        ("ft", 10, STR, false),
+        ("is", 4, SEQ, false),
+        ("lu", 8, SEQ, false),
+        ("mg", 24, SEQ, false),
+        ("sp", 12, STR, false),
+    ] {
+        apps.push(app("npb", name, regions, pat, s));
+    }
+    // CloudSuite: 7 apps, 2 sensitive.
+    for (name, regions, pat, s) in [
+        ("data-analytics", 20, RND, true),
+        ("data-caching", 8, SEQ, false),
+        ("data-serving", 8, STR, false),
+        ("graph-analytics", 24, RND, true),
+        ("media-streaming", 4, SEQ, false),
+        ("web-search", 8, STR, false),
+        ("web-serving", 4, SEQ, false),
+    ] {
+        apps.push(app("cloudsuite", name, regions, pat, s));
+    }
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn census_matches_table2_counts() {
+        let apps = census();
+        assert_eq!(apps.len(), 79);
+        let mut per_suite: BTreeMap<&str, (u32, u32)> = BTreeMap::new();
+        for a in &apps {
+            let e = per_suite.entry(a.suite).or_default();
+            e.0 += 1;
+            e.1 += a.expected_sensitive as u32;
+        }
+        assert_eq!(per_suite["spec-int"], (12, 4));
+        assert_eq!(per_suite["spec-fp"], (19, 3));
+        assert_eq!(per_suite["parsec"], (13, 2));
+        assert_eq!(per_suite["splash-2"], (10, 0));
+        assert_eq!(per_suite["biobench"], (9, 2));
+        assert_eq!(per_suite["npb"], (9, 2));
+        assert_eq!(per_suite["cloudsuite"], (7, 2));
+        let total_sensitive: u32 = apps.iter().map(|a| a.expected_sensitive as u32).sum();
+        assert_eq!(total_sensitive, 15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let apps = census();
+        let mut names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 79);
+    }
+
+    #[test]
+    fn sensitive_apps_use_random_patterns() {
+        for a in census() {
+            if a.expected_sensitive {
+                assert!(
+                    matches!(a.pattern, Pattern::Random { .. }),
+                    "{} marked sensitive but not random",
+                    a.name
+                );
+                assert!(a.regions >= 12, "{} footprint too small to stress the TLB", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_build_runnable_workloads() {
+        use hawkeye_kernel::Workload;
+        let a = &census()[0];
+        let mut w = a.workload(3);
+        assert_eq!(w.name(), a.name);
+        assert!(w.next_op().is_some());
+    }
+}

@@ -1,0 +1,99 @@
+//! Page-content model: first-non-zero-byte distributions (Fig. 3).
+//!
+//! The paper measures, across 56 workloads, that the average distance to
+//! the first non-zero byte of an in-use 4 KB page is only **9.11 bytes** —
+//! the property that makes bloat-recovery scans cheap for in-use pages.
+//! Each workload generator carries a [`DirtModel`] that samples offsets
+//! from a truncated exponential with a per-workload mean.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sampler of first-non-zero-byte offsets for written pages.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_workloads::DirtModel;
+///
+/// let mut d = DirtModel::new(9.11, 7);
+/// let o = d.sample();
+/// assert!(o < 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirtModel {
+    mean: f64,
+    rng: SmallRng,
+}
+
+impl DirtModel {
+    /// Creates a model with the given mean offset (bytes) and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive.
+    pub fn new(mean: f64, seed: u64) -> Self {
+        assert!(mean > 0.0, "mean offset must be positive");
+        DirtModel { mean, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// The paper's cross-workload average (9.11 bytes).
+    pub fn paper_average(seed: u64) -> Self {
+        Self::new(9.11, seed)
+    }
+
+    /// Configured mean offset.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Samples one offset (0–4095), exponentially distributed around the
+    /// mean and truncated to the page.
+    pub fn sample(&mut self) -> u16 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let x = -self.mean * (1.0 - u).ln();
+        (x as u64).min(4095) as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_page() {
+        let mut d = DirtModel::new(9.11, 1);
+        for _ in 0..10_000 {
+            assert!(d.sample() < 4096);
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_configuration() {
+        let mut d = DirtModel::paper_average(42);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample() as u64).sum();
+        let mean = sum as f64 / n as f64;
+        // Truncated exponential with floor-to-int shifts the mean ~0.5 down.
+        assert!((mean - 8.6).abs() < 0.5, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u16> = {
+            let mut d = DirtModel::new(5.0, 7);
+            (0..16).map(|_| d.sample()).collect()
+        };
+        let b: Vec<u16> = {
+            let mut d = DirtModel::new(5.0, 7);
+            (0..16).map(|_| d.sample()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mean_rejected() {
+        let _ = DirtModel::new(0.0, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload generators mirroring the paper's applications.
+//!
+//! The paper evaluates on real software (Redis, Graph500, XSBench, NPB,
+//! SparseHash, HACC-IO, JVM/KVM spin-up) running on a 96 GB server. These
+//! generators reproduce the *access-pattern shapes* those conclusions rest
+//! on — footprints are scaled down (MB-scale) with ratios preserved:
+//!
+//! * [`micro`] — the Table 1 alloc-touch microbenchmark, sequential /
+//!   random scanners (Table 9), VM/JVM spin-up, SparseHash, HACC-IO.
+//! * [`redis`] — a key-value store with insert / delete / serve phases
+//!   (Fig. 1's bloat experiment, Table 7, Table 8, the lightly-loaded
+//!   server of Fig. 8).
+//! * [`graph`] — Graph500/XSBench-like workloads whose **hot regions sit
+//!   in high virtual addresses** (the property that defeats sequential-VA
+//!   promotion in Figs. 5–6), plus a PageRank-like uniform scanner.
+//! * [`npb`] — NAS-Parallel-Benchmark-shaped kernels (cg's random gather,
+//!   mg's sequential sweeps, …) for Table 3.
+//! * [`census`] — 79 synthetic application profiles across 7 suites for
+//!   Table 2's TLB-sensitivity census.
+//! * [`content`] — first-non-zero-byte distributions (Fig. 3).
+
+pub mod census;
+pub mod content;
+pub mod graph;
+pub mod micro;
+pub mod npb;
+pub mod redis;
+
+pub use census::{census, AppProfile};
+pub use content::DirtModel;
+pub use graph::HotspotWorkload;
+pub use micro::{AllocTouch, HaccIo, PatternScan, SparseHash, Spinup};
+pub use npb::{NpbKernel, Pattern};
+pub use redis::{RedisKv, RedisOp};

@@ -1,0 +1,389 @@
+//! Microbenchmarks: alloc-touch (Table 1), sequential/random scanners
+//! (Table 9), spin-up (Table 8), SparseHash, HACC-IO.
+
+use crate::content::DirtModel;
+use hawkeye_kernel::{MemOp, Workload};
+use hawkeye_vm::{VmaKind, Vpn};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+const CHUNK: u64 = 4096;
+
+/// The Table 1 microbenchmark: allocate a buffer, touch one byte in every
+/// base page, free it; repeat for several runs (the paper uses a 10 GB
+/// buffer × 10 runs ≈ 100 GB of allocation).
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_workloads::AllocTouch;
+/// use hawkeye_kernel::Workload;
+///
+/// let mut w = AllocTouch::new(1024, 2, 1150);
+/// assert_eq!(w.name(), "alloc-touch");
+/// assert!(w.next_op().is_some());
+/// ```
+#[derive(Debug)]
+pub struct AllocTouch {
+    pages: u64,
+    think: u32,
+    runs_left: u32,
+    phase: u8,
+    dirt: DirtModel,
+}
+
+impl AllocTouch {
+    /// `pages` per run, `runs` runs, `think` compute cycles per touch.
+    pub fn new(pages: u64, runs: u32, think: u32) -> Self {
+        AllocTouch { pages, think, runs_left: runs, phase: 0, dirt: DirtModel::paper_average(11) }
+    }
+}
+
+impl Workload for AllocTouch {
+    fn name(&self) -> &str {
+        "alloc-touch"
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        if self.runs_left == 0 {
+            return None;
+        }
+        let op = match self.phase {
+            0 => MemOp::Mmap { start: Vpn(0), pages: self.pages, kind: VmaKind::Anon },
+            1 => MemOp::TouchRange {
+                start: Vpn(0),
+                pages: self.pages,
+                write: true,
+                think: self.think,
+                stride: 1,
+                repeats: 1,
+            },
+            _ => MemOp::Munmap { start: Vpn(0) },
+        };
+        if self.phase == 2 {
+            self.phase = 0;
+            self.runs_left -= 1;
+        } else {
+            self.phase += 1;
+        }
+        Some(op)
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+/// Access pattern of a [`PatternScan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanKind {
+    /// Sequential sweeps with intra-page locality (prefetch-friendly;
+    /// negligible MMU overhead regardless of footprint — §2.4).
+    Sequential,
+    /// Uniform random page accesses (worst-case TLB pressure).
+    Random,
+}
+
+/// The `sequential(4GB)` / `random(4GB)` workloads of Table 9.
+#[derive(Debug)]
+pub struct PatternScan {
+    name: String,
+    pages: u64,
+    kind: ScanKind,
+    accesses_left: u64,
+    think: u32,
+    started: bool,
+    cursor: u64,
+    rng: SmallRng,
+    dirt: DirtModel,
+}
+
+impl PatternScan {
+    /// A sequential scanner over `pages`, performing `accesses` page
+    /// touches in repeated sweeps with `repeats` accesses per page.
+    pub fn sequential(pages: u64, accesses: u64, think: u32) -> Self {
+        PatternScan {
+            name: "sequential".into(),
+            pages,
+            kind: ScanKind::Sequential,
+            accesses_left: accesses,
+            think,
+            started: false,
+            cursor: 0,
+            rng: SmallRng::seed_from_u64(21),
+            dirt: DirtModel::paper_average(21),
+        }
+    }
+
+    /// A uniform random scanner over `pages` performing `accesses` single
+    /// page touches.
+    pub fn random(pages: u64, accesses: u64, think: u32) -> Self {
+        PatternScan {
+            name: "random".into(),
+            pages,
+            kind: ScanKind::Random,
+            accesses_left: accesses,
+            think,
+            started: false,
+            cursor: 0,
+            rng: SmallRng::seed_from_u64(22),
+            dirt: DirtModel::paper_average(22),
+        }
+    }
+}
+
+impl Workload for PatternScan {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        if !self.started {
+            self.started = true;
+            return Some(MemOp::Mmap { start: Vpn(0), pages: self.pages, kind: VmaKind::Anon });
+        }
+        if self.accesses_left == 0 {
+            return None;
+        }
+        match self.kind {
+            ScanKind::Sequential => {
+                let span = CHUNK.min(self.pages - self.cursor).min(self.accesses_left.max(1));
+                let start = Vpn(self.cursor);
+                self.cursor = (self.cursor + span) % self.pages;
+                self.accesses_left = self.accesses_left.saturating_sub(span);
+                // Intra-page locality: 64 accesses per page amortize the
+                // TLB miss (the prefetch-friendly shape of §2.4).
+                Some(MemOp::TouchRange { start, pages: span, write: true, think: self.think, stride: 1, repeats: 64 })
+            }
+            ScanKind::Random => {
+                let n = CHUNK.min(self.accesses_left);
+                self.accesses_left -= n;
+                let vpns: Vec<Vpn> =
+                    (0..n).map(|_| Vpn(self.rng.gen_range(0..self.pages))).collect();
+                Some(MemOp::TouchList { vpns, write: false, think: self.think })
+            }
+        }
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+/// VM/JVM spin-up (Table 8): allocate the whole heap and touch every page
+/// as fast as possible — pure fault-path stress.
+#[derive(Debug)]
+pub struct Spinup {
+    name: String,
+    pages: u64,
+    phase: u8,
+    dirt: DirtModel,
+}
+
+impl Spinup {
+    /// A spin-up of `pages` of heap, labeled `name` ("kvm-spinup", ...).
+    pub fn new(name: impl Into<String>, pages: u64) -> Self {
+        Spinup { name: name.into(), pages, phase: 0, dirt: DirtModel::paper_average(31) }
+    }
+}
+
+impl Workload for Spinup {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        self.phase += 1;
+        match self.phase {
+            1 => Some(MemOp::Mmap { start: Vpn(0), pages: self.pages, kind: VmaKind::Anon }),
+            2 => Some(MemOp::TouchRange {
+                start: Vpn(0),
+                pages: self.pages,
+                write: true,
+                think: 0,
+                stride: 1,
+                repeats: 1,
+            }),
+            _ => None,
+        }
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+/// SparseHash-like hash-map population (Table 8): repeated table doubling
+/// — allocate a region twice the size, rehash (sequential writes), free
+/// the old table. Fault-heavy with strong spatial locality.
+#[derive(Debug)]
+pub struct SparseHash {
+    ops: VecDeque<MemOp>,
+    dirt: DirtModel,
+}
+
+impl SparseHash {
+    /// Builds a growth schedule from `initial_pages` doubling `doublings`
+    /// times.
+    pub fn new(initial_pages: u64, doublings: u32, think: u32) -> Self {
+        let mut ops = VecDeque::new();
+        let mut size = initial_pages;
+        let mut base = 0u64;
+        ops.push_back(MemOp::Mmap { start: Vpn(base), pages: size, kind: VmaKind::Anon });
+        ops.push_back(MemOp::TouchRange { start: Vpn(base), pages: size, write: true, think, stride: 1 , repeats: 1});
+        for _ in 0..doublings {
+            let new_base = base + size;
+            let new_size = size * 2;
+            ops.push_back(MemOp::Mmap { start: Vpn(new_base), pages: new_size, kind: VmaKind::Anon });
+            // Rehash: read old, write new.
+            ops.push_back(MemOp::TouchRange { start: Vpn(base), pages: size, write: false, think, stride: 1 , repeats: 1});
+            ops.push_back(MemOp::TouchRange { start: Vpn(new_base), pages: new_size, write: true, think, stride: 1 , repeats: 1});
+            ops.push_back(MemOp::Munmap { start: Vpn(base) });
+            base = new_base;
+            size = new_size;
+        }
+        SparseHash { ops, dirt: DirtModel::new(6.0, 41) }
+    }
+}
+
+impl Workload for SparseHash {
+    fn name(&self) -> &str {
+        "sparsehash"
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        self.ops.pop_front()
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+/// HACC-IO-like in-memory file writer (Table 8): streams a particle
+/// buffer into an in-memory filesystem — sequential writes over a large
+/// fresh allocation, several passes.
+#[derive(Debug)]
+pub struct HaccIo {
+    pages: u64,
+    passes: u32,
+    emitted_mmap: bool,
+    pass: u32,
+    dirt: DirtModel,
+}
+
+impl HaccIo {
+    /// `pages` of buffer, written `passes` times.
+    pub fn new(pages: u64, passes: u32) -> Self {
+        HaccIo { pages, passes, emitted_mmap: false, pass: 0, dirt: DirtModel::new(3.0, 51) }
+    }
+}
+
+impl Workload for HaccIo {
+    fn name(&self) -> &str {
+        "hacc-io"
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        if !self.emitted_mmap {
+            self.emitted_mmap = true;
+            return Some(MemOp::Mmap { start: Vpn(0), pages: self.pages, kind: VmaKind::Anon });
+        }
+        if self.pass >= self.passes {
+            return None;
+        }
+        self.pass += 1;
+        Some(MemOp::TouchRange { start: Vpn(0), pages: self.pages, write: true, think: 200, stride: 1 , repeats: 1})
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{BasePagesOnly, KernelConfig, Simulator};
+
+    #[test]
+    fn alloc_touch_cycles_through_runs() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(AllocTouch::new(512, 3, 100)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().faults, 3 * 512, "memory refaults after each free");
+        assert_eq!(sim.machine().pm().allocated_pages(), 1);
+    }
+
+    #[test]
+    fn random_scan_touches_within_bounds() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(PatternScan::random(2048, 10_000, 50)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().accesses, 10_000);
+        assert!(p.stats().faults <= 2048);
+    }
+
+    #[test]
+    fn sequential_scan_wraps_over_footprint() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(PatternScan::sequential(1024, 3000, 10)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().faults, 1024, "faults only on the first sweep");
+        assert_eq!(p.stats().touches, 3000);
+    }
+
+    #[test]
+    fn random_has_higher_mmu_overhead_than_sequential() {
+        // The §2.4 claim: access pattern, not footprint, determines MMU
+        // overhead.
+        let overhead = |w: Box<dyn Workload>| {
+            let mut sim = Simulator::new(KernelConfig::with_mib(512), Box::new(BasePagesOnly));
+            let pid = sim.spawn(w);
+            sim.run();
+            sim.machine().mmu().lifetime(pid).mmu_overhead()
+        };
+        // Long-running scans so steady-state accesses dominate the
+        // one-time fault costs (the paper's scans run for minutes).
+        let seq = overhead(Box::new(PatternScan::sequential(48 * 1024, 600_000, 30)));
+        let rnd = overhead(Box::new(PatternScan::random(48 * 1024, 600_000, 30)));
+        assert!(rnd > 5.0 * seq, "random {rnd} vs sequential {seq}");
+        assert!(rnd > 0.2, "random scan should be TLB-bound: {rnd}");
+        assert!(seq < 0.05, "sequential scan should be cheap: {seq}");
+    }
+
+    #[test]
+    fn spinup_touches_everything_once() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(Spinup::new("kvm-spinup", 4096)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().faults, 4096);
+        assert_eq!(p.stats().touches, 4096);
+    }
+
+    #[test]
+    fn sparsehash_grows_and_frees() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(SparseHash::new(256, 3, 20)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        // Faults: 256 + 512 + 1024 + 2048 fresh tables.
+        assert_eq!(p.stats().faults, 256 + 512 + 1024 + 2048);
+        assert_eq!(sim.machine().pm().allocated_pages(), 1, "all freed at exit");
+    }
+
+    #[test]
+    fn haccio_performs_passes() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(HaccIo::new(1024, 3)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert_eq!(p.stats().touches, 3 * 1024);
+        assert_eq!(p.stats().faults, 1024);
+    }
+}

@@ -1,0 +1,253 @@
+//! NAS-Parallel-Benchmark-shaped kernels (Table 3, Table 9).
+//!
+//! Table 3's lesson is that working-set size does not predict MMU
+//! overhead: `cg.D` (16 GB, random gathers) spends 39 % of its cycles in
+//! page walks while `mg.D` (24 GB, sequential stencils) spends ~1 %.
+//! These kernels reproduce the pattern *shapes* at scaled footprints.
+
+use crate::content::DirtModel;
+use hawkeye_kernel::{MemOp, Workload};
+use hawkeye_vm::{VmaKind, Vpn};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CHUNK: u64 = 2048;
+
+/// Access pattern of an [`NpbKernel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Sequential sweeps with intra-page reuse (mg, lu, ua — prefetch
+    /// friendly, negligible walk cost).
+    Sequential {
+        /// Accesses per page per sweep.
+        repeats: u32,
+    },
+    /// Uniform random gathers over a fraction of the footprint (cg —
+    /// worst-case TLB pressure).
+    Random {
+        /// Fraction of the footprint forming the working set.
+        wss: f64,
+    },
+    /// Strided sweeps (bt, sp — moderate pressure).
+    Strided {
+        /// Stride between touched pages.
+        stride: u64,
+        /// Accesses per touched page.
+        repeats: u32,
+    },
+}
+
+/// One NPB-like kernel.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_workloads::NpbKernel;
+/// use hawkeye_kernel::Workload;
+///
+/// let mut cg = NpbKernel::cg(16, 100);
+/// assert_eq!(cg.name(), "cg");
+/// assert!(cg.next_op().is_some());
+/// ```
+#[derive(Debug)]
+pub struct NpbKernel {
+    name: String,
+    regions: u64,
+    pattern: Pattern,
+    iters_left: u64,
+    think: u32,
+    phase: u8,
+    cursor: u64,
+    rng: SmallRng,
+    dirt: DirtModel,
+}
+
+impl NpbKernel {
+    /// Fully parameterized constructor. `regions` are 2 MB units of
+    /// footprint; `iters` are pattern chunks after initialization.
+    pub fn new(
+        name: impl Into<String>,
+        regions: u64,
+        pattern: Pattern,
+        iters: u64,
+        think: u32,
+        seed: u64,
+    ) -> Self {
+        NpbKernel {
+            name: name.into(),
+            regions,
+            pattern,
+            iters_left: iters,
+            think,
+            phase: 0,
+            cursor: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            dirt: DirtModel::paper_average(seed ^ 0xbeef),
+        }
+    }
+
+    /// cg: conjugate gradient — random sparse gathers over ~half the
+    /// footprint (the paper's 16 GB RSS / 7–8 GB WSS).
+    pub fn cg(regions: u64, iters: u64) -> Self {
+        Self::new("cg", regions, Pattern::Random { wss: 0.5 }, iters, 60, 201)
+    }
+
+    /// mg: multigrid — sequential stencil sweeps (24 GB, <1 % overhead).
+    pub fn mg(regions: u64, iters: u64) -> Self {
+        Self::new("mg", regions, Pattern::Sequential { repeats: 64 }, iters, 30, 202)
+    }
+
+    /// bt: block tridiagonal — strided plane sweeps.
+    pub fn bt(regions: u64, iters: u64) -> Self {
+        Self::new("bt", regions, Pattern::Strided { stride: 7, repeats: 6 }, iters, 50, 203)
+    }
+
+    /// sp: scalar pentadiagonal — strided sweeps, lighter than bt.
+    pub fn sp(regions: u64, iters: u64) -> Self {
+        Self::new("sp", regions, Pattern::Strided { stride: 5, repeats: 12 }, iters, 40, 204)
+    }
+
+    /// lu: lower-upper solver — mostly sequential.
+    pub fn lu(regions: u64, iters: u64) -> Self {
+        Self::new("lu", regions, Pattern::Sequential { repeats: 48 }, iters, 40, 205)
+    }
+
+    /// ua: unstructured adaptive — sequential with small working set.
+    pub fn ua(regions: u64, iters: u64) -> Self {
+        Self::new("ua", regions, Pattern::Sequential { repeats: 32 }, iters, 40, 206)
+    }
+
+    /// ft: FFT — phased sweeps with moderate reuse.
+    pub fn ft(regions: u64, iters: u64) -> Self {
+        Self::new("ft", regions, Pattern::Strided { stride: 3, repeats: 10 }, iters, 40, 207)
+    }
+
+    /// Footprint in base pages.
+    pub fn pages(&self) -> u64 {
+        self.regions * 512
+    }
+}
+
+impl Workload for NpbKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        let pages = self.pages();
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Some(MemOp::Mmap { start: Vpn(0), pages, kind: VmaKind::Anon })
+            }
+            1 => {
+                self.phase = 2;
+                Some(MemOp::TouchRange { start: Vpn(0), pages, write: true, think: 20, stride: 1 , repeats: 1})
+            }
+            _ => {
+                if self.iters_left == 0 {
+                    return None;
+                }
+                self.iters_left -= 1;
+                match self.pattern {
+                    Pattern::Sequential { repeats } => {
+                        let span = CHUNK.min(pages - self.cursor);
+                        let start = Vpn(self.cursor);
+                        self.cursor = (self.cursor + span) % pages;
+                        // Intra-page reuse: each page is accessed
+                        // `repeats` times, amortizing its TLB miss — the
+                        // prefetch-friendliness of §2.4.
+                        Some(MemOp::TouchRange {
+                            start,
+                            pages: span,
+                            write: false,
+                            think: self.think,
+                            stride: 1,
+                            repeats,
+                        })
+                    }
+                    Pattern::Random { wss } => {
+                        let span = ((pages as f64) * wss) as u64;
+                        let base = pages - span;
+                        let vpns: Vec<Vpn> = (0..CHUNK)
+                            .map(|_| Vpn(base + self.rng.gen_range(0..span.max(1))))
+                            .collect();
+                        Some(MemOp::TouchList { vpns, write: false, think: self.think })
+                    }
+                    Pattern::Strided { stride, repeats } => {
+                        let count = CHUNK / 2;
+                        let start = Vpn(self.cursor % pages);
+                        self.cursor = (self.cursor + count * stride) % pages;
+                        let span_ok = start.0 + (count - 1) * stride < pages;
+                        let count = if span_ok { count } else { (pages - start.0) / stride.max(1) };
+                        Some(MemOp::TouchRange {
+                            start,
+                            pages: count.max(1),
+                            write: false,
+                            think: self.think,
+                            stride,
+                            repeats,
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{BasePagesOnly, KernelConfig, Simulator};
+
+    fn mmu_overhead(w: Box<dyn Workload>) -> f64 {
+        let mut sim = Simulator::new(KernelConfig::with_mib(1024), Box::new(BasePagesOnly));
+        let pid = sim.spawn(w);
+        sim.run();
+        sim.machine().mmu().lifetime(pid).mmu_overhead()
+    }
+
+    #[test]
+    fn cg_is_tlb_bound_and_mg_is_not() {
+        // Table 3's contrast, scaled: cg (random) vs mg (sequential) with
+        // mg having the LARGER footprint.
+        let cg = mmu_overhead(Box::new(NpbKernel::cg(96, 400)));
+        let mg = mmu_overhead(Box::new(NpbKernel::mg(128, 400)));
+        assert!(cg > 0.15, "cg should be walk-bound: {cg}");
+        assert!(mg < 0.05, "mg should be cheap despite larger WSS: {mg}");
+        assert!(cg > 4.0 * mg, "cg {cg} vs mg {mg}");
+    }
+
+    #[test]
+    fn strided_kernels_fall_in_between() {
+        let bt = mmu_overhead(Box::new(NpbKernel::bt(80, 300)));
+        let mg = mmu_overhead(Box::new(NpbKernel::mg(80, 300)));
+        let cg = mmu_overhead(Box::new(NpbKernel::cg(80, 300)));
+        assert!(bt >= mg, "bt {bt} >= mg {mg}");
+        assert!(bt <= cg, "bt {bt} <= cg {cg}");
+    }
+
+    #[test]
+    fn all_kernels_complete() {
+        for w in [
+            NpbKernel::cg(4, 10),
+            NpbKernel::mg(4, 10),
+            NpbKernel::bt(4, 10),
+            NpbKernel::sp(4, 10),
+            NpbKernel::lu(4, 10),
+            NpbKernel::ua(4, 10),
+            NpbKernel::ft(4, 10),
+        ] {
+            let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+            let pid = sim.spawn(Box::new(w));
+            sim.run();
+            let p = sim.machine().process(pid).unwrap();
+            assert!(p.is_finished() && !p.is_oom(), "{} stuck", p.name());
+            assert_eq!(p.stats().faults, 4 * 512);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! VM spin-up latency (the Table 8 headline): touching a whole guest
+//! heap is pure page-fault work, and zeroing dominates 2 MB faults —
+//! unless the pre-zeroing daemon already did it.
+//!
+//! ```sh
+//! cargo run --release --example vm_spinup
+//! ```
+
+use hawkeye::core::{HawkEye, HawkEyeConfig};
+use hawkeye::kernel::{workload::script, HugePagePolicy, KernelConfig, MemOp, Simulator};
+use hawkeye::mem::{AllocPref, PageContent, Pfn};
+use hawkeye::policies::LinuxThp;
+use hawkeye::workloads::Spinup;
+
+/// Dirty all free memory: a steady-state machine where nothing free is
+/// zero (so zeroing is genuinely on the critical path).
+fn dirty(sim: &mut Simulator) {
+    let m = sim.machine_mut();
+    let mut blocks = Vec::new();
+    while let Some(order) = m.pm().largest_free_order() {
+        match m.pm_mut().alloc(order, AllocPref::NonZeroed) {
+            Ok(a) => blocks.push(a),
+            Err(_) => break,
+        }
+    }
+    for a in &blocks {
+        for i in 0..a.order.pages() {
+            m.pm_mut().frame_mut(Pfn(a.pfn.0 + i)).set_content(PageContent::non_zero(5));
+        }
+    }
+    for a in blocks {
+        m.pm_mut().free(a.pfn, a.order);
+    }
+}
+
+fn run(label: &str, policy: Box<dyn HugePagePolicy>, cross_merge: bool, warmup: bool) {
+    let mut cfg = KernelConfig::with_mib(512);
+    cfg.cross_merge = cross_merge;
+    let mut sim = Simulator::new(cfg, policy);
+    dirty(&mut sim);
+    if warmup {
+        // Let the async pre-zeroing daemon reach steady state.
+        sim.spawn(script("warmup", vec![MemOp::Compute { cycles: 3_000_000_000 }]));
+        sim.run();
+    }
+    let pid = sim.spawn(Box::new(Spinup::new("kvm", 24 * 1024))); // 96 MiB guest
+    sim.run();
+    let p = sim.machine().process(pid).expect("spawned");
+    println!(
+        "{label:<12} spin-up {:>7.3}s | faults {:>6} | avg fault {:>8.1}us",
+        p.cpu_time().as_secs(),
+        p.stats().faults,
+        p.stats().fault_cycles.as_micros() / p.stats().faults.max(1) as f64
+    );
+}
+
+fn main() {
+    println!("96 MiB VM spin-up on a steady-state (dirty free memory) machine:\n");
+    run("Linux-2MB", Box::new(LinuxThp::default()), true, false);
+    run(
+        "HawkEye-2MB",
+        Box::new(HawkEye::new(HawkEyeConfig::default())),
+        false,
+        true,
+    );
+    println!("\n(paper, Table 8: 9.7s vs 0.70s — a 13.8x spin-up speedup from");
+    println!(" serving 2 MB faults out of the pre-zeroed pool)");
+}

@@ -1,0 +1,29 @@
+//! HawkEye/Rust — a simulation-based reproduction of
+//! *HawkEye: Efficient Fine-grained OS Support for Huge Pages*
+//! (Panwar, Bansal, Gopinath — ASPLOS 2019).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`mem`] — physical memory: buddy allocator with zero/non-zero free
+//!   lists, FMFI, compaction, page-content model.
+//! * [`vm`] — virtual memory: address spaces, page tables, faults, COW,
+//!   zero-page de-duplication.
+//! * [`tlb`] — hardware model: TLBs, page-walk caches, PMU counters.
+//! * [`kernel`] — the simulated OS kernel, processes, daemons, and the
+//!   `HugePagePolicy` plug-in interface.
+//! * [`policies`] — baselines: Linux THP, FreeBSD reservations, Ingens.
+//! * [`core`] — the HawkEye algorithms (access-coverage promotion, async
+//!   pre-zeroing, bloat recovery, HawkEye-G / HawkEye-PMU).
+//! * [`workloads`] — generators mirroring the paper's applications.
+//! * [`virt`] — two-level (guest/host) virtualization experiments.
+//! * [`metrics`] — time series, stats, and table rendering.
+
+pub use hawkeye_core as core;
+pub use hawkeye_kernel as kernel;
+pub use hawkeye_mem as mem;
+pub use hawkeye_metrics as metrics;
+pub use hawkeye_policies as policies;
+pub use hawkeye_tlb as tlb;
+pub use hawkeye_virt as virt;
+pub use hawkeye_vm as vm;
+pub use hawkeye_workloads as workloads;

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the paper's headline claims, each
+//! exercised end-to-end through the public facade API.
+
+use hawkeye::core::{HawkEye, HawkEyeConfig};
+use hawkeye::kernel::{HugePagePolicy, KernelConfig, Simulator};
+use hawkeye::metrics::Cycles;
+use hawkeye::policies::{Ingens, LinuxThp};
+use hawkeye::workloads::{AllocTouch, HotspotWorkload, RedisKv, RedisOp, Spinup};
+
+fn hawkeye_cfg(mib: u64) -> KernelConfig {
+    KernelConfig { cross_merge: false, ..KernelConfig::with_mib(mib) }
+}
+
+fn baseline_cfg(mib: u64) -> KernelConfig {
+    KernelConfig { cross_merge: true, ..KernelConfig::with_mib(mib) }
+}
+
+/// Table 1's shape: huge faults cut the fault count ~512x and win on
+/// total time for a sequential allocate-and-touch workload.
+#[test]
+fn huge_pages_cut_faults_and_total_time() {
+    let run = |policy: Box<dyn HugePagePolicy>, cross| {
+        let cfg = if cross { baseline_cfg(256) } else { hawkeye_cfg(256) };
+        let mut sim = Simulator::new(cfg, policy);
+        let pid = sim.spawn(Box::new(AllocTouch::new(16 * 1024, 3, 1150)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        (p.stats().faults, p.cpu_time())
+    };
+    let (f4k, t4k) = run(Box::new(hawkeye::kernel::BasePagesOnly), true);
+    let (f2m, t2m) = run(Box::new(LinuxThp::default()), true);
+    assert_eq!(f4k, 3 * 16 * 1024);
+    assert_eq!(f2m, 3 * 32, "one fault per 2MB region per run");
+    assert!(t2m < t4k, "huge pages must win overall: {t2m} vs {t4k}");
+}
+
+/// Fig. 1's shape: after a delete-heavy phase, khugepaged re-inflates
+/// Linux's footprint (bloat) and the next allocation wave runs out of
+/// memory; HawkEye recovers bloat under pressure and survives.
+#[test]
+fn bloat_recovery_beats_linux_on_sparse_redis() {
+    let script = vec![
+        // P1: 96 MiB of 4 KB values.
+        RedisOp::Insert { keys: 24 * 1024, value_pages: 1, think: 200 },
+        // P2: delete 80%, then give khugepaged time to "help".
+        RedisOp::DeleteFrac { fraction: 0.8 },
+        RedisOp::Serve { requests: 30_000, think: 100_000 },
+        // P3: a 72 MiB wave of 2 MB values: fits iff bloat is recovered.
+        RedisOp::Insert { keys: 36, value_pages: 512, think: 30_000 },
+    ];
+    let run = |policy: Box<dyn HugePagePolicy>, cross: bool| {
+        let mut cfg = if cross { baseline_cfg(112) } else { hawkeye_cfg(112) };
+        cfg.max_time = Cycles::from_secs(60.0);
+        let mut sim = Simulator::new(cfg, policy);
+        let pid = sim.spawn(Box::new(RedisKv::new(64 * 1024, script.clone(), 5)));
+        sim.run();
+        (sim.machine().process(pid).unwrap().is_oom(), sim.machine().stats().deduped_zero_pages)
+    };
+    let (linux_oom, _) = run(Box::new(LinuxThp::default()), true);
+    let (hawkeye_oom, recovered) = run(Box::new(HawkEye::new(HawkEyeConfig::default())), false);
+    assert!(linux_oom, "Linux's khugepaged bloat must exhaust memory in P3");
+    assert!(!hawkeye_oom, "HawkEye must survive P3 by recovering bloat");
+    assert!(recovered > 4096, "recovery must have de-duplicated zero pages: {recovered}");
+}
+
+/// Figs. 5-6's shape: with hot regions at high VAs in a fragmented
+/// system, HawkEye recovers MMU overheads faster than sequential-scan
+/// promotion.
+#[test]
+fn access_coverage_promotion_beats_sequential_scan() {
+    let run = |policy: Box<dyn HugePagePolicy>, cross: bool| {
+        let mut cfg = if cross { baseline_cfg(512) } else { hawkeye_cfg(512) };
+        cfg.max_time = Cycles::from_secs(200.0);
+        let mut sim = Simulator::new(cfg, policy);
+        sim.machine_mut().fragment(1.0, 0.55, 7);
+        let pid = sim.spawn(Box::new(HotspotWorkload::xsbench(72, 1200)));
+        sim.run();
+        sim.machine().process(pid).unwrap().cpu_time().as_secs()
+    };
+    let linux = run(Box::new(LinuxThp::default()), true);
+    let ingens = run(Box::new(Ingens::default()), true);
+    let hawkeye = run(Box::new(HawkEye::new(HawkEyeConfig::default())), false);
+    assert!(hawkeye < linux, "HawkEye {hawkeye} vs Linux {linux}");
+    assert!(hawkeye < ingens, "HawkEye {hawkeye} vs Ingens {ingens}");
+}
+
+/// Table 8's shape: pre-zeroed 2MB faults make spin-up dramatically
+/// faster than synchronous zeroing.
+#[test]
+fn prezeroing_accelerates_spinup() {
+    let run = |policy: Box<dyn HugePagePolicy>, cross: bool, warm: bool| {
+        let cfg = if cross { baseline_cfg(256) } else { hawkeye_cfg(256) };
+        let mut sim = Simulator::new(cfg, policy);
+        // Steady state: dirty all free memory.
+        hawkeye_dirty(&mut sim);
+        if warm {
+            sim.spawn(hawkeye::kernel::workload::script(
+                "w",
+                vec![hawkeye::kernel::MemOp::Compute { cycles: 2_000_000_000 }],
+            ));
+            sim.run();
+        }
+        let pid = sim.spawn(Box::new(Spinup::new("kvm", 12 * 1024)));
+        sim.run();
+        sim.machine().process(pid).unwrap().cpu_time().as_secs()
+    };
+    let linux = run(Box::new(LinuxThp::default()), true, false);
+    let hawkeye = run(Box::new(HawkEye::new(HawkEyeConfig::default())), false, true);
+    assert!(
+        hawkeye * 4.0 < linux,
+        "pre-zeroed spin-up must be >4x faster: {hawkeye} vs {linux}"
+    );
+}
+
+fn hawkeye_dirty(sim: &mut Simulator) {
+    use hawkeye::mem::{AllocPref, PageContent, Pfn};
+    let m = sim.machine_mut();
+    let mut blocks = Vec::new();
+    while let Some(order) = m.pm().largest_free_order() {
+        match m.pm_mut().alloc(order, AllocPref::NonZeroed) {
+            Ok(a) => blocks.push(a),
+            Err(_) => break,
+        }
+    }
+    for a in &blocks {
+        for i in 0..a.order.pages() {
+            m.pm_mut().frame_mut(Pfn(a.pfn.0 + i)).set_content(PageContent::non_zero(5));
+        }
+    }
+    for a in blocks {
+        m.pm_mut().free(a.pfn, a.order);
+    }
+}
+
+/// The simulator is deterministic: identical configurations produce
+/// identical results, cycle for cycle.
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let mut sim = Simulator::new(hawkeye_cfg(256), Box::new(HawkEye::new(HawkEyeConfig::default())));
+        sim.machine_mut().fragment(1.0, 0.5, 99);
+        let pid = sim.spawn(Box::new(HotspotWorkload::graph500(24, 300)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        (
+            p.cpu_time(),
+            p.stats().faults,
+            sim.machine().stats().promotions,
+            sim.machine().mmu().lifetime(pid).load_walk,
+        )
+    };
+    assert_eq!(run(), run());
+}
