@@ -100,8 +100,8 @@ fn main() {
         let (times, swaps, recovered) =
             if c.label.starts_with("no balloon") { base.clone() } else { run(c) };
         let mut row = vec![c.label.to_string()];
-        for i in 0..names.len() {
-            row.push(format!("{:.2}x", base.0[i] / times[i]));
+        for (i, time) in times.iter().enumerate().take(names.len()) {
+            row.push(format!("{:.2}x", base.0[i] / time));
         }
         row.push(swaps.to_string());
         row.push(recovered.to_string());

@@ -26,7 +26,9 @@ fn run_steady(kind: PolicyKind, mib: u64, w: Box<dyn Workload>) -> RunOutcome {
     RunOutcome { sim, pid }
 }
 
-fn workloads() -> Vec<(&'static str, fn() -> Box<dyn Workload>)> {
+type WorkloadCtor = fn() -> Box<dyn Workload>;
+
+fn workloads() -> Vec<(&'static str, WorkloadCtor)> {
     vec![
         ("Redis 2MB-values (Kops/s)", || {
             Box::new(RedisKv::new(

@@ -154,11 +154,7 @@ pub fn run_one(
 /// the environment in which async pre-zeroing matters (Table 8).
 pub fn dirty_free_memory(m: &mut Machine) {
     let mut blocks = Vec::new();
-    loop {
-        let order = match m.pm().largest_free_order() {
-            Some(o) => o,
-            None => break,
-        };
+    while let Some(order) = m.pm().largest_free_order() {
         match m.pm_mut().alloc(order, AllocPref::NonZeroed) {
             Ok(a) => blocks.push(a),
             Err(_) => break,

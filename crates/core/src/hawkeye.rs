@@ -113,17 +113,14 @@ impl HawkEye {
     fn candidate_regions(m: &Machine, pid: u32) -> Vec<Hvpn> {
         let Some(p) = m.process(pid) else { return Vec::new() };
         let pt = p.space().page_table();
-        pt.mapped_regions()
-            .into_iter()
-            .filter(|h| pt.huge_entry(*h).is_none() && p.space().region_promotable(*h))
-            .collect()
+        pt.base_only_regions().filter(|h| p.space().region_promotable(*h)).collect()
     }
 
     fn arm_sampling(&mut self, m: &mut Machine) {
         for pid in m.running_pids() {
             for h in Self::candidate_regions(m, pid) {
                 let p = m.process_mut(pid).expect("running");
-                let _ = p.space_mut().sample_and_clear_access(h);
+                p.space_mut().clear_region_access(h);
             }
         }
     }

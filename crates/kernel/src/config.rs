@@ -96,6 +96,11 @@ pub struct KernelConfig {
     pub max_time: Cycles,
     /// Cost model.
     pub costs: CostModel,
+    /// Enable the simulator's fast path: the per-process translation
+    /// cache and batched `TouchRange`/`TouchList` execution. The fast
+    /// path is exact — every counter is bit-identical with it off — so
+    /// this switch exists only for differential testing.
+    pub fast_path: bool,
 }
 
 impl KernelConfig {
@@ -111,6 +116,7 @@ impl KernelConfig {
             sample_period: Cycles::from_millis(100),
             max_time: Cycles::from_secs(300.0),
             costs: CostModel::paper(),
+            fast_path: true,
         }
     }
 

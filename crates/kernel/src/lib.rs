@@ -36,7 +36,7 @@ pub mod config;
 pub mod machine;
 pub mod policy;
 pub mod process;
-pub mod rng;
+pub use hawkeye_mem::rng;
 pub mod sim;
 pub mod stats;
 pub mod workload;

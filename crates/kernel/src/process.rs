@@ -7,11 +7,15 @@ use hawkeye_vm::AddressSpace;
 /// Per-process statistics (the rows of the paper's Table 1).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ProcStats {
-    /// Page faults taken (both sizes).
+    /// Page faults taken (both sizes). Every trip through the fault loop
+    /// counts: a write that lands on a zero-COW mapping is a fault like
+    /// any other, so `cow_faults` (and `huge_faults`) are subsets of this
+    /// total — a single touch can contribute two faults when the policy
+    /// maps a region zero-COW and the write must immediately break it.
     pub faults: u64,
     /// Huge-page faults among them.
     pub huge_faults: u64,
-    /// Copy-on-write faults (zero-page de-dup write-backs).
+    /// Copy-on-write faults among them (zero-page de-dup write-backs).
     pub cow_faults: u64,
     /// Total cycles spent inside the fault handler.
     pub fault_cycles: Cycles,

@@ -60,6 +60,17 @@ pub struct Simulator {
     hook: Option<Box<dyn AccessHook>>,
 }
 
+/// The page sequence a guaranteed-L1-hit streak covers.
+#[derive(Clone, Copy)]
+enum StreakShape<'a> {
+    /// Consecutive pages after `after` within its huge region
+    /// (`TouchRange` with stride 1).
+    Consecutive { after: Vpn, region_pfn: Pfn },
+    /// The leading entries of a `TouchList` tail — all one base page, or
+    /// all inside one huge region.
+    Listed { vpns: &'a [Vpn], size: PageSize, region_pfn: Pfn },
+}
+
 impl Simulator {
     /// Boots a machine and installs a policy.
     pub fn new(config: KernelConfig, policy: Box<dyn HugePagePolicy>) -> Self {
@@ -246,12 +257,14 @@ impl Simulator {
             }
             MemOp::Touch { vpn, write, repeats, think } => {
                 let (vpn, write, repeats, think) = (*vpn, *write, *repeats, *think);
-                *spent += self.touch_page(policy, pid, vpn, write, repeats, think)?;
+                let (cost, _) = self.touch_page(policy, pid, vpn, write, repeats, think)?;
+                *spent += cost;
                 Ok(None)
             }
             MemOp::TouchRange { start, pages, write, think, stride, repeats } => {
                 let (start, pages, write, think, stride, repeats) =
                     (*start, *pages, *write, *think, (*stride).max(1), (*repeats).max(1));
+                let fast = self.fast_path_on() && stride == 1;
                 let mut i = cursor.progress;
                 while i < pages {
                     if *spent >= quantum {
@@ -259,13 +272,31 @@ impl Simulator {
                         return Ok(Some(cursor));
                     }
                     let vpn = Vpn(start.0 + i * stride);
-                    *spent += self.touch_page(policy, pid, vpn, write, repeats, think)?;
+                    let (cost, tr) = self.touch_page(policy, pid, vpn, write, repeats, think)?;
+                    *spent += cost;
                     i += 1;
+                    if fast && tr.size == PageSize::Huge && i < pages {
+                        // The rest of this huge region is resident behind
+                        // the L1 entry the touch above just used: charge
+                        // the guaranteed-hit streak in closed form.
+                        let max = (pages - i).min(511 - vpn.huge_offset());
+                        i += self.charge_streak(
+                            pid,
+                            StreakShape::Consecutive { after: vpn, region_pfn: Pfn(tr.pfn.0 - vpn.huge_offset()) },
+                            write,
+                            repeats,
+                            think,
+                            max,
+                            quantum,
+                            spent,
+                        );
+                    }
                 }
                 Ok(None)
             }
             MemOp::TouchList { vpns, write, think } => {
                 let (write, think) = (*write, *think);
+                let fast = self.fast_path_on();
                 let mut i = cursor.progress as usize;
                 while i < vpns.len() {
                     if *spent >= quantum {
@@ -273,16 +304,152 @@ impl Simulator {
                         return Ok(Some(cursor));
                     }
                     let vpn = vpns[i];
-                    *spent += self.touch_page(policy, pid, vpn, write, 1, think)?;
+                    let (cost, tr) = self.touch_page(policy, pid, vpn, write, 1, think)?;
+                    *spent += cost;
                     i += 1;
+                    if fast {
+                        // Later list entries guaranteed to hit the same L1
+                        // entry: repeats of this page, or (for a huge
+                        // mapping) any page of the same region.
+                        let run = vpns[i..]
+                            .iter()
+                            .take_while(|v| match tr.size {
+                                PageSize::Huge => v.hvpn() == vpn.hvpn(),
+                                PageSize::Base => **v == vpn,
+                            })
+                            .count() as u64;
+                        if run > 0 {
+                            let region_pfn = match tr.size {
+                                PageSize::Huge => Pfn(tr.pfn.0 - vpn.huge_offset()),
+                                PageSize::Base => tr.pfn,
+                            };
+                            let n = self.charge_streak(
+                                pid,
+                                StreakShape::Listed { vpns: &vpns[i..], size: tr.size, region_pfn },
+                                write,
+                                1,
+                                think,
+                                run,
+                                quantum,
+                                spent,
+                            );
+                            i += n as usize;
+                        }
+                    }
                 }
                 Ok(None)
             }
         }
     }
 
+    /// Whether batched streak execution applies: the fast path is on and
+    /// no access hook is interposing (hooks must see every touch).
+    fn fast_path_on(&self) -> bool {
+        self.machine.config().fast_path && self.hook.is_none()
+    }
+
+    /// Charges up to `max` touches that are each guaranteed to hit the L1
+    /// TLB on the entry used by the touch just executed, without walking
+    /// the per-access model. Returns how many touches were charged (0
+    /// falls the caller back to per-access execution).
+    ///
+    /// Exactness argument, piece by piece against what `max` per-access
+    /// iterations would do:
+    /// * *page table*: every page in the streak is mapped by the entry the
+    ///   preceding touch translated through, whose accessed bit (and dirty
+    ///   bit, for writes) that touch already set — the per-access
+    ///   `AddressSpace::access` calls would be state no-ops, and cannot
+    ///   fault (a huge mapping covers its region; a resolved base page
+    ///   stays resolved; COW writes never enter a streak because the
+    ///   leading touch replaced the zero-COW mapping).
+    /// * *TLB/PMU*: `Mmu::record_l1_hits` advances the LRU clock and hit
+    ///   counters exactly as `n` hitting lookups would, and refuses
+    ///   (returning 0 here) if the entry is somehow not resident.
+    /// * *cycles*: an L1 hit's `AccessOutcome` charges zero, so each touch
+    ///   costs exactly `(access + think) × repeats`.
+    /// * *quantum*: the per-access loop stops before the first touch at
+    ///   which `spent ≥ quantum`; with per-touch cost `c`, that is
+    ///   `⌈(quantum − spent)/c⌉` more touches (all of them when `c = 0`).
+    /// * *content*: `dirt_offset()` is drawn once per write touch in op
+    ///   order (it advances the workload's RNG), and each touched frame
+    ///   gets its sample; no observer runs mid-streak (policy ticks only
+    ///   happen between rounds, and hooks disable batching).
+    #[allow(clippy::too_many_arguments)]
+    fn charge_streak(
+        &mut self,
+        pid: u32,
+        shape: StreakShape<'_>,
+        write: bool,
+        repeats: u32,
+        think: u32,
+        max: u64,
+        quantum: Cycles,
+        spent: &mut Cycles,
+    ) -> u64 {
+        if max == 0 {
+            return 0;
+        }
+        let access_cost = self.machine.config().costs.access;
+        let c_touch = (access_cost + Cycles::new(think as u64)) * repeats as u64;
+        let n = if c_touch > Cycles::ZERO {
+            let room = quantum.saturating_sub(*spent);
+            if room == Cycles::ZERO {
+                return 0;
+            }
+            max.min(room.get().div_ceil(c_touch.get()))
+        } else {
+            max
+        };
+        let (probe_vpn, size) = match shape {
+            StreakShape::Consecutive { after, .. } => (Vpn(after.0 + 1), PageSize::Huge),
+            StreakShape::Listed { vpns, size, .. } => (vpns[0], size),
+        };
+        if !self.machine.mmu_mut().record_l1_hits(pid, probe_vpn, size, n) {
+            return 0;
+        }
+        *spent += c_touch * n;
+        if write {
+            // One dirt draw per touch, in op order, then apply to frames;
+            // the draw is separated from the application only to keep the
+            // process borrow out of the inner loop.
+            let p = self.machine.process_mut(pid).expect("exists");
+            let dirts: Vec<u16> = (0..n).map(|_| p.dirt_offset()).collect();
+            let pm = self.machine.pm_mut();
+            for (j, dirt) in dirts.into_iter().enumerate() {
+                let pfn = match shape {
+                    StreakShape::Consecutive { after, region_pfn } => {
+                        Pfn(region_pfn.0 + Vpn(after.0 + 1 + j as u64).huge_offset())
+                    }
+                    StreakShape::Listed { vpns, size, region_pfn } => match size {
+                        PageSize::Huge => Pfn(region_pfn.0 + vpns[j].huge_offset()),
+                        PageSize::Base => region_pfn,
+                    },
+                };
+                pm.frame_mut(pfn).set_content(hawkeye_mem::PageContent::non_zero(dirt));
+            }
+        }
+        let st = self.machine.process_mut(pid).expect("exists").stats_mut();
+        st.touches += n;
+        st.accesses += repeats as u64 * n;
+        n
+    }
+
     /// One page touch: translation (with TLB timing), fault handling via
-    /// the policy, content dirtying, and repeat accesses.
+    /// the policy, content dirtying, and repeat accesses. Returns the cost
+    /// and the translation the touch resolved to (streak batching uses the
+    /// latter to extend over the rest of a huge region).
+    ///
+    /// # Fault accounting
+    ///
+    /// Every trip around the fault loop — a missing mapping resolved by
+    /// the policy *or* a write hitting a zero-COW page — charges one
+    /// `ProcStats::faults` and its handler cost to
+    /// `ProcStats::fault_cycles`. COW resolutions are additionally
+    /// counted in `ProcStats::cow_faults`, so COW faults are a *subset*
+    /// of `faults`, not a separate pool. A touch
+    /// can legitimately fault twice (unmapped, then the policy maps the
+    /// region zero-COW and a write must immediately COW), which is why
+    /// the loop guard allows a few iterations.
     fn touch_page(
         &mut self,
         policy: &mut dyn HugePagePolicy,
@@ -291,7 +458,7 @@ impl Simulator {
         write: bool,
         repeats: u32,
         think: u32,
-    ) -> Result<Cycles, OutOfMemory> {
+    ) -> Result<(Cycles, hawkeye_vm::Translation), OutOfMemory> {
         let repeats = repeats.max(1);
         let access_cost = self.machine.config().costs.access;
         let mut cost = Cycles::ZERO;
@@ -342,7 +509,7 @@ impl Simulator {
         let st = p.stats_mut();
         st.touches += 1;
         st.accesses += repeats as u64;
-        Ok(cost)
+        Ok((cost, translation))
     }
 
     fn apply_fault_action(

@@ -321,7 +321,7 @@ impl PhysMemory {
     fn find_block(&self, order: Order, listz: usize) -> Option<(Pfn, Order, usize)> {
         (order.index()..NORDERS).find_map(|o| {
             let head = self.lists[o][listz].head;
-            (head != NO_LINK).then(|| (Pfn(head as u64), Order(o as u8), listz))
+            (head != NO_LINK).then_some((Pfn(head as u64), Order(o as u8), listz))
         })
     }
 

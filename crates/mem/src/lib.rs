@@ -35,6 +35,7 @@ pub mod content;
 pub mod error;
 pub mod fmfi;
 pub mod frame;
+pub mod rng;
 pub mod types;
 
 pub use buddy::{AllocPref, Allocation, PhysMemory};

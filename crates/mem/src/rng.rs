@@ -1,16 +1,17 @@
-//! A tiny deterministic PRNG (SplitMix64) for kernel-internal shuffling.
+//! A tiny deterministic PRNG (SplitMix64) shared by the whole workspace.
 //!
-//! The kernel avoids a `rand` dependency; workload generators (which need
-//! richer distributions) use `rand` in their own crate. SplitMix64 is more
-//! than adequate for fragmentation-antagonist shuffles and is perfectly
-//! reproducible across platforms.
+//! The workspace has no external dependencies so tier-1 verification runs
+//! offline; workload generators and randomized tests use this generator
+//! instead of `rand`. SplitMix64 is more than adequate for
+//! fragmentation-antagonist shuffles and uniform access sampling, and is
+//! perfectly reproducible across platforms.
 
 /// SplitMix64 PRNG.
 ///
 /// # Examples
 ///
 /// ```
-/// use hawkeye_kernel::rng::SplitMix64;
+/// use hawkeye_mem::rng::SplitMix64;
 ///
 /// let mut a = SplitMix64::new(42);
 /// let mut b = SplitMix64::new(42);

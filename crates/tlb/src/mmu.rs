@@ -112,6 +112,29 @@ impl Mmu {
         AccessOutcome { cycles: l2_cost + walk, tlb_miss: true, walk_cycles: walk }
     }
 
+    /// Records `n` consecutive guaranteed L1 hits on one entry in a
+    /// single step — equivalent to `n` [`Mmu::access`] calls that would
+    /// each hit L1 (each such call returns `AccessOutcome::ZERO`-like
+    /// timing and touches no other structure). Returns `false` without
+    /// any state change when the entry is not resident in L1; the caller
+    /// must then fall back to per-access modeling.
+    pub fn record_l1_hits(&mut self, pid: u32, vpn: Vpn, size: PageSize, n: u64) -> bool {
+        let (l1, key) = match size {
+            PageSize::Base => (&mut self.l1_4k, vpn.0),
+            PageSize::Huge => (&mut self.l1_2m, vpn.hvpn().0),
+        };
+        l1.record_hits(pid, key, n)
+    }
+
+    /// Whether one access to `vpn` at `size` is guaranteed to hit the L1
+    /// TLB (no state change, no statistics).
+    pub fn probe_l1(&self, pid: u32, vpn: Vpn, size: PageSize) -> bool {
+        match size {
+            PageSize::Base => self.l1_4k.probe(pid, vpn.0),
+            PageSize::Huge => self.l1_2m.probe(pid, vpn.hvpn().0),
+        }
+    }
+
     /// Charges executed (unhalted) cycles to a process — the denominator
     /// of the Table 4 overhead formula.
     pub fn record_unhalted(&mut self, pid: u32, cycles: Cycles) {
@@ -265,6 +288,31 @@ mod tests {
         mmu.remove_process(1);
         assert_eq!(mmu.lifetime(1).walks, 0);
         assert!(mmu.access(1, Vpn(1), PageSize::Base, false).tlb_miss);
+    }
+
+    #[test]
+    fn record_l1_hits_matches_serial_accesses() {
+        let mut bulk = Mmu::new(TlbConfig::haswell());
+        let mut serial = Mmu::new(TlbConfig::haswell());
+        // Warm both with the same miss.
+        bulk.access(1, Vpn(0), PageSize::Huge, false);
+        serial.access(1, Vpn(0), PageSize::Huge, false);
+        assert!(bulk.probe_l1(1, Vpn(7), PageSize::Huge));
+        assert!(bulk.record_l1_hits(1, Vpn(7), PageSize::Huge, 100));
+        for i in 0..100u64 {
+            let o = serial.access(1, Vpn(i % 512), PageSize::Huge, false);
+            assert!(!o.tlb_miss);
+            assert_eq!(o.cycles, Cycles::ZERO);
+        }
+        // Same lifetime PMU state (no walks recorded by hits) and same
+        // subsequent behavior.
+        assert_eq!(bulk.lifetime(1).walks, serial.lifetime(1).walks);
+        let b = bulk.access(1, Vpn(512), PageSize::Huge, false);
+        let s = serial.access(1, Vpn(512), PageSize::Huge, false);
+        assert_eq!(b, s);
+        // Cold entry: refused, untouched.
+        assert!(!bulk.record_l1_hits(2, Vpn(0), PageSize::Base, 5));
+        assert!(!bulk.probe_l1(2, Vpn(0), PageSize::Base));
     }
 
     #[test]

@@ -81,6 +81,30 @@ impl SetAssocTlb {
         }
     }
 
+    /// Records `n` consecutive guaranteed hits on a present entry in one
+    /// step: equivalent to calling [`SetAssocTlb::lookup`] `n` times when
+    /// every call would hit. The global LRU stamp advances by `n` and the
+    /// entry takes the final stamp — no other entry's relative order can
+    /// change, since repeated hits on one key only push its stamp past
+    /// the rest. Returns `false` without any state change if the entry is
+    /// absent (the caller falls back to per-access lookups).
+    pub fn record_hits(&mut self, pid: u32, key: u64, n: u64) -> bool {
+        if n == 0 {
+            return true;
+        }
+        let idx = self.set_index(key);
+        let stamp = self.stamp + n;
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.pid == pid && e.key == key) {
+            e.stamp = stamp;
+            self.stamp = stamp;
+            self.hits += n;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Checks presence without updating LRU or statistics.
     pub fn probe(&self, pid: u32, key: u64) -> bool {
         let idx = self.set_index(key);
@@ -205,6 +229,33 @@ mod tests {
         t.insert(1, 1);
         assert!(t.lookup(1, 1));
         assert_eq!((t.hits(), t.misses()), (1, 1));
+    }
+
+    #[test]
+    fn record_hits_matches_n_lookups() {
+        let mut bulk = SetAssocTlb::new(8, 2);
+        let mut serial = bulk.clone();
+        for k in [0u64, 2, 4] {
+            bulk.insert(1, k);
+            serial.insert(1, k);
+        }
+        assert!(bulk.record_hits(1, 2, 5));
+        for _ in 0..5 {
+            assert!(serial.lookup(1, 2));
+        }
+        assert_eq!(bulk.hits(), serial.hits());
+        assert_eq!(bulk.misses(), serial.misses());
+        // LRU order identical after the streak: inserting into the full
+        // set 0 must evict the same victim.
+        bulk.insert(1, 6);
+        serial.insert(1, 6);
+        for k in [0u64, 2, 4, 6] {
+            assert_eq!(bulk.probe(1, k), serial.probe(1, k), "key {k}");
+        }
+        // Absent entry: no state change, caller falls back.
+        let before_hits = bulk.hits();
+        assert!(!bulk.record_hits(1, 100, 3));
+        assert_eq!(bulk.hits(), before_hits);
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //! sanity, capacity bounds, invalidation completeness, and PMU accounting
 //! conservation.
 
+// Requires the external `proptest` crate; see the crate's Cargo.toml for
+// how to re-enable. Default builds must work offline.
+#![cfg(feature = "proptest")]
 use hawkeye_metrics::Cycles;
 use hawkeye_tlb::{Mmu, SetAssocTlb, TlbConfig};
 use hawkeye_vm::{PageSize, Vpn};

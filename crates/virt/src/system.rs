@@ -209,7 +209,7 @@ impl HostSide {
                 p.space()
                     .page_table()
                     .base_mappings()
-                    .filter(|(v, e)| !(pid == protect.0 && v.0 == protect.1) && !e.zero_cow)
+                    .filter(|(v, e)| !(e.zero_cow || (pid == protect.0 && v.0 == protect.1)))
                     .map(|(v, _)| v)
                     .take((want - evicted) as usize)
                     .collect()
@@ -535,7 +535,7 @@ impl VirtSystem {
                     let entry = host
                         .machine
                         .process(host_pid)
-                        .and_then(|p| p.space().page_table().base_entry(vpn).copied());
+                        .and_then(|p| p.space().page_table().base_entry(vpn));
                     let Some(e) = entry else { continue };
                     if e.zero_cow {
                         continue;
@@ -697,6 +697,7 @@ mod tests {
             sys.guest(vm).process(pid).unwrap().cpu_time()
         };
         let host_base = run(Box::new(BasePagesOnly));
+        #[allow(clippy::box_default)] // coerces to Box<dyn HugePagePolicy>
         let host_huge = run(Box::new(LinuxThp::default()));
         assert!(
             host_huge < host_base,

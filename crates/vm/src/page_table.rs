@@ -7,11 +7,41 @@
 //! Accessed bits are set on every simulated access and sampled-and-cleared
 //! by the policies — this is the substrate for Ingens' utilization
 //! tracking and HawkEye's access-coverage sampling (§3.3).
+//!
+//! # Layout
+//!
+//! Entries are stored per 2 MB region in a [`RegionChunk`]: one optional
+//! huge entry plus 512 frame slots and mapped/accessed/dirty/zero-COW
+//! bitmaps. Intra-region operations are O(1) array/bit work and region
+//! coverage sampling is a popcount, instead of per-page tree lookups.
+//! A chunk exists iff the region has at least one mapping, so the
+//! promotion scan list is simply the chunk keys.
+//!
+//! # Translation cache
+//!
+//! The table embeds a small direct-mapped software translation cache on
+//! the [`PageTable::access`] hot path. A cached entry may satisfy an
+//! access without touching the chunk only when doing so is invisible:
+//! the entry's accessed bit is known set, and (for writes) its dirty bit
+//! too, so the access would not change any table state. Every mutation
+//! (map/unmap/split/collapse/remap) and every accessed-bit clear bumps a
+//! generation counter that invalidates the whole cache in O(1) — the
+//! invalidation contract callers would otherwise have to wire through
+//! each path by hand. Disable with
+//! [`PageTable::set_translation_cache_enabled`] to differentially test
+//! that cached and uncached execution are bit-identical.
 
 use crate::error::MapError;
 use crate::types::{Hvpn, PageSize, Vpn};
 use hawkeye_mem::Pfn;
 use std::collections::BTreeMap;
+
+/// Pages per huge region.
+const REGION_PAGES: usize = 512;
+/// Bitmap words per region.
+const WORDS: usize = REGION_PAGES / 64;
+/// Translation-cache slots (power of two; direct-mapped by VPN).
+const TC_SLOTS: usize = 2048;
 
 /// A 4 KB page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +94,88 @@ pub struct AccessSample {
     pub is_huge: bool,
 }
 
+/// Per-region storage: an optional huge entry, or up to 512 base entries
+/// as parallel frame slots + bitmaps. ~4.5 KB, boxed in the region map.
+#[derive(Debug, Clone)]
+struct RegionChunk {
+    huge: Option<HugeEntry>,
+    mapped: [u64; WORDS],
+    accessed: [u64; WORDS],
+    dirty: [u64; WORDS],
+    zero_cow: [u64; WORDS],
+    mapped_count: u32,
+    pfns: [Pfn; REGION_PAGES],
+}
+
+impl RegionChunk {
+    fn new() -> Box<Self> {
+        Box::new(RegionChunk {
+            huge: None,
+            mapped: [0; WORDS],
+            accessed: [0; WORDS],
+            dirty: [0; WORDS],
+            zero_cow: [0; WORDS],
+            mapped_count: 0,
+            pfns: [Pfn(0); REGION_PAGES],
+        })
+    }
+
+    #[inline]
+    fn bit(map: &[u64; WORDS], i: usize) -> bool {
+        map[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn set(map: &mut [u64; WORDS], i: usize, v: bool) {
+        let mask = 1u64 << (i % 64);
+        if v {
+            map[i / 64] |= mask;
+        } else {
+            map[i / 64] &= !mask;
+        }
+    }
+
+    fn base_entry(&self, i: usize) -> Option<BaseEntry> {
+        if !Self::bit(&self.mapped, i) {
+            return None;
+        }
+        Some(BaseEntry {
+            pfn: self.pfns[i],
+            accessed: Self::bit(&self.accessed, i),
+            dirty: Self::bit(&self.dirty, i),
+            zero_cow: Self::bit(&self.zero_cow, i),
+        })
+    }
+
+    /// First mapped page offset, if any.
+    fn first_mapped(&self) -> Option<usize> {
+        for (w, word) in self.mapped.iter().enumerate() {
+            if *word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn is_empty(&self) -> bool {
+        self.huge.is_none() && self.mapped_count == 0
+    }
+}
+
+/// One translation-cache slot; valid iff `epoch` matches the table's
+/// current generation and `vpn` matches the lookup.
+#[derive(Debug, Clone, Copy)]
+struct TcEntry {
+    vpn: Vpn,
+    pfn: Pfn,
+    size: PageSize,
+    zero_cow: bool,
+    /// The underlying entry's dirty bit at insertion time (its accessed
+    /// bit is always set — insertion happens right after an access).
+    dirty: bool,
+    epoch: u64,
+}
+
 /// Mixed 4 KB / 2 MB page table.
 ///
 /// # Examples
@@ -81,10 +193,39 @@ pub struct AccessSample {
 /// assert_eq!(t.pfn, Pfn(512 + 7));
 /// # Ok::<(), hawkeye_vm::MapError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PageTable {
-    base: BTreeMap<Vpn, BaseEntry>,
-    huge: BTreeMap<Hvpn, HugeEntry>,
+    chunks: BTreeMap<Hvpn, Box<RegionChunk>>,
+    base_total: u64,
+    huge_total: u64,
+    /// Translation generation; bumped on any mutation or accessed-bit
+    /// clear, invalidating every cache slot at once.
+    epoch: u64,
+    cache_enabled: bool,
+    cache: Vec<TcEntry>,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        PageTable {
+            chunks: BTreeMap::new(),
+            base_total: 0,
+            huge_total: 0,
+            epoch: 1,
+            cache_enabled: true,
+            cache: vec![
+                TcEntry {
+                    vpn: Vpn(0),
+                    pfn: Pfn(0),
+                    size: PageSize::Base,
+                    zero_cow: false,
+                    dirty: false,
+                    epoch: 0,
+                };
+                TC_SLOTS
+            ],
+        }
+    }
 }
 
 impl PageTable {
@@ -93,14 +234,31 @@ impl PageTable {
         Self::default()
     }
 
+    /// Enables or disables the embedded translation cache. Execution must
+    /// be bit-identical either way; the switch exists for differential
+    /// testing and debugging.
+    pub fn set_translation_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+    }
+
+    /// Whether the translation cache is consulted on the access path.
+    pub fn translation_cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    #[inline]
+    fn invalidate_cache(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Number of base-page mappings.
     pub fn base_count(&self) -> u64 {
-        self.base.len() as u64
+        self.base_total
     }
 
     /// Number of huge mappings.
     pub fn huge_count(&self) -> u64 {
-        self.huge.len() as u64
+        self.huge_total
     }
 
     /// Resident set size in base pages (base mappings + 512 per huge
@@ -113,14 +271,23 @@ impl PageTable {
 
     /// Translates a base page, without touching accessed bits.
     pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
-        if let Some(h) = self.huge.get(&vpn.hvpn()) {
+        let c = self.chunks.get(&vpn.hvpn())?;
+        if let Some(h) = &c.huge {
             return Some(Translation {
                 pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
                 size: PageSize::Huge,
                 zero_cow: false,
             });
         }
-        self.base.get(&vpn).map(|e| Translation { pfn: e.pfn, size: PageSize::Base, zero_cow: e.zero_cow })
+        let i = vpn.huge_offset() as usize;
+        if !RegionChunk::bit(&c.mapped, i) {
+            return None;
+        }
+        Some(Translation {
+            pfn: c.pfns[i],
+            size: PageSize::Base,
+            zero_cow: RegionChunk::bit(&c.zero_cow, i),
+        })
     }
 
     /// Translates and records an access (sets accessed, and dirty on
@@ -128,33 +295,73 @@ impl PageTable {
     ///
     /// A *write* to a zero-COW entry also returns `None`: the caller must
     /// take a COW fault and replace the mapping.
+    #[inline]
     pub fn access(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
-        if let Some(h) = self.huge.get_mut(&vpn.hvpn()) {
+        if self.cache_enabled {
+            let e = &self.cache[vpn.0 as usize % TC_SLOTS];
+            // A hit may bypass the chunk only when the access would be a
+            // no-op on table state: accessed already set (invariant of
+            // cached entries), dirty already set for writes, and not a
+            // zero-COW write (which must fault).
+            if e.epoch == self.epoch && e.vpn == vpn && (!write || (e.dirty && !e.zero_cow)) {
+                return Some(Translation { pfn: e.pfn, size: e.size, zero_cow: e.zero_cow });
+            }
+        }
+        self.access_slow(vpn, write)
+    }
+
+    fn access_slow(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
+        let c = self.chunks.get_mut(&vpn.hvpn())?;
+        let (t, dirty) = if let Some(h) = &mut c.huge {
             h.accessed = true;
             h.dirty |= write;
-            return Some(Translation {
-                pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
-                size: PageSize::Huge,
-                zero_cow: false,
-            });
+            (
+                Translation {
+                    pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
+                    size: PageSize::Huge,
+                    zero_cow: false,
+                },
+                h.dirty,
+            )
+        } else {
+            let i = vpn.huge_offset() as usize;
+            if !RegionChunk::bit(&c.mapped, i) {
+                return None;
+            }
+            let zero_cow = RegionChunk::bit(&c.zero_cow, i);
+            if write && zero_cow {
+                return None;
+            }
+            RegionChunk::set(&mut c.accessed, i, true);
+            if write {
+                RegionChunk::set(&mut c.dirty, i, true);
+            }
+            (
+                Translation { pfn: c.pfns[i], size: PageSize::Base, zero_cow },
+                RegionChunk::bit(&c.dirty, i),
+            )
+        };
+        if self.cache_enabled {
+            self.cache[vpn.0 as usize % TC_SLOTS] = TcEntry {
+                vpn,
+                pfn: t.pfn,
+                size: t.size,
+                zero_cow: t.zero_cow,
+                dirty,
+                epoch: self.epoch,
+            };
         }
-        let e = self.base.get_mut(&vpn)?;
-        if write && e.zero_cow {
-            return None;
-        }
-        e.accessed = true;
-        e.dirty |= write;
-        Some(Translation { pfn: e.pfn, size: PageSize::Base, zero_cow: e.zero_cow })
+        Some(t)
     }
 
     /// Looks up the base entry for `vpn`, if any.
-    pub fn base_entry(&self, vpn: Vpn) -> Option<&BaseEntry> {
-        self.base.get(&vpn)
+    pub fn base_entry(&self, vpn: Vpn) -> Option<BaseEntry> {
+        self.chunks.get(&vpn.hvpn())?.base_entry(vpn.huge_offset() as usize)
     }
 
     /// Looks up the huge entry for `hvpn`, if any.
     pub fn huge_entry(&self, hvpn: Hvpn) -> Option<&HugeEntry> {
-        self.huge.get(&hvpn)
+        self.chunks.get(&hvpn)?.huge.as_ref()
     }
 
     /// Maps a base page.
@@ -164,10 +371,23 @@ impl PageTable {
     /// [`MapError::AlreadyMapped`] if the page is mapped (by a base or
     /// huge entry).
     pub fn map_base(&mut self, vpn: Vpn, pfn: Pfn, zero_cow: bool) -> Result<(), MapError> {
-        if self.huge.contains_key(&vpn.hvpn()) || self.base.contains_key(&vpn) {
+        let c = self.chunks.entry(vpn.hvpn()).or_insert_with(RegionChunk::new);
+        let i = vpn.huge_offset() as usize;
+        if c.huge.is_some() || RegionChunk::bit(&c.mapped, i) {
+            // Roll back a chunk this call created.
+            if c.is_empty() {
+                self.chunks.remove(&vpn.hvpn());
+            }
             return Err(MapError::AlreadyMapped { vpn });
         }
-        self.base.insert(vpn, BaseEntry { pfn, accessed: false, dirty: false, zero_cow });
+        RegionChunk::set(&mut c.mapped, i, true);
+        RegionChunk::set(&mut c.accessed, i, false);
+        RegionChunk::set(&mut c.dirty, i, false);
+        RegionChunk::set(&mut c.zero_cow, i, zero_cow);
+        c.pfns[i] = pfn;
+        c.mapped_count += 1;
+        self.base_total += 1;
+        self.invalidate_cache();
         Ok(())
     }
 
@@ -179,13 +399,18 @@ impl PageTable {
     /// [`MapError::AlreadyMapped`] if any base page in the region is
     /// mapped (the caller must collapse/unmap those first).
     pub fn map_huge(&mut self, hvpn: Hvpn, pfn: Pfn) -> Result<(), MapError> {
-        if self.huge.contains_key(&hvpn) {
-            return Err(MapError::HugeAlreadyMapped { hvpn });
+        if let Some(c) = self.chunks.get(&hvpn) {
+            if c.huge.is_some() {
+                return Err(MapError::HugeAlreadyMapped { hvpn });
+            }
+            if let Some(i) = c.first_mapped() {
+                return Err(MapError::AlreadyMapped { vpn: hvpn.vpn_at(i as u64) });
+            }
         }
-        if let Some((vpn, _)) = self.base.range(hvpn.base_vpn()..=hvpn.vpn_at(511)).next() {
-            return Err(MapError::AlreadyMapped { vpn: *vpn });
-        }
-        self.huge.insert(hvpn, HugeEntry { pfn, accessed: false, dirty: false });
+        let c = self.chunks.entry(hvpn).or_insert_with(RegionChunk::new);
+        c.huge = Some(HugeEntry { pfn, accessed: false, dirty: false });
+        self.huge_total += 1;
+        self.invalidate_cache();
         Ok(())
     }
 
@@ -195,7 +420,21 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if no base entry exists for `vpn`.
     pub fn unmap_base(&mut self, vpn: Vpn) -> Result<BaseEntry, MapError> {
-        self.base.remove(&vpn).ok_or(MapError::NotMapped { vpn })
+        let hvpn = vpn.hvpn();
+        let c = self.chunks.get_mut(&hvpn).ok_or(MapError::NotMapped { vpn })?;
+        let i = vpn.huge_offset() as usize;
+        let e = c.base_entry(i).ok_or(MapError::NotMapped { vpn })?;
+        RegionChunk::set(&mut c.mapped, i, false);
+        RegionChunk::set(&mut c.accessed, i, false);
+        RegionChunk::set(&mut c.dirty, i, false);
+        RegionChunk::set(&mut c.zero_cow, i, false);
+        c.mapped_count -= 1;
+        if c.is_empty() {
+            self.chunks.remove(&hvpn);
+        }
+        self.base_total -= 1;
+        self.invalidate_cache();
+        Ok(e)
     }
 
     /// Removes a huge mapping, returning its entry.
@@ -204,7 +443,17 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if no huge entry exists for `hvpn`.
     pub fn unmap_huge(&mut self, hvpn: Hvpn) -> Result<HugeEntry, MapError> {
-        self.huge.remove(&hvpn).ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })
+        let c = self
+            .chunks
+            .get_mut(&hvpn)
+            .ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
+        let e = c.huge.take().ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
+        if c.is_empty() {
+            self.chunks.remove(&hvpn);
+        }
+        self.huge_total -= 1;
+        self.invalidate_cache();
+        Ok(e)
     }
 
     /// Splits a huge mapping into 512 base mappings over the same frames
@@ -215,18 +464,22 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if the region has no huge mapping.
     pub fn split_huge(&mut self, hvpn: Hvpn) -> Result<HugeEntry, MapError> {
-        let entry = self.unmap_huge(hvpn)?;
-        for i in 0..512u64 {
-            self.base.insert(
-                hvpn.vpn_at(i),
-                BaseEntry {
-                    pfn: Pfn(entry.pfn.0 + i),
-                    accessed: entry.accessed,
-                    dirty: entry.dirty,
-                    zero_cow: false,
-                },
-            );
+        let c = self
+            .chunks
+            .get_mut(&hvpn)
+            .ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
+        let entry = c.huge.take().ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
+        c.mapped = [u64::MAX; WORDS];
+        c.accessed = if entry.accessed { [u64::MAX; WORDS] } else { [0; WORDS] };
+        c.dirty = if entry.dirty { [u64::MAX; WORDS] } else { [0; WORDS] };
+        c.zero_cow = [0; WORDS];
+        c.mapped_count = REGION_PAGES as u32;
+        for (i, slot) in c.pfns.iter_mut().enumerate() {
+            *slot = Pfn(entry.pfn.0 + i as u64);
         }
+        self.huge_total -= 1;
+        self.base_total += REGION_PAGES as u64;
+        self.invalidate_cache();
         Ok(entry)
     }
 
@@ -234,65 +487,110 @@ impl PageTable {
     /// (promotion collapse: the caller copies the pages into a huge frame
     /// and then maps it with [`PageTable::map_huge`]).
     pub fn take_base_entries_in_region(&mut self, hvpn: Hvpn) -> Vec<(Vpn, BaseEntry)> {
-        let keys: Vec<Vpn> =
-            self.base.range(hvpn.base_vpn()..=hvpn.vpn_at(511)).map(|(k, _)| *k).collect();
-        keys.into_iter().map(|k| (k, self.base.remove(&k).expect("key just seen"))).collect()
+        let Some(c) = self.chunks.get_mut(&hvpn) else { return Vec::new() };
+        let mut out = Vec::with_capacity(c.mapped_count as usize);
+        for i in 0..REGION_PAGES {
+            if let Some(e) = c.base_entry(i) {
+                out.push((hvpn.vpn_at(i as u64), e));
+            }
+        }
+        self.base_total -= c.mapped_count as u64;
+        c.mapped = [0; WORDS];
+        c.accessed = [0; WORDS];
+        c.dirty = [0; WORDS];
+        c.zero_cow = [0; WORDS];
+        c.mapped_count = 0;
+        if c.is_empty() {
+            self.chunks.remove(&hvpn);
+        }
+        self.invalidate_cache();
+        out
     }
 
     /// Number of base pages mapped in a region (512 for huge mappings) —
     /// Ingens' *utilization* metric.
     pub fn region_mapped_count(&self, hvpn: Hvpn) -> u32 {
-        if self.huge.contains_key(&hvpn) {
-            return 512;
+        match self.chunks.get(&hvpn) {
+            None => 0,
+            Some(c) if c.huge.is_some() => 512,
+            Some(c) => c.mapped_count,
         }
-        self.base.range(hvpn.base_vpn()..=hvpn.vpn_at(511)).count() as u32
     }
 
     /// Samples a region's accessed bits and clears them — one window of
-    /// HawkEye's access-coverage measurement.
+    /// HawkEye's access-coverage measurement. Coverage is a popcount over
+    /// the region's accessed bitmap.
     pub fn sample_and_clear_access(&mut self, hvpn: Hvpn) -> AccessSample {
-        if let Some(h) = self.huge.get_mut(&hvpn) {
+        let Some(c) = self.chunks.get_mut(&hvpn) else { return AccessSample::default() };
+        let s = if let Some(h) = &mut c.huge {
             let accessed = if h.accessed { 512 } else { 0 };
             h.accessed = false;
-            return AccessSample { mapped: 512, accessed, is_huge: true };
+            AccessSample { mapped: 512, accessed, is_huge: true }
+        } else {
+            let accessed: u32 = c.accessed.iter().map(|w| w.count_ones()).sum();
+            c.accessed = [0; WORDS];
+            AccessSample { mapped: c.mapped_count, accessed, is_huge: false }
+        };
+        // Cached entries assume their accessed bit is still set.
+        self.invalidate_cache();
+        s
+    }
+
+    /// Clears a region's accessed bits without computing the sample (the
+    /// "arm" phase of two-phase sampling).
+    pub fn clear_region_access(&mut self, hvpn: Hvpn) {
+        let Some(c) = self.chunks.get_mut(&hvpn) else { return };
+        if let Some(h) = &mut c.huge {
+            h.accessed = false;
+        } else {
+            c.accessed = [0; WORDS];
         }
-        let mut mapped = 0;
-        let mut accessed = 0;
-        for (_, e) in self.base.range_mut(hvpn.base_vpn()..=hvpn.vpn_at(511)) {
-            mapped += 1;
-            if e.accessed {
-                accessed += 1;
-                e.accessed = false;
-            }
-        }
-        AccessSample { mapped, accessed, is_huge: false }
+        self.invalidate_cache();
     }
 
     /// Iterates all huge mappings in VA order.
     pub fn huge_mappings(&self) -> impl Iterator<Item = (Hvpn, &HugeEntry)> {
-        self.huge.iter().map(|(k, v)| (*k, v))
+        self.chunks.iter().filter_map(|(k, c)| c.huge.as_ref().map(|h| (*k, h)))
     }
 
     /// Iterates all base mappings in VA order.
-    pub fn base_mappings(&self) -> impl Iterator<Item = (Vpn, &BaseEntry)> {
-        self.base.iter().map(|(k, v)| (*k, v))
+    pub fn base_mappings(&self) -> impl Iterator<Item = (Vpn, BaseEntry)> + '_ {
+        self.chunks.iter().flat_map(|(h, c)| {
+            let h = *h;
+            (0..REGION_PAGES).filter_map(move |i| c.base_entry(i).map(|e| (h.vpn_at(i as u64), e)))
+        })
+    }
+
+    /// The VPNs of base mappings in `[start, end)` (range unmap support;
+    /// only regions intersecting the range are visited).
+    pub fn base_vpns_in_range(&self, start: Vpn, end: Vpn) -> Vec<Vpn> {
+        if end.0 <= start.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let hend = Vpn(end.0 - 1).hvpn();
+        for (h, c) in self.chunks.range(start.hvpn()..=hend) {
+            for i in 0..REGION_PAGES {
+                let vpn = h.vpn_at(i as u64);
+                if vpn >= start && vpn < end && RegionChunk::bit(&c.mapped, i) {
+                    out.push(vpn);
+                }
+            }
+        }
+        out
     }
 
     /// The distinct huge regions that currently have any mapping, in VA
     /// order (the scan list used by promotion policies).
     pub fn mapped_regions(&self) -> Vec<Hvpn> {
-        let mut out: Vec<Hvpn> = self.huge.keys().copied().collect();
-        let mut last: Option<Hvpn> = None;
-        for vpn in self.base.keys() {
-            let h = vpn.hvpn();
-            if last != Some(h) {
-                out.push(h);
-                last = Some(h);
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
+        self.chunks.keys().copied().collect()
+    }
+
+    /// The regions mapped only by base pages, in VA order — promotion
+    /// candidates, without the allocation-and-filter dance over
+    /// [`PageTable::mapped_regions`].
+    pub fn base_only_regions(&self) -> impl Iterator<Item = Hvpn> + '_ {
+        self.chunks.iter().filter(|(_, c)| c.huge.is_none()).map(|(k, _)| *k)
     }
 
     /// Rewrites the frame of the base mapping at `vpn` (page migration).
@@ -301,8 +599,13 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if no base entry exists.
     pub fn remap_base(&mut self, vpn: Vpn, new_pfn: Pfn) -> Result<(), MapError> {
-        let e = self.base.get_mut(&vpn).ok_or(MapError::NotMapped { vpn })?;
-        e.pfn = new_pfn;
+        let c = self.chunks.get_mut(&vpn.hvpn()).ok_or(MapError::NotMapped { vpn })?;
+        let i = vpn.huge_offset() as usize;
+        if c.huge.is_some() || !RegionChunk::bit(&c.mapped, i) {
+            return Err(MapError::NotMapped { vpn });
+        }
+        c.pfns[i] = new_pfn;
+        self.invalidate_cache();
         Ok(())
     }
 }
@@ -387,7 +690,7 @@ mod tests {
         // Reads succeed.
         let t = pt.access(Vpn(7), false).unwrap();
         assert!(t.zero_cow);
-        // Writes demand a COW fault.
+        // Writes demand a COW fault — including via a fresh cached entry.
         assert!(pt.access(Vpn(7), true).is_none());
         // Kernel resolves the fault by remapping.
         pt.unmap_base(Vpn(7)).unwrap();
@@ -430,6 +733,7 @@ mod tests {
         pt.map_huge(Hvpn(0), Pfn(0)).unwrap();
         pt.map_base(Vpn(5000), Pfn(3), false).unwrap();
         assert_eq!(pt.mapped_regions(), vec![Hvpn(0), Hvpn(2), Hvpn(9)]);
+        assert_eq!(pt.base_only_regions().collect::<Vec<_>>(), vec![Hvpn(2), Hvpn(9)]);
     }
 
     #[test]
@@ -449,5 +753,82 @@ mod tests {
         }
         // 461/512 = 90%: Ingens' default promotion threshold.
         assert_eq!(pt.region_mapped_count(Hvpn(0)), 461);
+    }
+
+    #[test]
+    fn empty_chunks_are_dropped() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(5), Pfn(1), false).unwrap();
+        pt.unmap_base(Vpn(5)).unwrap();
+        assert!(pt.mapped_regions().is_empty());
+        pt.map_huge(Hvpn(3), Pfn(512)).unwrap();
+        pt.unmap_huge(Hvpn(3)).unwrap();
+        assert!(pt.mapped_regions().is_empty());
+        assert_eq!(pt.rss_pages(), 0);
+    }
+
+    #[test]
+    fn cache_hits_skip_nothing_observable() {
+        // Same access sequence with the cache on and off must produce
+        // identical translations and leave identical table state.
+        let mut on = PageTable::new();
+        let mut off = PageTable::new();
+        off.set_translation_cache_enabled(false);
+        for pt in [&mut on, &mut off] {
+            pt.map_base(Vpn(1), Pfn(11), false).unwrap();
+            pt.map_base(Vpn(2), Pfn(12), true).unwrap();
+            pt.map_huge(Hvpn(1), Pfn(1024)).unwrap();
+        }
+        let seq: Vec<(u64, bool)> =
+            vec![(1, false), (1, false), (1, true), (1, true), (2, false), (2, false), (600, true), (600, false), (3, false)];
+        for (v, w) in seq {
+            assert_eq!(on.access(Vpn(v), w), off.access(Vpn(v), w), "vpn {v} write {w}");
+        }
+        for v in [1u64, 2, 600] {
+            assert_eq!(on.base_entry(Vpn(v)), off.base_entry(Vpn(v)));
+        }
+        assert_eq!(
+            on.sample_and_clear_access(Hvpn(0)),
+            off.sample_and_clear_access(Hvpn(0))
+        );
+    }
+
+    #[test]
+    fn cache_invalidated_by_mutations() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(9), Pfn(1), false).unwrap();
+        pt.access(Vpn(9), true).unwrap(); // populates the cache
+        pt.unmap_base(Vpn(9)).unwrap();
+        assert!(pt.access(Vpn(9), true).is_none(), "stale cache entry survived unmap");
+        pt.map_base(Vpn(9), Pfn(2), false).unwrap();
+        assert_eq!(pt.access(Vpn(9), false).unwrap().pfn, Pfn(2));
+        pt.remap_base(Vpn(9), Pfn(3)).unwrap();
+        assert_eq!(pt.access(Vpn(9), false).unwrap().pfn, Pfn(3));
+    }
+
+    #[test]
+    fn cache_invalidated_by_sampling() {
+        // After a sample clears accessed bits, a cached hit must not skip
+        // re-setting them.
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(4), Pfn(1), false).unwrap();
+        pt.access(Vpn(4), false).unwrap();
+        assert_eq!(pt.sample_and_clear_access(Hvpn(0)).accessed, 1);
+        pt.access(Vpn(4), false).unwrap();
+        assert!(pt.base_entry(Vpn(4)).unwrap().accessed, "accessed bit lost to stale cache");
+        pt.clear_region_access(Hvpn(0));
+        pt.access(Vpn(4), false).unwrap();
+        assert_eq!(pt.sample_and_clear_access(Hvpn(0)).accessed, 1);
+    }
+
+    #[test]
+    fn base_vpns_in_range_spans_regions() {
+        let mut pt = PageTable::new();
+        pt.map_base(Vpn(10), Pfn(1), false).unwrap();
+        pt.map_base(Vpn(600), Pfn(2), false).unwrap();
+        pt.map_base(Vpn(1200), Pfn(3), false).unwrap();
+        assert_eq!(pt.base_vpns_in_range(Vpn(0), Vpn(1024)), vec![Vpn(10), Vpn(600)]);
+        assert_eq!(pt.base_vpns_in_range(Vpn(11), Vpn(601)), vec![Vpn(600)]);
+        assert!(pt.base_vpns_in_range(Vpn(0), Vpn(0)).is_empty());
     }
 }

@@ -206,6 +206,12 @@ impl AddressSpace {
         self.pt.sample_and_clear_access(hvpn)
     }
 
+    /// Clears a region's accessed bits without computing the sample — the
+    /// cheap "arm" phase of two-phase access sampling.
+    pub fn clear_region_access(&mut self, hvpn: Hvpn) {
+        self.pt.clear_region_access(hvpn)
+    }
+
     /// `madvise(MADV_DONTNEED)`: releases all mappings in
     /// `[start, start+pages)`. Huge mappings that straddle the range
     /// boundary are split first (exactly Linux's behaviour: releasing part
@@ -239,13 +245,9 @@ impl AddressSpace {
                 self.pt.split_huge(hvpn).expect("checked above");
             }
         }
-        // Base mappings inside the range.
-        let vpns: Vec<Vpn> = self
-            .pt
-            .base_mappings()
-            .map(|(v, _)| v)
-            .filter(|v| *v >= start && *v < end)
-            .collect();
+        // Base mappings inside the range (only intersecting regions are
+        // scanned).
+        let vpns: Vec<Vpn> = self.pt.base_vpns_in_range(start, end);
         for vpn in vpns {
             let e = self.pt.unmap_base(vpn).expect("key just seen");
             freed.push(FreedMapping { vpn, pfn: e.pfn, size: PageSize::Base, zero_cow: e.zero_cow });

@@ -6,8 +6,7 @@
 //! Each workload generator carries a [`DirtModel`] that samples offsets
 //! from a truncated exponential with a per-workload mean.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hawkeye_kernel::rng::SplitMix64;
 
 /// Sampler of first-non-zero-byte offsets for written pages.
 ///
@@ -23,8 +22,22 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct DirtModel {
     mean: f64,
-    rng: SmallRng,
+    rng: SplitMix64,
+    /// Inverse-CDF table: `thresholds[k]` is `(1 − e^{−(k+1)/mean})·2^53`
+    /// rounded up; a 53-bit uniform draw `u` samples offset
+    /// `#{k : thresholds[k] ≤ u}`. The table ends where the threshold
+    /// reaches `2^53` (unreachable), so lookups never scan dead tail.
+    thresholds: Vec<u64>,
+    /// Jump table over the draw's top [`LUT_BITS`] bits: `lut[b]` is the
+    /// sample for the smallest draw in bucket `b`, so a lookup needs only
+    /// a short forward scan past any thresholds inside the bucket.
+    lut: Vec<u16>,
 }
+
+/// The resolution of [`SplitMix64::unit`] draws: 53 mantissa bits.
+const UNIT_BITS: u32 = 53;
+/// Jump-table index width.
+const LUT_BITS: u32 = 12;
 
 impl DirtModel {
     /// Creates a model with the given mean offset (bytes) and RNG seed.
@@ -34,7 +47,27 @@ impl DirtModel {
     /// Panics if `mean` is not positive.
     pub fn new(mean: f64, seed: u64) -> Self {
         assert!(mean > 0.0, "mean offset must be positive");
-        DirtModel { mean, rng: SmallRng::seed_from_u64(seed) }
+        // Offsets follow floor of an exponential with the given mean,
+        // truncated to the page: P(X > k) = e^{-(k+1)/mean}. Sampling is
+        // a binary search over fixed-point CDF thresholds, which keeps
+        // the per-write cost on the simulator's touch fast path to a few
+        // integer compares instead of a transcendental.
+        let unit = (1u64 << UNIT_BITS) as f64;
+        let mut thresholds = Vec::new();
+        for k in 0..4095u32 {
+            let t = ((1.0 - (-((k + 1) as f64) / mean).exp()) * unit).ceil() as u64;
+            if t >= unit as u64 {
+                break;
+            }
+            thresholds.push(t);
+        }
+        let lut = (0..1u64 << LUT_BITS)
+            .map(|b| {
+                let u = b << (UNIT_BITS - LUT_BITS);
+                thresholds.partition_point(|&t| t <= u) as u16
+            })
+            .collect();
+        DirtModel { mean, rng: SplitMix64::new(seed), thresholds, lut }
     }
 
     /// The paper's cross-workload average (9.11 bytes).
@@ -50,9 +83,12 @@ impl DirtModel {
     /// Samples one offset (0–4095), exponentially distributed around the
     /// mean and truncated to the page.
     pub fn sample(&mut self) -> u16 {
-        let u: f64 = self.rng.gen_range(0.0..1.0);
-        let x = -self.mean * (1.0 - u).ln();
-        (x as u64).min(4095) as u16
+        let u = self.rng.next_u64() >> (64 - UNIT_BITS);
+        let mut k = self.lut[(u >> (UNIT_BITS - LUT_BITS)) as usize] as usize;
+        while k < self.thresholds.len() && self.thresholds[k] <= u {
+            k += 1;
+        }
+        k as u16
     }
 }
 

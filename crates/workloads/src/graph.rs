@@ -9,8 +9,7 @@
 use crate::content::DirtModel;
 use hawkeye_kernel::{MemOp, Workload};
 use hawkeye_vm::{VmaKind, Vpn};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hawkeye_kernel::rng::SplitMix64;
 
 const CHUNK: usize = 2048;
 
@@ -37,7 +36,7 @@ pub struct HotspotWorkload {
     iters_left: u64,
     think: u32,
     phase: u8,
-    rng: SmallRng,
+    rng: SplitMix64,
     dirt: DirtModel,
 }
 
@@ -65,7 +64,7 @@ impl HotspotWorkload {
             iters_left: iters,
             think,
             phase: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             dirt: DirtModel::paper_average(seed),
         }
     }
@@ -128,10 +127,10 @@ impl Workload for HotspotWorkload {
                 let hot_start = (self.regions - self.hot_regions) * 512;
                 let vpns: Vec<Vpn> = (0..CHUNK)
                     .map(|_| {
-                        if self.rng.gen_bool(self.hot_fraction) {
-                            Vpn(self.rng.gen_range(hot_start..pages))
+                        if self.rng.unit() < self.hot_fraction {
+                            Vpn(hot_start + self.rng.below(pages - hot_start))
                         } else {
-                            Vpn(self.rng.gen_range(0..pages))
+                            Vpn(self.rng.below(pages))
                         }
                     })
                     .collect();

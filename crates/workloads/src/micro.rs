@@ -4,8 +4,7 @@
 use crate::content::DirtModel;
 use hawkeye_kernel::{MemOp, Workload};
 use hawkeye_vm::{VmaKind, Vpn};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hawkeye_kernel::rng::SplitMix64;
 use std::collections::VecDeque;
 
 const CHUNK: u64 = 4096;
@@ -95,7 +94,7 @@ pub struct PatternScan {
     think: u32,
     started: bool,
     cursor: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     dirt: DirtModel,
 }
 
@@ -111,7 +110,7 @@ impl PatternScan {
             think,
             started: false,
             cursor: 0,
-            rng: SmallRng::seed_from_u64(21),
+            rng: SplitMix64::new(21),
             dirt: DirtModel::paper_average(21),
         }
     }
@@ -127,7 +126,7 @@ impl PatternScan {
             think,
             started: false,
             cursor: 0,
-            rng: SmallRng::seed_from_u64(22),
+            rng: SplitMix64::new(22),
             dirt: DirtModel::paper_average(22),
         }
     }
@@ -160,7 +159,7 @@ impl Workload for PatternScan {
                 let n = CHUNK.min(self.accesses_left);
                 self.accesses_left -= n;
                 let vpns: Vec<Vpn> =
-                    (0..n).map(|_| Vpn(self.rng.gen_range(0..self.pages))).collect();
+                    (0..n).map(|_| Vpn(self.rng.below(self.pages))).collect();
                 Some(MemOp::TouchList { vpns, write: false, think: self.think })
             }
         }

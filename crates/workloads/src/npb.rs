@@ -8,8 +8,7 @@
 use crate::content::DirtModel;
 use hawkeye_kernel::{MemOp, Workload};
 use hawkeye_vm::{VmaKind, Vpn};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hawkeye_kernel::rng::SplitMix64;
 
 const CHUNK: u64 = 2048;
 
@@ -58,7 +57,7 @@ pub struct NpbKernel {
     think: u32,
     phase: u8,
     cursor: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     dirt: DirtModel,
 }
 
@@ -81,7 +80,7 @@ impl NpbKernel {
             think,
             phase: 0,
             cursor: 0,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             dirt: DirtModel::paper_average(seed ^ 0xbeef),
         }
     }
@@ -170,7 +169,7 @@ impl Workload for NpbKernel {
                         let span = ((pages as f64) * wss) as u64;
                         let base = pages - span;
                         let vpns: Vec<Vpn> = (0..CHUNK)
-                            .map(|_| Vpn(base + self.rng.gen_range(0..span.max(1))))
+                            .map(|_| Vpn(base + self.rng.below(span.max(1))))
                             .collect();
                         Some(MemOp::TouchList { vpns, write: false, think: self.think })
                     }

@@ -11,8 +11,7 @@
 use crate::content::DirtModel;
 use hawkeye_kernel::{MemOp, Workload};
 use hawkeye_vm::{VmaKind, Vpn};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hawkeye_kernel::rng::SplitMix64;
 use std::collections::VecDeque;
 
 const KEY_CHUNK: u64 = 2048;
@@ -76,7 +75,7 @@ pub struct RedisKv {
     free_chunks: Vec<(u64, u64)>,
     /// Deletions waiting to be emitted as madvise ops.
     pending_deletes: VecDeque<(u64, u64)>,
-    rng: SmallRng,
+    rng: SplitMix64,
     dirt: DirtModel,
 }
 
@@ -92,7 +91,7 @@ impl RedisKv {
             live: Vec::new(),
             free_chunks: Vec::new(),
             pending_deletes: VecDeque::new(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             dirt: DirtModel::new(4.0, seed ^ 0x5eed),
         }
     }
@@ -188,7 +187,7 @@ impl Workload for RedisKv {
                 self.script.pop_front();
                 let mut kept = Vec::with_capacity(self.live.len());
                 for (start, pages) in std::mem::take(&mut self.live) {
-                    if self.rng.gen_bool(fraction) {
+                    if self.rng.unit() < fraction {
                         self.pending_deletes.push_back((start, pages));
                         self.free_chunks.push((start, pages));
                     } else {
@@ -206,8 +205,8 @@ impl Workload for RedisKv {
                 let batch = KEY_CHUNK.min(requests);
                 let vpns: Vec<Vpn> = (0..batch)
                     .map(|_| {
-                        let (start, pages) = self.live[self.rng.gen_range(0..self.live.len())];
-                        Vpn(start + self.rng.gen_range(0..pages))
+                        let (start, pages) = self.live[self.rng.below(self.live.len() as u64) as usize];
+                        Vpn(start + self.rng.below(pages))
                     })
                     .collect();
                 let remaining = requests - batch;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, and a hot-path throughput
+# smoke. Everything runs offline against the committed lockfile.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Touch-throughput smoke: --quick scales the run down to 1 M touches per
+# shape and asserts each finishes inside a 30 s budget, so a fast-path
+# regression (e.g. the streak batcher silently falling back to the
+# per-access loop) fails CI instead of just slowing the benches.
+echo "==> touch-throughput smoke (--quick)"
+cargo bench -p hawkeye-bench --bench touch_throughput -- --quick
+
+echo "==> OK"

@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the paper's headline claims, each
 //! exercised end-to-end through the public facade API.
+#![allow(clippy::box_default)] // Box::new(X::default()) coercing to Box<dyn Policy>; Box::default() cannot infer the unsized target.
 
 use hawkeye::core::{HawkEye, HawkEyeConfig};
 use hawkeye::kernel::{HugePagePolicy, KernelConfig, Simulator};
