@@ -6,10 +6,9 @@
 //! async pre-zeroing plus host same-page merging matching ballooning's
 //! throughput (2.3× for Redis) without any paravirtual interface.
 
-use hawkeye_bench::PolicyKind;
+use hawkeye_bench::{run_scenarios, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_core::{HawkEye, HawkEyeConfig};
 use hawkeye_kernel::{HugePagePolicy, Workload};
-use hawkeye_metrics::TextTable;
 use hawkeye_policies::LinuxThp;
 use hawkeye_virt::{VirtConfig, VirtSystem, VmSpec};
 use hawkeye_workloads::{HotspotWorkload, NpbKernel, RedisKv, RedisOp};
@@ -28,6 +27,7 @@ fn kv(seed: u64) -> Box<dyn Workload> {
     ))
 }
 
+#[derive(Clone, Copy)]
 struct Config {
     label: &'static str,
     guests_hawkeye: bool,
@@ -43,7 +43,7 @@ fn guest_policy(hawkeye: bool) -> Box<dyn HugePagePolicy> {
     }
 }
 
-fn run(c: &Config) -> (Vec<f64>, u64, u64) {
+fn run(c: Config) -> (Vec<f64>, u64, u64) {
     let vcfg = VirtConfig { ksm: c.ksm, balloon: c.balloon, ..Default::default() };
     // Host 256 MiB; 4 VMs x 96 MiB = 1.5x overcommit.
     let mut sys = VirtSystem::with_virt_config(
@@ -85,43 +85,37 @@ fn main() {
         Config { label: "HawkEye guests + host KSM", guests_hawkeye: true, ksm: true, balloon: false },
     ];
     let names = ["Redis", "MongoDB", "PageRank", "cg"];
-    let base = run(&configs[0]);
-    let mut t = TextTable::new(vec![
-        "Configuration",
-        "Redis",
-        "MongoDB",
-        "PageRank",
-        "cg",
-        "swap-outs",
-        "pages recovered",
-    ])
-    .with_title("Fig. 11: overcommitted VMs (4 x 96 MiB on a 256 MiB host), perf vs no-balloon");
-    for c in &configs {
-        let (times, swaps, recovered) =
-            if c.label.starts_with("no balloon") { base.clone() } else { run(c) };
+    // Each configuration is one heavyweight four-VM system — three
+    // scenarios fan out; the no-balloon result is the speedup base.
+    let scenarios: Vec<Scenario<(Vec<f64>, u64, u64)>> =
+        configs.iter().map(|c| Scenario::new(c.label, { let c = *c; move || run(c) })).collect();
+    let results = run_scenarios(scenarios);
+    let base = &results[0];
+
+    let mut report = Report::new(
+        "fig11_overcommit",
+        "Fig. 11: overcommitted VMs (4 x 96 MiB on a 256 MiB host), perf vs no-balloon",
+        vec!["Configuration", "Redis", "MongoDB", "PageRank", "cg", "swap-outs", "pages recovered"],
+    );
+    for (c, (times, swaps, recovered)) in configs.iter().zip(&results) {
         let mut row = vec![c.label.to_string()];
+        let mut speedups = Vec::new();
         for (i, time) in times.iter().enumerate().take(names.len()) {
             row.push(format!("{:.2}x", base.0[i] / time));
+            speedups.push((names[i], Json::num(base.0[i] / time)));
         }
         row.push(swaps.to_string());
         row.push(recovered.to_string());
-        t.row(row);
+        let mut json = vec![("configuration", Json::str(c.label))];
+        json.extend(speedups);
+        json.push(("swap_outs", Json::int(*swaps)));
+        json.push(("pages_recovered", Json::int(*recovered)));
+        report.add(Row::new(row).with_json(Json::obj(json)));
     }
-    println!("{t}");
-    println!(
+    report.footer(
         "(paper, Fig. 11: HawkEye+KSM gives Redis 2.3x and MongoDB 1.42x over\n\
          no-balloon, close to the balloon-driver configuration; PageRank dips\n\
-         slightly from extra COW faults)"
+         slightly from extra COW faults)",
     );
-}
-
-impl Clone for Config {
-    fn clone(&self) -> Self {
-        Config {
-            label: self.label,
-            guests_hawkeye: self.guests_hawkeye,
-            ksm: self.ksm,
-            balloon: self.balloon,
-        }
-    }
+    report.finish();
 }

@@ -6,9 +6,9 @@
 //! drive Linux and Ingens out of memory while HawkEye recovers bloat and
 //! survives. Scaled here 256×: 176 MiB machine, 160 MiB dataset.
 
-use hawkeye_bench::{print_series, PolicyKind};
+use hawkeye_bench::{format_series, run_scenarios, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::Simulator;
-use hawkeye_metrics::{Cycles, TextTable};
+use hawkeye_metrics::Cycles;
 use hawkeye_workloads::{RedisKv, RedisOp};
 
 fn redis_script() -> Vec<RedisOp> {
@@ -27,38 +27,55 @@ fn redis_script() -> Vec<RedisOp> {
 }
 
 fn main() {
-    let mut t = TextTable::new(vec![
-        "Kernel",
-        "peak RSS (MiB)",
-        "final RSS (MiB)",
-        "bloat recovered (MiB)",
-        "OOM?",
-    ])
-    .with_title("Fig. 1: Redis bloat across phases (176 MiB machine, 160 MiB dataset)");
-    for kind in [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyeG] {
-        let mut cfg = kind.config(176);
-        cfg.max_time = Cycles::from_secs(120.0);
-        let mut sim = Simulator::new(cfg, kind.build());
-        let pid = sim.spawn(Box::new(RedisKv::new(120 * 1024, redis_script(), 17)));
-        sim.run();
-        let m = sim.machine();
-        let series = m.recorder().series("mem.allocated_pages").expect("sampled");
-        let peak = series.max_value().unwrap_or(0.0) * 4096.0 / (1024.0 * 1024.0);
-        let fin = series.last().map(|s| s.value).unwrap_or(0.0) * 4096.0 / (1024.0 * 1024.0);
-        let recovered = m.stats().deduped_zero_pages as f64 * 4096.0 / (1024.0 * 1024.0);
-        let oom = m.process(pid).map(|p| p.is_oom()).unwrap_or(false);
-        t.row(vec![
-            kind.label().to_string(),
-            format!("{peak:.0}"),
-            format!("{fin:.0}"),
-            format!("{recovered:.0}"),
-            if oom { "OOM".into() } else { "completed".into() },
-        ]);
-        print_series(&format!("{} RSS (pages) over time", kind.label()), series, 14);
-    }
-    println!("{t}");
-    println!(
-        "(paper, Fig. 1: Linux and Ingens hit OOM at 28 GB / 20 GB bloat;\n\
-         HawkEye recovers bloat under pressure and completes)"
+    let scenarios: Vec<Scenario<Row>> =
+        [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyeG]
+            .into_iter()
+            .map(|kind| {
+                Scenario::new(kind.label(), move || {
+                    let mut cfg = kind.config(176);
+                    cfg.max_time = Cycles::from_secs(120.0);
+                    let mut sim = Simulator::new(cfg, kind.build());
+                    let pid = sim.spawn(Box::new(RedisKv::new(120 * 1024, redis_script(), 17)));
+                    sim.run();
+                    let m = sim.machine();
+                    let series = m.recorder().series("mem.allocated_pages").expect("sampled");
+                    let peak = series.max_value().unwrap_or(0.0) * 4096.0 / (1024.0 * 1024.0);
+                    let fin =
+                        series.last().map(|s| s.value).unwrap_or(0.0) * 4096.0 / (1024.0 * 1024.0);
+                    let recovered =
+                        m.stats().deduped_zero_pages as f64 * 4096.0 / (1024.0 * 1024.0);
+                    let oom = m.process(pid).map(|p| p.is_oom()).unwrap_or(false);
+                    Row::new(vec![
+                        kind.label().to_string(),
+                        format!("{peak:.0}"),
+                        format!("{fin:.0}"),
+                        format!("{recovered:.0}"),
+                        if oom { "OOM".into() } else { "completed".into() },
+                    ])
+                    .with_json(Json::obj(vec![
+                        ("kernel", Json::str(kind.label())),
+                        ("peak_rss_mib", Json::num(peak)),
+                        ("final_rss_mib", Json::num(fin)),
+                        ("bloat_recovered_mib", Json::num(recovered)),
+                        ("oom", Json::Bool(oom)),
+                    ]))
+                    .line(format_series(
+                        &format!("{} RSS (pages) over time", kind.label()),
+                        series,
+                        14,
+                    ))
+                })
+            })
+            .collect();
+    let mut report = Report::new(
+        "fig1_redis_bloat",
+        "Fig. 1: Redis bloat across phases (176 MiB machine, 160 MiB dataset)",
+        vec!["Kernel", "peak RSS (MiB)", "final RSS (MiB)", "bloat recovered (MiB)", "OOM?"],
     );
+    report.extend(run_scenarios(scenarios));
+    report.footer(
+        "(paper, Fig. 1: Linux and Ingens hit OOM at 28 GB / 20 GB bloat;\n\
+         HawkEye recovers bloat under pressure and completes)",
+    );
+    report.finish();
 }

@@ -8,9 +8,8 @@
 //! 22 % over never-promoting, 6.7× (G) / 44× (PMU) better time saved per
 //! promotion than Linux on XSBench.
 
-use hawkeye_bench::{run_one, secs, spd, PolicyKind};
+use hawkeye_bench::{run_one, run_scenarios, secs, spd, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::Workload;
-use hawkeye_metrics::TextTable;
 use hawkeye_workloads::{HotspotWorkload, NpbKernel};
 
 fn workload(name: &str) -> Box<dyn Workload> {
@@ -22,41 +21,92 @@ fn workload(name: &str) -> Box<dyn Workload> {
     }
 }
 
+const NAMES: [&str; 3] = ["graph500", "xsbench", "cg.D"];
+const KINDS: [PolicyKind; 5] = [
+    PolicyKind::Linux4k, // base first, used by the other rows of its workload
+    PolicyKind::Linux2m,
+    PolicyKind::Ingens,
+    PolicyKind::HawkEyePmu,
+    PolicyKind::HawkEyeG,
+];
+
 fn main() {
-    let mut t = TextTable::new(vec![
-        "Workload",
-        "Policy",
-        "exec (s)",
-        "speedup vs 4KB",
-        "promotions",
-        "time saved/promotion (ms)",
-    ])
-    .with_title("Fig. 5: promotion efficiency in a fragmented system");
-    for name in ["graph500", "xsbench", "cg.D"] {
-        let base = run_one(PolicyKind::Linux4k, 768, Some((1.0, 0.55)), 300.0, workload(name));
-        let t4k = base.cpu_secs();
-        for kind in
-            [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyePmu, PolicyKind::HawkEyeG]
-        {
-            let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
-            let exec = out.cpu_secs();
-            let promos = out.sim.machine().stats().promotions.max(1);
+    // Every (workload, policy) cell is an independent simulation; the
+    // speedup column is assembled afterwards from the ordered results.
+    let scenarios: Vec<Scenario<(f64, u64)>> = NAMES
+        .iter()
+        .flat_map(|name| {
+            KINDS.iter().map(move |kind| {
+                let (name, kind) = (*name, *kind);
+                Scenario::new(format!("{name} {}", kind.label()), move || {
+                    let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
+                    (out.cpu_secs(), out.sim.machine().stats().promotions)
+                })
+            })
+        })
+        .collect();
+    let results = run_scenarios(scenarios);
+
+    let mut report = Report::new(
+        "fig5_promotion_efficiency",
+        "Fig. 5: promotion efficiency in a fragmented system",
+        vec![
+            "Workload",
+            "Policy",
+            "exec (s)",
+            "speedup vs 4KB",
+            "promotions",
+            "time saved/promotion (ms)",
+        ],
+    );
+    for (wi, name) in NAMES.iter().enumerate() {
+        let cells = &results[wi * KINDS.len()..(wi + 1) * KINDS.len()];
+        let t4k = cells[0].0;
+        for (ki, kind) in KINDS.iter().enumerate().skip(1) {
+            let (exec, promos) = cells[ki];
+            let promos = promos.max(1);
             let saved_ms = (t4k - exec).max(0.0) * 1e3 / promos as f64;
-            t.row(vec![
-                name.to_string(),
-                kind.label().to_string(),
-                secs(exec),
-                spd(t4k / exec),
-                promos.to_string(),
-                format!("{saved_ms:.2}"),
-            ]);
+            report.add(
+                Row::new(vec![
+                    name.to_string(),
+                    kind.label().to_string(),
+                    secs(exec),
+                    spd(t4k / exec),
+                    promos.to_string(),
+                    format!("{saved_ms:.2}"),
+                ])
+                .with_json(Json::obj(vec![
+                    ("workload", Json::str(*name)),
+                    ("policy", Json::str(kind.label())),
+                    ("exec_secs", Json::num(exec)),
+                    ("speedup_vs_4k", Json::num(t4k / exec)),
+                    ("promotions", Json::int(promos)),
+                    ("saved_ms_per_promotion", Json::num(saved_ms)),
+                ])),
+            );
         }
-        t.row(vec![name.to_string(), "Linux-4KB".into(), secs(t4k), "1.00x".into(), "0".into(), "-".into()]);
+        report.add(
+            Row::new(vec![
+                name.to_string(),
+                "Linux-4KB".into(),
+                secs(t4k),
+                "1.00x".into(),
+                "0".into(),
+                "-".into(),
+            ])
+            .with_json(Json::obj(vec![
+                ("workload", Json::str(*name)),
+                ("policy", Json::str("Linux-4KB")),
+                ("exec_secs", Json::num(t4k)),
+                ("speedup_vs_4k", Json::num(1.0)),
+                ("promotions", Json::int(0)),
+            ])),
+        );
     }
-    println!("{t}");
-    println!(
+    report.footer(
         "(paper, Fig. 5: HawkEye up to 22% over no-promotion; 13%/12%/6% over\n\
          Linux & Ingens on Graph500/XSBench/cg.D; HawkEye-PMU saves the most\n\
-         time per promotion because it stops below 2% overhead)"
+         time per promotion because it stops below 2% overhead)",
     );
+    report.finish();
 }

@@ -8,7 +8,7 @@
 //! HawkEye eliminating XSBench's overheads in ~300 s while Linux/Ingens
 //! are still above them after 1000 s.
 
-use hawkeye_bench::{print_series, run_one, PolicyKind};
+use hawkeye_bench::{format_series, run_one, run_scenarios, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::Workload;
 use hawkeye_workloads::HotspotWorkload;
 
@@ -20,29 +20,62 @@ fn workload(name: &str) -> Box<dyn Workload> {
 }
 
 fn main() {
+    let mut scenarios: Vec<Scenario<Row>> = Vec::new();
     for name in ["graph500", "xsbench"] {
-        println!("===== Fig. 6: {name} =====");
-        for kind in [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyeG] {
-            let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
-            let m = out.sim.machine();
-            let key_mmu = format!("p{}.mmu_overhead", out.pid);
-            let key_huge = format!("p{}.huge_pages", out.pid);
-            if let Some(s) = m.recorder().series(&key_mmu) {
-                print_series(&format!("{} {name}: MMU overhead (fraction)", kind.label()), s, 12);
-            }
-            if let Some(s) = m.recorder().series(&key_huge) {
-                print_series(&format!("{} {name}: huge pages mapped", kind.label()), s, 12);
-            }
-            println!(
-                "{} {name}: final overhead {:.1}%, promotions {}",
-                kind.label(),
-                out.mmu_overhead() * 100.0,
-                m.stats().promotions
-            );
+        for (ki, kind) in
+            [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyeG].into_iter().enumerate()
+        {
+            scenarios.push(Scenario::new(format!("{name} {}", kind.label()), move || {
+                let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
+                let m = out.sim.machine();
+                let mut text = String::new();
+                if ki == 0 {
+                    text.push_str(&format!("===== Fig. 6: {name} =====\n"));
+                }
+                let key_mmu = format!("p{}.mmu_overhead", out.pid);
+                let key_huge = format!("p{}.huge_pages", out.pid);
+                if let Some(s) = m.recorder().series(&key_mmu) {
+                    text.push_str(&format_series(
+                        &format!("{} {name}: MMU overhead (fraction)", kind.label()),
+                        s,
+                        12,
+                    ));
+                }
+                if let Some(s) = m.recorder().series(&key_huge) {
+                    text.push_str(&format_series(
+                        &format!("{} {name}: huge pages mapped", kind.label()),
+                        s,
+                        12,
+                    ));
+                }
+                let overhead = out.mmu_overhead();
+                let promos = m.stats().promotions;
+                text.push_str(&format!(
+                    "{} {name}: final overhead {:.1}%, promotions {}\n",
+                    kind.label(),
+                    overhead * 100.0,
+                    promos
+                ));
+                Row::new(vec![])
+                    .with_json(Json::obj(vec![
+                        ("workload", Json::str(name)),
+                        ("policy", Json::str(kind.label())),
+                        ("final_mmu_overhead", Json::num(overhead)),
+                        ("promotions", Json::int(promos)),
+                    ]))
+                    .line(text)
+            }));
         }
     }
-    println!(
-        "\n(paper, Fig. 6: HawkEye promotes the hot high-VA regions first and\n\
-         eliminates MMU overheads several times faster than Linux/Ingens)"
+    let mut report = Report::new(
+        "fig6_promotion_timeline",
+        "Fig. 6: promotion timelines in a fragmented system",
+        vec![], // series blocks only, no table
     );
+    report.extend(run_scenarios(scenarios));
+    report.footer(
+        "(paper, Fig. 6: HawkEye promotes the hot high-VA regions first and\n\
+         eliminates MMU overheads several times faster than Linux/Ingens)",
+    );
+    report.finish();
 }

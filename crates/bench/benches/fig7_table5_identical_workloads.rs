@@ -7,9 +7,9 @@
 //! instances round-robin — the paper measures 1.13–1.15× average speedup
 //! for HawkEye vs ~1.0–1.06× for Linux/Ingens.
 
-use hawkeye_bench::{secs, spd, PolicyKind};
+use hawkeye_bench::{run_scenarios, secs, spd, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::{Simulator, Workload};
-use hawkeye_metrics::{Cycles, TextTable};
+use hawkeye_metrics::Cycles;
 use hawkeye_workloads::HotspotWorkload;
 
 fn instance(name: &str) -> Box<dyn Workload> {
@@ -39,49 +39,78 @@ fn run_three(kind: PolicyKind, name: &str) -> (Vec<f64>, u64) {
     (times, sim.machine().stats().promotions)
 }
 
+const NAMES: [&str; 2] = ["graph500", "xsbench"];
+const KINDS: [PolicyKind; 5] = [
+    PolicyKind::Linux4k,
+    PolicyKind::Linux2m,
+    PolicyKind::Ingens,
+    PolicyKind::HawkEyePmu,
+    PolicyKind::HawkEyeG,
+];
+
 fn main() {
-    let mut t = TextTable::new(vec![
-        "Workload",
-        "Policy",
-        "inst-1 (s)",
-        "inst-2 (s)",
-        "inst-3 (s)",
-        "avg (s)",
-        "avg speedup",
-        "promotions",
-    ])
-    .with_title("Table 5 / Fig. 7: three identical instances, fragmented system");
-    for name in ["graph500", "xsbench"] {
-        let (base, _) = run_three(PolicyKind::Linux4k, name);
-        let avg4k = base.iter().sum::<f64>() / 3.0;
-        for kind in [
-            PolicyKind::Linux4k,
-            PolicyKind::Linux2m,
-            PolicyKind::Ingens,
-            PolicyKind::HawkEyePmu,
-            PolicyKind::HawkEyeG,
-        ] {
-            let (times, promos) = if kind == PolicyKind::Linux4k {
-                (base.clone(), 0)
-            } else {
-                run_three(kind, name)
-            };
+    // One scenario per (workload, policy); the 4KB cell doubles as the
+    // speedup base for its workload (assembled after the ordered run).
+    let scenarios: Vec<Scenario<(Vec<f64>, u64)>> = NAMES
+        .iter()
+        .flat_map(|name| {
+            KINDS.iter().map(move |kind| {
+                let (name, kind) = (*name, *kind);
+                Scenario::new(format!("{name} {}", kind.label()), move || run_three(kind, name))
+            })
+        })
+        .collect();
+    let results = run_scenarios(scenarios);
+
+    let mut report = Report::new(
+        "fig7_table5_identical_workloads",
+        "Table 5 / Fig. 7: three identical instances, fragmented system",
+        vec![
+            "Workload",
+            "Policy",
+            "inst-1 (s)",
+            "inst-2 (s)",
+            "inst-3 (s)",
+            "avg (s)",
+            "avg speedup",
+            "promotions",
+        ],
+    );
+    for (wi, name) in NAMES.iter().enumerate() {
+        let cells = &results[wi * KINDS.len()..(wi + 1) * KINDS.len()];
+        let avg4k = cells[0].0.iter().sum::<f64>() / 3.0;
+        for (ki, kind) in KINDS.iter().enumerate() {
+            let (times, promos) = &cells[ki];
+            let promos = if *kind == PolicyKind::Linux4k { 0 } else { *promos };
             let avg = times.iter().sum::<f64>() / 3.0;
-            t.row(vec![
-                name.to_string(),
-                kind.label().to_string(),
-                secs(times[0]),
-                secs(times[1]),
-                secs(times[2]),
-                secs(avg),
-                spd(avg4k / avg),
-                promos.to_string(),
-            ]);
+            report.add(
+                Row::new(vec![
+                    name.to_string(),
+                    kind.label().to_string(),
+                    secs(times[0]),
+                    secs(times[1]),
+                    secs(times[2]),
+                    secs(avg),
+                    spd(avg4k / avg),
+                    promos.to_string(),
+                ])
+                .with_json(Json::obj(vec![
+                    ("workload", Json::str(*name)),
+                    ("policy", Json::str(kind.label())),
+                    (
+                        "instance_secs",
+                        Json::Arr(times.iter().map(|t| Json::num(*t)).collect()),
+                    ),
+                    ("avg_secs", Json::num(avg)),
+                    ("avg_speedup", Json::num(avg4k / avg)),
+                    ("promotions", Json::int(promos)),
+                ])),
+            );
         }
     }
-    println!("{t}");
-    println!(
+    report.footer(
         "(paper, Table 5: Graph500 avg speedups 1.02x Linux / 1.01x Ingens /\n\
-         1.14x HawkEye-PMU / 1.13x HawkEye-G; XSBench 1.00/1.00/1.15/1.15)"
+         1.14x HawkEye-PMU / 1.13x HawkEye-G; XSBench 1.00/1.00/1.15/1.15)",
     );
+    report.finish();
 }

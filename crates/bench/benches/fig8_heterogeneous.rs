@@ -7,9 +7,9 @@
 //! and is order-independent — the paper measures 15–60 % speedups for the
 //! sensitive apps under HawkEye in both orders.
 
-use hawkeye_bench::{spd, PolicyKind};
+use hawkeye_bench::{run_scenarios, spd, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::{Simulator, Workload};
-use hawkeye_metrics::{Cycles, TextTable};
+use hawkeye_metrics::Cycles;
 use hawkeye_workloads::{HotspotWorkload, NpbKernel, RedisKv};
 
 fn sensitive(name: &str) -> Box<dyn Workload> {
@@ -48,33 +48,69 @@ fn run_pair(kind: PolicyKind, name: &str, sensitive_first: bool) -> f64 {
         .as_secs()
 }
 
+const NAMES: [&str; 3] = ["graph500", "xsbench", "cg"];
+const KINDS: [PolicyKind; 5] = [
+    PolicyKind::Linux4k,
+    PolicyKind::Linux2m,
+    PolicyKind::Ingens,
+    PolicyKind::HawkEyePmu,
+    PolicyKind::HawkEyeG,
+];
+
 fn main() {
-    let mut t = TextTable::new(vec![
-        "Sensitive app",
-        "Policy",
-        "speedup (launched Before)",
-        "speedup (launched After)",
-    ])
-    .with_title("Fig. 8: TLB-sensitive app +/- lightly-loaded Redis, both launch orders");
-    for name in ["graph500", "xsbench", "cg"] {
-        let base_before = run_pair(PolicyKind::Linux4k, name, true);
-        let base_after = run_pair(PolicyKind::Linux4k, name, false);
-        for kind in
-            [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyePmu, PolicyKind::HawkEyeG]
-        {
-            let before = run_pair(kind, name, true);
-            let after = run_pair(kind, name, false);
-            t.row(vec![
-                name.to_string(),
-                kind.label().to_string(),
-                spd(base_before / before),
-                spd(base_after / after),
-            ]);
+    // One scenario per (workload, policy, launch order) — 30 independent
+    // pair simulations, fanned across cores.
+    let scenarios: Vec<Scenario<f64>> = NAMES
+        .iter()
+        .flat_map(|name| {
+            KINDS.iter().flat_map(move |kind| {
+                [true, false].into_iter().map(move |first| {
+                    let (name, kind) = (*name, *kind);
+                    Scenario::new(
+                        format!("{name} {} {}", kind.label(), if first { "before" } else { "after" }),
+                        move || run_pair(kind, name, first),
+                    )
+                })
+            })
+        })
+        .collect();
+    let results = run_scenarios(scenarios);
+
+    let mut report = Report::new(
+        "fig8_heterogeneous",
+        "Fig. 8: TLB-sensitive app +/- lightly-loaded Redis, both launch orders",
+        vec![
+            "Sensitive app",
+            "Policy",
+            "speedup (launched Before)",
+            "speedup (launched After)",
+        ],
+    );
+    let per_name = KINDS.len() * 2;
+    for (wi, name) in NAMES.iter().enumerate() {
+        let cells = &results[wi * per_name..(wi + 1) * per_name];
+        let (base_before, base_after) = (cells[0], cells[1]);
+        for (ki, kind) in KINDS.iter().enumerate().skip(1) {
+            let (before, after) = (cells[ki * 2], cells[ki * 2 + 1]);
+            report.add(
+                Row::new(vec![
+                    name.to_string(),
+                    kind.label().to_string(),
+                    spd(base_before / before),
+                    spd(base_after / after),
+                ])
+                .with_json(Json::obj(vec![
+                    ("workload", Json::str(*name)),
+                    ("policy", Json::str(kind.label())),
+                    ("speedup_before", Json::num(base_before / before)),
+                    ("speedup_after", Json::num(base_after / after)),
+                ])),
+            );
         }
     }
-    println!("{t}");
-    println!(
+    report.footer(
         "(paper, Fig. 8: Linux helps only in the Before order; Ingens favors\n\
-         Redis in both; HawkEye gives the sensitive app 15-60% in both orders)"
+         Redis in both; HawkEye gives the sensitive app 15-60% in both orders)",
     );
+    report.finish();
 }

@@ -6,11 +6,10 @@
 //! actually map huge contribute. The paper measures 18–90 % speedups over
 //! all-Linux; the `both` configuration wins.
 
-use hawkeye_bench::{secs, spd, PolicyKind};
+use hawkeye_bench::{run_scenarios, secs, spd, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_core::{HawkEye, HawkEyeConfig};
 use hawkeye_kernel::{HugePagePolicy, Workload};
 use hawkeye_policies::LinuxThp;
-use hawkeye_metrics::TextTable;
 use hawkeye_virt::{VirtSystem, VmSpec};
 use hawkeye_workloads::{HotspotWorkload, NpbKernel};
 
@@ -47,28 +46,55 @@ fn run(name: &str, host_hawkeye: bool, guest_hawkeye: bool) -> f64 {
         .as_secs()
 }
 
+const CONFIGS: [(&str, bool, bool); 4] =
+    [("all-linux", false, false), ("host", true, false), ("guest", false, true), ("both", true, true)];
+
 fn main() {
-    let mut t = TextTable::new(vec![
-        "Workload",
-        "Linux host+guest (s)",
-        "HawkEye@host",
-        "HawkEye@guest",
-        "HawkEye@both",
-    ])
-    .with_title("Fig. 9: virtualized speedup over all-Linux (Table 6 configurations)");
-    for name in ["cg.D", "graph500"] {
-        let base = run(name, false, false);
-        let host = run(name, true, false);
-        let guest = run(name, false, true);
-        let both = run(name, true, true);
-        t.row(vec![
-            name.to_string(),
-            secs(base),
-            spd(base / host),
-            spd(base / guest),
-            spd(base / both),
-        ]);
+    // One scenario per (workload, layer config): 8 independent two-level
+    // systems. Speedups are assembled from the ordered results.
+    let names = ["cg.D", "graph500"];
+    let scenarios: Vec<Scenario<f64>> = names
+        .iter()
+        .flat_map(|name| {
+            CONFIGS.iter().map(move |(cname, host, guest)| {
+                let (name, host, guest) = (*name, *host, *guest);
+                Scenario::new(format!("{name} {cname}"), move || run(name, host, guest))
+            })
+        })
+        .collect();
+    let results = run_scenarios(scenarios);
+
+    let mut report = Report::new(
+        "fig9_virtualized",
+        "Fig. 9: virtualized speedup over all-Linux (Table 6 configurations)",
+        vec![
+            "Workload",
+            "Linux host+guest (s)",
+            "HawkEye@host",
+            "HawkEye@guest",
+            "HawkEye@both",
+        ],
+    );
+    for (wi, name) in names.iter().enumerate() {
+        let cells = &results[wi * CONFIGS.len()..(wi + 1) * CONFIGS.len()];
+        let (base, host, guest, both) = (cells[0], cells[1], cells[2], cells[3]);
+        report.add(
+            Row::new(vec![
+                name.to_string(),
+                secs(base),
+                spd(base / host),
+                spd(base / guest),
+                spd(base / both),
+            ])
+            .with_json(Json::obj(vec![
+                ("workload", Json::str(*name)),
+                ("secs_all_linux", Json::num(base)),
+                ("speedup_host", Json::num(base / host)),
+                ("speedup_guest", Json::num(base / guest)),
+                ("speedup_both", Json::num(base / both)),
+            ])),
+        );
     }
-    println!("{t}");
-    println!("(paper, Fig. 9: 18-90% speedups; cg.D gains more virtualized than bare-metal)");
+    report.footer("(paper, Fig. 9: 18-90% speedups; cg.D gains more virtualized than bare-metal)");
+    report.finish();
 }

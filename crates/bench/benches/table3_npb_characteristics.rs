@@ -6,9 +6,8 @@
 //! 1.62× native / 2.7× virtualized from huge pages. Footprints scaled
 //! ~128×.
 
-use hawkeye_bench::{pct, run_one, spd, PolicyKind};
+use hawkeye_bench::{pct, run_one, run_scenarios, spd, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::{BasePagesOnly, Workload};
-use hawkeye_metrics::TextTable;
 use hawkeye_policies::LinuxThp;
 use hawkeye_virt::{VirtSystem, VmSpec};
 use hawkeye_workloads::NpbKernel;
@@ -42,18 +41,10 @@ fn virt_time(name: &str, host_huge: bool) -> f64 {
     sys.guest(vm).process(pid).expect("pid").cpu_time().as_secs()
 }
 
-fn main() {
-    let mut t = TextTable::new(vec![
-        "Workload",
-        "RSS (MiB)",
-        "TLB-miss/access (4KB)",
-        "walk cycles 4KB",
-        "walk cycles 2MB",
-        "native speedup",
-        "virtual speedup",
-    ])
-    .with_title("Table 3: NPB characteristics (class-D footprints scaled /128)");
-    for name in ["bt.D", "sp.D", "lu.D", "mg.D", "cg.D", "ft.D", "ua.D"] {
+/// One scenario per workload: native base + huge runs, then both
+/// virtualized configurations — four simulations per row.
+fn scenario(name: &'static str) -> Scenario<Row> {
+    Scenario::new(name, move || {
         let base = run_one(PolicyKind::Linux4k, 1024, None, 400.0, kernel(name, 3200));
         let huge = run_one(PolicyKind::Linux2m, 1024, None, 400.0, kernel(name, 3200));
         let rss_mib = {
@@ -73,7 +64,7 @@ fn main() {
             / stats.accesses.max(1) as f64;
         let vb = virt_time(name, false);
         let vh = virt_time(name, true);
-        t.row(vec![
+        Row::new(vec![
             name.to_string(),
             format!("{rss_mib:.0}"),
             format!("{:.2}%", miss_rate * 100.0),
@@ -81,11 +72,39 @@ fn main() {
             pct(huge.mmu_overhead()),
             spd(base.cpu_secs() / huge.cpu_secs()),
             spd(vb / vh),
-        ]);
-    }
-    println!("{t}");
-    println!(
-        "(paper, Table 3: cg.D 39% walk cycles at 4KB -> 0.02% at 2MB,\n\
-         1.62x native / 2.7x virtual; mg.D ~1% despite the largest WSS)"
+        ])
+        .with_json(Json::obj(vec![
+            ("workload", Json::str(name)),
+            ("rss_mib", Json::num(rss_mib)),
+            ("tlb_miss_per_access", Json::num(miss_rate)),
+            ("mmu_overhead_4k", Json::num(base.mmu_overhead())),
+            ("mmu_overhead_2m", Json::num(huge.mmu_overhead())),
+            ("native_speedup", Json::num(base.cpu_secs() / huge.cpu_secs())),
+            ("virtual_speedup", Json::num(vb / vh)),
+        ]))
+    })
+}
+
+fn main() {
+    let scenarios: Vec<Scenario<Row>> =
+        ["bt.D", "sp.D", "lu.D", "mg.D", "cg.D", "ft.D", "ua.D"].map(scenario).into();
+    let mut report = Report::new(
+        "table3_npb_characteristics",
+        "Table 3: NPB characteristics (class-D footprints scaled /128)",
+        vec![
+            "Workload",
+            "RSS (MiB)",
+            "TLB-miss/access (4KB)",
+            "walk cycles 4KB",
+            "walk cycles 2MB",
+            "native speedup",
+            "virtual speedup",
+        ],
     );
+    report.extend(run_scenarios(scenarios));
+    report.footer(
+        "(paper, Table 3: cg.D 39% walk cycles at 4KB -> 0.02% at 2MB,\n\
+         1.62x native / 2.7x virtual; mg.D ~1% despite the largest WSS)",
+    );
+    report.finish();
 }

@@ -6,9 +6,9 @@
 //! fast when memory is plentiful, memory-efficient under pressure.
 //! Scaled 256×: 24 K keys (96 MiB), delete 60 %.
 
-use hawkeye_bench::PolicyKind;
+use hawkeye_bench::{run_scenarios, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::Simulator;
-use hawkeye_metrics::{Cycles, TextTable};
+use hawkeye_metrics::Cycles;
 use hawkeye_workloads::{RedisKv, RedisOp};
 
 fn script() -> Vec<RedisOp> {
@@ -74,28 +74,43 @@ fn run(kind: PolicyKind, mib: u64, hog_pages: u64) -> (f64, f64) {
 }
 
 fn main() {
-    let mut t = TextTable::new(vec!["Kernel", "Self-tuning", "Memory (MiB)", "Throughput (Kops/s)"])
-        .with_title("Table 7: Redis memory vs throughput (96 MiB dataset, 60% deleted)");
-    for (kind, tuning, hog) in [
-        (PolicyKind::Linux4k, "No", 0),
+    let scenarios: Vec<Scenario<Row>> = [
+        (PolicyKind::Linux4k, "No", 0u64),
         (PolicyKind::Linux2m, "No", 0),
         (PolicyKind::Ingens90, "No", 0),
         (PolicyKind::Ingens50, "No", 0),
         (PolicyKind::HawkEyeG, "Yes (no pressure)", 0),
         (PolicyKind::HawkEyeG, "Yes (pressure)", 60 * 1024),
-    ] {
-        let (mem, kops) = run(kind, 384, hog);
-        t.row(vec![
-            kind.label().to_string(),
-            tuning.to_string(),
-            format!("{mem:.0}"),
-            format!("{kops:.1}"),
-        ]);
-    }
-    println!("{t}");
-    println!(
+    ]
+    .into_iter()
+    .map(|(kind, tuning, hog)| {
+        Scenario::new(format!("{} {tuning}", kind.label()), move || {
+            let (mem, kops) = run(kind, 384, hog);
+            Row::new(vec![
+                kind.label().to_string(),
+                tuning.to_string(),
+                format!("{mem:.0}"),
+                format!("{kops:.1}"),
+            ])
+            .with_json(Json::obj(vec![
+                ("kernel", Json::str(kind.label())),
+                ("self_tuning", Json::str(tuning)),
+                ("memory_mib", Json::num(mem)),
+                ("throughput_kops", Json::num(kops)),
+            ]))
+        })
+    })
+    .collect();
+    let mut report = Report::new(
+        "table7_bloat_recovery",
+        "Table 7: Redis memory vs throughput (96 MiB dataset, 60% deleted)",
+        vec!["Kernel", "Self-tuning", "Memory (MiB)", "Throughput (Kops/s)"],
+    );
+    report.extend(run_scenarios(scenarios));
+    report.footer(
         "(paper, Table 7: Linux-4KB 16.2GB/106K; Linux-2MB 33.2GB/113.8K;\n\
          Ingens-90% 16.3GB/106.8K; Ingens-50% 33.1GB/113.4K;\n\
-         HawkEye no-pressure 33.2GB/113.6K; HawkEye pressure 16.2GB/105.8K)"
+         HawkEye no-pressure 33.2GB/113.6K; HawkEye pressure 16.2GB/105.8K)",
     );
+    report.finish();
 }

@@ -7,9 +7,11 @@
 //! improves Redis 2 MB-value throughput 1.26×; Ingens' utilization
 //! threshold *hurts* these workloads by multiplying faults.
 
-use hawkeye_bench::{dirty_free_memory, secs, PolicyKind, RunOutcome};
+use hawkeye_bench::{
+    dirty_free_memory, run_scenarios, secs, Json, PolicyKind, Report, Row, RunOutcome, Scenario,
+};
 use hawkeye_kernel::{workload::script, MemOp, Simulator, Workload};
-use hawkeye_metrics::{Cycles, TextTable};
+use hawkeye_metrics::Cycles;
 use hawkeye_workloads::{HaccIo, RedisKv, RedisOp, SparseHash, Spinup};
 
 fn run_steady(kind: PolicyKind, mib: u64, w: Box<dyn Workload>) -> RunOutcome {
@@ -52,29 +54,48 @@ fn main() {
         PolicyKind::HawkEye4k,
         PolicyKind::HawkEyeG,
     ];
-    let mut header: Vec<String> = vec!["Workload".into()];
-    header.extend(kinds.iter().map(|k| k.label().to_string()));
-    let mut t = TextTable::new(header)
-        .with_title("Table 8: fault-dominated workloads, steady-state (dirty) free memory");
-    for (name, mk) in workloads() {
-        let mut row = vec![name.to_string()];
-        for kind in kinds {
-            let out = run_steady(kind, 512, mk());
-            if name.starts_with("Redis") {
-                // Throughput: inserted keys per second of CPU time.
-                let kops = 120.0 / out.cpu_secs().max(1e-9) / 1e3;
-                row.push(format!("{:.2}K", kops * 1e3 / 1e3));
-            } else {
-                row.push(secs(out.cpu_secs()));
-            }
+    // One scenario per (workload, policy) cell: the whole 5 × 5 matrix
+    // runs in parallel; rows reassemble from the ordered results.
+    let scenarios: Vec<Scenario<(String, f64)>> = workloads()
+        .into_iter()
+        .flat_map(|(name, mk)| {
+            kinds.into_iter().map(move |kind| {
+                Scenario::new(format!("{name} / {}", kind.label()), move || {
+                    let out = run_steady(kind, 512, mk());
+                    if name.starts_with("Redis") {
+                        // Throughput: inserted keys per second of CPU time.
+                        let kops = 120.0 / out.cpu_secs().max(1e-9) / 1e3;
+                        (format!("{:.2}K", kops * 1e3 / 1e3), kops)
+                    } else {
+                        (secs(out.cpu_secs()), out.cpu_secs())
+                    }
+                })
+            })
+        })
+        .collect();
+    let cells = run_scenarios(scenarios);
+
+    let mut header: Vec<&'static str> = vec!["Workload"];
+    header.extend(kinds.iter().map(|k| k.label()));
+    let mut report = Report::new(
+        "table8_fast_faults",
+        "Table 8: fault-dominated workloads, steady-state (dirty) free memory",
+        header,
+    );
+    for (w, chunk) in workloads().iter().zip(cells.chunks(kinds.len())) {
+        let mut row = vec![w.0.to_string()];
+        row.extend(chunk.iter().map(|(cell, _)| cell.clone()));
+        let mut json = Json::obj(vec![("workload", Json::str(w.0))]);
+        for (kind, (_, value)) in kinds.iter().zip(chunk) {
+            json.push(kind.label(), Json::num(*value));
         }
-        t.row(row);
+        report.add(Row::new(row).with_json(json));
     }
-    println!("{t}");
-    println!(
+    report.footer(
         "(paper, Table 8 [45GB/36GB/6GB/36GB/36GB footprints]:\n\
          Redis 233/437/192/236/551 Kops; SparseHash 50.1/17.2/51.5/46.6/10.6 s;\n\
          HACC-IO 6.5/4.5/6.6/6.5/4.2 s; JVM 37.7/18.6/52.7/29.8/1.37 s;\n\
-         KVM 40.6/9.7/41.8/30.2/0.70 s)"
+         KVM 40.6/9.7/41.8/30.2/0.70 s)",
     );
+    report.finish();
 }

@@ -5,12 +5,16 @@
 //! Plain `std::time::Instant`, no external harness. Numbers are recorded
 //! in `EXPERIMENTS.md`; `scripts/ci.sh` runs this target as a smoke test
 //! with `--quick`.
+//!
+//! Wall-clock (host-dependent) numbers go to **stderr**, keeping stdout
+//! and the JSON summary deterministic like every other target. Run with
+//! `HAWKEYE_BENCH_THREADS=1` for clean single-core throughput numbers —
+//! co-running cases contend for the same cores.
 
 use std::time::Instant;
 
-use hawkeye_bench::{run_one, PolicyKind};
+use hawkeye_bench::{run_one, run_scenarios, Json, PolicyKind, Report, Row, Scenario};
 use hawkeye_kernel::{MemOp, Workload};
-use hawkeye_metrics::TextTable;
 use hawkeye_vm::{Vpn, VmaKind};
 use hawkeye_workloads::{DirtModel, PatternScan};
 
@@ -85,30 +89,42 @@ fn main() {
         },
     ];
 
-    let mut t = TextTable::new(vec!["Shape", "Touches", "Wall ms", "Touches/sec"])
-        .with_title("Touch throughput (simulator hot path)");
-    for case in &cases {
-        let n = scale * 1_000_000;
-        let t0 = Instant::now();
-        let out = run_one(PolicyKind::HawkEyeG, 1024, None, 1e9, (case.build)(n));
-        let wall = t0.elapsed();
-        let touches =
-            out.sim.machine().process(out.pid).expect("pid valid").stats().touches;
-        let rate = touches as f64 / wall.as_secs_f64();
-        t.row(vec![
-            case.name.to_string(),
-            format!("{touches}"),
-            format!("{:.0}", wall.as_secs_f64() * 1e3),
-            format!("{:.2e}", rate),
-        ]);
-        if quick {
-            assert!(
-                wall.as_secs_f64() < 30.0,
-                "{} smoke exceeded time budget: {:.1}s",
-                case.name,
-                wall.as_secs_f64()
-            );
-        }
-    }
-    println!("{t}");
+    let scenarios: Vec<Scenario<Row>> = cases
+        .into_iter()
+        .map(|case| {
+            Scenario::new(case.name, move || {
+                let n = scale * 1_000_000;
+                let t0 = Instant::now();
+                let out = run_one(PolicyKind::HawkEyeG, 1024, None, 1e9, (case.build)(n));
+                let wall = t0.elapsed();
+                let touches =
+                    out.sim.machine().process(out.pid).expect("pid valid").stats().touches;
+                let rate = touches as f64 / wall.as_secs_f64();
+                eprintln!(
+                    "[touch-throughput] {}: {touches} touches in {:.0} ms = {:.2e} touches/sec",
+                    case.name,
+                    wall.as_secs_f64() * 1e3,
+                    rate
+                );
+                if quick {
+                    assert!(
+                        wall.as_secs_f64() < 30.0,
+                        "{} smoke exceeded time budget: {:.1}s",
+                        case.name,
+                        wall.as_secs_f64()
+                    );
+                }
+                Row::new(vec![case.name.to_string(), format!("{touches}")]).with_json(Json::obj(
+                    vec![("shape", Json::str(case.name)), ("touches", Json::int(touches))],
+                ))
+            })
+        })
+        .collect();
+    let mut report = Report::new(
+        "touch_throughput",
+        "Touch throughput (simulator hot path; wall-clock on stderr)",
+        vec!["Shape", "Touches"],
+    );
+    report.extend(run_scenarios(scenarios));
+    report.finish();
 }

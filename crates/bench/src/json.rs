@@ -1,0 +1,168 @@
+//! Minimal JSON output for machine-readable bench results.
+//!
+//! No serde: the bench harness must stay offline-buildable, and all it
+//! needs is deterministic serialization of headline numbers. Object keys
+//! keep insertion order, numbers render via Rust's shortest-roundtrip
+//! `f64` formatting, so the same results always produce the same bytes —
+//! the determinism test compares these strings across worker counts.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A JSON value. Objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number value.
+    pub fn num(x: f64) -> Json {
+        Json::Num(x)
+    }
+
+    /// An integer value (exact for |n| < 2^53).
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Appends a field (no-op on non-objects).
+    pub fn push(&mut self, key: &str, value: Json) {
+        if let Json::Obj(pairs) = self {
+            pairs.push((key.to_string(), value));
+        }
+    }
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => escape(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Directory bench results are written to:
+/// `HAWKEYE_BENCH_RESULTS` override, else `CARGO_TARGET_DIR`, else the
+/// workspace `target/`, each with a `bench-results/` subdirectory.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("HAWKEYE_BENCH_RESULTS") {
+        return PathBuf::from(dir);
+    }
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target"));
+    target.join("bench-results")
+}
+
+/// Writes `<results_dir>/<target>.json` and returns the path. Errors are
+/// returned, not panicked: a read-only checkout still gets its tables.
+pub fn write_results(target: &str, json: &Json) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{target}.json"));
+    std::fs::write(&path, format!("{json}\n"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_values() {
+        let j = Json::obj(vec![
+            ("name", Json::str("fig 1 \"bloat\"")),
+            ("rows", Json::Arr(vec![Json::int(3), Json::num(1.5), Json::Bool(true), Json::Null])),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"fig 1 \"bloat\"","rows":[3,1.5,true,null],"nan":null}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        assert_eq!(Json::str("a\nb\t\u{1}").to_string(), "\"a\\nb\\t\\u0001\"");
+    }
+
+    #[test]
+    fn push_extends_objects_only() {
+        let mut j = Json::obj(vec![]);
+        j.push("k", Json::int(1));
+        assert_eq!(j.to_string(), r#"{"k":1}"#);
+        let mut arr = Json::Arr(vec![]);
+        arr.push("ignored", Json::Null);
+        assert_eq!(arr.to_string(), "[]");
+    }
+
+    #[test]
+    fn identical_values_serialize_identically() {
+        let build = || Json::obj(vec![("x", Json::num(0.30000000000000004))]);
+        assert_eq!(build().to_string(), build().to_string());
+    }
+}

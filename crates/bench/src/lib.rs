@@ -6,6 +6,21 @@
 //! standard fragmented-machine setup, single-workload runs, and steady
 //! -state ("dirty free memory") preparation for the fast-fault
 //! experiments.
+//!
+//! Since the scenario-engine port, every target expresses its policy ×
+//! workload × config matrix as [`Scenario`]s: independent simulations fan
+//! out across cores via the in-tree worker pool ([`pool`]) and reassemble
+//! in submission order, so output is byte-identical at any
+//! `HAWKEYE_BENCH_THREADS` setting while the suite's wall-clock scales
+//! with core count. [`Report`] prints the text table and writes the JSON
+//! summary (`target/bench-results/<target>.json`) every target now emits.
+
+pub mod json;
+pub mod pool;
+pub mod scenario;
+
+pub use json::Json;
+pub use scenario::{run_scenarios, run_scenarios_with, write_json, Report, Row, Scenario};
 
 use hawkeye_core::{HawkEye, HawkEyeConfig};
 use hawkeye_kernel::{
@@ -186,12 +201,20 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// Formats a downsampled time series as two aligned columns (one block,
+/// trailing newline included) — scenario rows carry these blocks back to
+/// the ordered printer.
+pub fn format_series(title: &str, series: &hawkeye_metrics::TimeSeries, points: usize) -> String {
+    let mut out = format!("-- {title} --\n");
+    for s in series.downsample(points) {
+        out.push_str(&format!("  t={:>8.2}s  {:>14.1}\n", s.secs, s.value));
+    }
+    out
+}
+
 /// Prints a downsampled time series as two aligned columns.
 pub fn print_series(title: &str, series: &hawkeye_metrics::TimeSeries, points: usize) {
-    println!("-- {title} --");
-    for s in series.downsample(points) {
-        println!("  t={:>8.2}s  {:>14.1}", s.secs, s.value);
-    }
+    print!("{}", format_series(title, series, points));
 }
 
 #[cfg(test)]

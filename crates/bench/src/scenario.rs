@@ -1,0 +1,288 @@
+//! The scenario engine: every bench target is a list of independent
+//! [`Scenario`]s fanned out across cores and reassembled in submission
+//! order.
+//!
+//! A scenario is a name plus a `Send` closure that builds and runs one
+//! simulation (or any other self-contained computation) and returns its
+//! result — usually a [`Row`]. [`run_scenarios`] executes the whole list
+//! on the in-tree worker pool ([`crate::pool`]) and returns results in
+//! submission order, so table output is byte-identical at any worker
+//! count. [`Report`] is the shared formatting tail: it prints the text
+//! table every target used to hand-roll and writes the machine-readable
+//! JSON summary to `target/bench-results/<target>.json`.
+
+use crate::json::{self, Json};
+use crate::pool::{self, Job};
+use crate::RunOutcome;
+use hawkeye_kernel::Simulator;
+use std::time::Instant;
+
+/// One independent unit of a bench target: a named closure producing a
+/// result on a worker thread.
+pub struct Scenario<T> {
+    name: String,
+    job: Job<T>,
+}
+
+impl<T: Send> Scenario<T> {
+    /// A scenario from any `Send` closure.
+    pub fn new(name: impl Into<String>, job: impl FnOnce() -> T + Send + 'static) -> Self {
+        Scenario { name: name.into(), job: Box::new(job) }
+    }
+
+    /// The standard single-simulation shape: `build` returns a fully-built
+    /// [`Simulator`] with the measured workload spawned (its pid); the
+    /// engine runs it to completion and hands the [`RunOutcome`] to
+    /// `format`.
+    pub fn sim(
+        name: impl Into<String>,
+        build: impl FnOnce() -> (Simulator, u32) + Send + 'static,
+        format: impl FnOnce(RunOutcome) -> T + Send + 'static,
+    ) -> Self {
+        Scenario::new(name, move || {
+            let (mut sim, pid) = build();
+            sim.run();
+            format(RunOutcome { sim, pid })
+        })
+    }
+
+    /// The scenario's name (diagnostics; results are matched by order,
+    /// not name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the scenario inline on the current thread.
+    pub fn run(self) -> T {
+        (self.job)()
+    }
+}
+
+/// Runs scenarios on [`pool::worker_threads`] workers; results come back
+/// in submission order.
+pub fn run_scenarios<T: Send>(scenarios: Vec<Scenario<T>>) -> Vec<T> {
+    run_scenarios_with(scenarios, pool::worker_threads())
+}
+
+/// Runs scenarios on an explicit worker count (the determinism test pins
+/// 1 and 8 without touching the process environment). Wall-clock goes to
+/// stderr so stdout stays byte-identical across worker counts.
+pub fn run_scenarios_with<T: Send>(scenarios: Vec<Scenario<T>>, threads: usize) -> Vec<T> {
+    let n = scenarios.len();
+    let t0 = Instant::now();
+    let results =
+        pool::run_ordered(scenarios.into_iter().map(|s| s.job).collect(), threads);
+    eprintln!(
+        "[scenario-engine] {n} scenario(s) on {} worker(s) in {:.2}s",
+        threads.min(n.max(1)),
+        t0.elapsed().as_secs_f64()
+    );
+    results
+}
+
+/// One table row produced by a scenario: formatted cells, headline
+/// numbers for the JSON summary, and optional free-text blocks (time
+/// series printouts) emitted before the table.
+pub struct Row {
+    /// Table cells, in column order.
+    pub cells: Vec<String>,
+    /// Headline numbers for `target/bench-results/<target>.json`.
+    pub json: Json,
+    /// Extra text printed (in row order) above the table.
+    pub lines: Vec<String>,
+}
+
+impl Row {
+    /// A row with cells only.
+    pub fn new(cells: Vec<String>) -> Self {
+        Row { cells, json: Json::obj(vec![]), lines: Vec::new() }
+    }
+
+    /// Attaches the JSON summary object.
+    pub fn with_json(mut self, json: Json) -> Self {
+        self.json = json;
+        self
+    }
+
+    /// Appends a free-text block.
+    pub fn line(mut self, line: impl Into<String>) -> Self {
+        self.lines.push(line.into());
+        self
+    }
+}
+
+/// The shared formatting tail of a bench target: collects [`Row`]s,
+/// prints free-text blocks + the aligned table + footnotes, and writes
+/// the JSON summary.
+pub struct Report {
+    target: &'static str,
+    title: String,
+    columns: Vec<&'static str>,
+    rows: Vec<Row>,
+    footers: Vec<String>,
+}
+
+impl Report {
+    /// A report for bench target `target` (the JSON file stem). Empty
+    /// `columns` suppresses the table (series-only figures).
+    pub fn new(target: &'static str, title: impl Into<String>, columns: Vec<&'static str>) -> Self {
+        Report { target, title: title.into(), columns, rows: Vec::new(), footers: Vec::new() }
+    }
+
+    /// Appends one row.
+    pub fn add(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Appends rows in order.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) {
+        self.rows.extend(rows);
+    }
+
+    /// Appends a footnote line printed after the table (paper context).
+    pub fn footer(&mut self, line: impl Into<String>) {
+        self.footers.push(line.into());
+    }
+
+    /// Renders the full stdout text: free-text blocks, table, footers.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for block in &row.lines {
+                out.push_str(block);
+                if !block.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+        if !self.columns.is_empty() {
+            let mut t = hawkeye_metrics::TextTable::new(self.columns.clone())
+                .with_title(self.title.clone());
+            for row in &self.rows {
+                t.row(row.cells.clone());
+            }
+            out.push_str(&t.to_string());
+        }
+        for f in &self.footers {
+            out.push_str(f);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The machine-readable summary: target, title, and each row's
+    /// headline numbers in row order.
+    pub fn json(&self) -> Json {
+        Json::obj(vec![
+            ("target", Json::str(self.target)),
+            ("title", Json::str(self.title.clone())),
+            ("rows", Json::Arr(self.rows.iter().map(|r| r.json.clone()).collect())),
+        ])
+    }
+
+    /// Prints the text to stdout and writes the JSON summary. The write
+    /// path (or failure) is reported on stderr only, keeping stdout
+    /// deterministic.
+    pub fn finish(self) {
+        print!("{}", self.text());
+        write_json(self.target, &self.json());
+    }
+}
+
+/// Writes one JSON summary file, reporting the outcome on stderr.
+/// Multi-section targets (ablations) assemble their own [`Json`] and call
+/// this once.
+pub fn write_json(target: &str, json: &Json) {
+    match json::write_results(target, json) {
+        Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
+        Err(e) => eprintln!("[scenario-engine] could not write {target}.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+    use hawkeye_workloads::Spinup;
+
+    /// Compile-time check: scenarios must be movable to workers.
+    #[allow(dead_code)]
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn scenario_types_are_send() {
+        assert_send::<Scenario<Row>>();
+        assert_send::<Simulator>();
+    }
+
+    #[test]
+    fn sim_scenarios_run_and_format() {
+        let s = Scenario::sim(
+            "spinup",
+            || {
+                let mut sim = Simulator::new(
+                    PolicyKind::Linux4k.config(64),
+                    PolicyKind::Linux4k.build(),
+                );
+                let pid = sim.spawn(Box::new(Spinup::new("s", 512)));
+                (sim, pid)
+            },
+            |out| out.faults(),
+        );
+        assert_eq!(s.name(), "spinup");
+        assert_eq!(s.run(), 512);
+    }
+
+    #[test]
+    fn ordered_results_match_serial_at_any_worker_count() {
+        let build = || -> Vec<Scenario<u64>> {
+            (0..6)
+                .map(|i| {
+                    Scenario::sim(
+                        format!("s{i}"),
+                        move || {
+                            let mut sim = Simulator::new(
+                                PolicyKind::Linux4k.config(64),
+                                PolicyKind::Linux4k.build(),
+                            );
+                            let pid = sim.spawn(Box::new(Spinup::new("s", 128 * (i + 1))));
+                            (sim, pid)
+                        },
+                        |out| out.faults(),
+                    )
+                })
+                .collect()
+        };
+        let serial = run_scenarios_with(build(), 1);
+        let parallel = run_scenarios_with(build(), 4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, vec![128, 256, 384, 512, 640, 768]);
+    }
+
+    #[test]
+    fn report_renders_blocks_table_and_json() {
+        let mut r = Report::new("demo", "Demo", vec!["a", "b"]);
+        r.add(
+            Row::new(vec!["1".into(), "2".into()])
+                .with_json(Json::obj(vec![("a", Json::int(1))]))
+                .line("series block"),
+        );
+        r.footer("(note)");
+        let text = r.text();
+        let series = text.find("series block").unwrap();
+        let table = text.find("== Demo ==").unwrap();
+        let note = text.find("(note)").unwrap();
+        assert!(series < table && table < note);
+        assert_eq!(
+            r.json().to_string(),
+            r#"{"target":"demo","title":"Demo","rows":[{"a":1}]}"#
+        );
+    }
+
+    #[test]
+    fn empty_columns_suppress_table() {
+        let mut r = Report::new("demo", "Demo", vec![]);
+        r.add(Row::new(vec![]).line("only text"));
+        assert_eq!(r.text(), "only text\n");
+    }
+}

@@ -26,7 +26,11 @@ pub enum FaultAction {
 ///
 /// Methods receive the whole [`Machine`], mirroring how these algorithms
 /// live inside the kernel with access to every subsystem.
-pub trait HugePagePolicy {
+///
+/// `Send` is a supertrait so a boxed policy (and therefore the whole
+/// [`crate::Simulator`]) can move to a worker thread: the bench scenario
+/// engine runs independent simulations on separate cores.
+pub trait HugePagePolicy: Send {
     /// Policy name (used in tables: "Linux-2MB", "Ingens-90%", ...).
     fn name(&self) -> &str;
 

@@ -20,7 +20,10 @@ use hawkeye_vm::{PageSize, Vpn};
 /// guest-physical frame, copy-on-write on KSM-merged pages, swap-ins, and
 /// the extra nested-walk cost when the host maps the frame with base
 /// pages.
-pub trait AccessHook {
+///
+/// `Send` is a supertrait so a hooked simulator stays movable across
+/// threads (the virtualization bridge shares its host behind a mutex).
+pub trait AccessHook: Send {
     /// Returns extra cycles charged to the access. `pfn` is the backing
     /// frame of the specific page; `walk` is the walk duration of this
     /// access (zero on TLB hits).
@@ -559,6 +562,20 @@ mod tests {
                 MemOp::TouchRange { start: Vpn(0), pages, write, think: 100, stride: 1 , repeats: 1},
             ],
         )
+    }
+
+    /// Compile-time check: simulations must be movable to worker threads
+    /// (the bench scenario engine fans independent runs across cores).
+    #[allow(dead_code)]
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn simulator_is_send() {
+        assert_send::<Simulator>();
+        assert_send::<Machine>();
+        assert_send::<Box<dyn HugePagePolicy>>();
+        assert_send::<Box<dyn Workload>>();
+        assert_send::<Box<dyn AccessHook>>();
     }
 
     #[test]

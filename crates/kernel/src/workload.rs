@@ -89,7 +89,11 @@ impl MemOp {
 }
 
 /// A generator of memory operations, driven by the simulator.
-pub trait Workload {
+///
+/// `Send` is a supertrait: workloads are plain state machines owned by
+/// one process, and the bench scenario engine moves whole simulations
+/// (including their spawned workloads) onto worker threads.
+pub trait Workload: Send {
     /// Short human-readable name (used in series names and tables).
     fn name(&self) -> &str;
 

@@ -17,9 +17,8 @@ use hawkeye_kernel::{
 use hawkeye_mem::{PageContent, Pfn};
 use hawkeye_metrics::Cycles;
 use hawkeye_vm::{Hvpn, PageSize, VmaKind, Vpn};
-use std::cell::RefCell;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Size of one VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,7 +243,7 @@ impl HostSide {
 }
 
 struct HostBridge {
-    host: Rc<RefCell<HostSide>>,
+    host: Arc<Mutex<HostSide>>,
     host_pid: u32,
 }
 
@@ -258,7 +257,7 @@ impl AccessHook for HostBridge {
         write: bool,
         walk: Cycles,
     ) -> Cycles {
-        self.host.borrow_mut().guest_touch(self.host_pid, pfn.0, write, walk)
+        self.host.lock().expect("host mutex").guest_touch(self.host_pid, pfn.0, write, walk)
     }
 }
 
@@ -270,8 +269,14 @@ struct VmEntry {
 }
 
 /// A host plus a set of VMs.
+///
+/// The host sits behind an `Arc<Mutex<..>>` shared with the per-VM
+/// [`HostBridge`]s, keeping the whole system `Send`: a bench scenario can
+/// build a `VirtSystem` on one thread and run it on another. The mutex is
+/// uncontended — guests run rounds sequentially within one system — so
+/// locking is a pointer check, not a scalability cost.
 pub struct VirtSystem {
-    host: Rc<RefCell<HostSide>>,
+    host: Arc<Mutex<HostSide>>,
     vms: Vec<VmEntry>,
     guest_template: KernelConfig,
     next_tick: Cycles,
@@ -294,7 +299,7 @@ impl VirtSystem {
         let next_tick = guest_template_tick(&guest_template);
         let machine = Machine::new(host_cfg);
         VirtSystem {
-            host: Rc::new(RefCell::new(HostSide {
+            host: Arc::new(Mutex::new(HostSide {
                 machine,
                 policy: host_policy,
                 cfg: vcfg,
@@ -309,11 +314,16 @@ impl VirtSystem {
         }
     }
 
+    /// Locks the host side (uncontended within one system).
+    fn host(&self) -> MutexGuard<'_, HostSide> {
+        self.host.lock().expect("host mutex poisoned")
+    }
+
     /// Creates a VM of `spec.frames` guest-physical frames running
     /// `guest_policy` in its kernel.
     pub fn add_vm(&mut self, spec: VmSpec, guest_policy: Box<dyn HugePagePolicy>) -> VmId {
         let host_pid = {
-            let mut host = self.host.borrow_mut();
+            let mut host = self.host();
             let pid = host.machine.spawn(hawkeye_kernel::workload::script("vm", vec![]));
             host.machine
                 .process_mut(pid)
@@ -328,7 +338,7 @@ impl VirtSystem {
         guest_cfg.frames = spec.frames;
         guest_cfg.nested = true; // two-dimensional walks
         let mut sim = Simulator::new(guest_cfg, guest_policy);
-        sim.set_access_hook(Some(Box::new(HostBridge { host: Rc::clone(&self.host), host_pid })));
+        sim.set_access_hook(Some(Box::new(HostBridge { host: Arc::clone(&self.host), host_pid })));
         self.vms.push(VmEntry { sim, host_pid, ksm_cursor: 0, balloon_cursor: 0 });
         VmId(self.vms.len() - 1)
     }
@@ -349,20 +359,20 @@ impl VirtSystem {
         self.vms[vm.0].sim.machine_mut()
     }
 
-    /// Reads host state through a closure (the host sits behind a
-    /// `RefCell` shared with the per-VM bridges).
+    /// Reads host state through a closure (the host sits behind a mutex
+    /// shared with the per-VM bridges).
     pub fn with_host<R>(&self, f: impl FnOnce(&Machine) -> R) -> R {
-        f(&self.host.borrow().machine)
+        f(&self.host().machine)
     }
 
     /// Mutates host state through a closure (fragmentation setup etc.).
     pub fn with_host_mut<R>(&mut self, f: impl FnOnce(&mut Machine) -> R) -> R {
-        f(&mut self.host.borrow_mut().machine)
+        f(&mut self.host().machine)
     }
 
     /// Host-side virtualization counters.
     pub fn virt_stats(&self) -> VirtStats {
-        self.host.borrow().stats
+        self.host().stats
     }
 
     /// Runs until every guest workload completes (or each guest hits its
@@ -374,7 +384,7 @@ impl VirtSystem {
     /// Runs while the predicate over the host machine holds.
     pub fn run_while(&mut self, mut keep_going: impl FnMut(&Machine) -> bool) -> Cycles {
         loop {
-            if !keep_going(&self.host.borrow().machine) {
+            if !keep_going(&self.host().machine) {
                 break;
             }
             let mut any = false;
@@ -385,33 +395,32 @@ impl VirtSystem {
                 break;
             }
             self.host_round();
-            let now = self.host.borrow().machine.now();
+            let now = self.host().machine.now();
             if now >= self.guest_template.max_time {
                 break;
             }
         }
-        let h = self.host.borrow();
-        h.machine.now()
+        self.host().machine.now()
     }
 
     fn host_round(&mut self) {
         let quantum = self.guest_template.quantum;
         {
-            let mut host = self.host.borrow_mut();
+            let mut host = self.host();
             host.machine.advance(quantum);
         }
-        let now = self.host.borrow().machine.now();
+        let now = self.host().machine.now();
         if now < self.next_tick {
             return;
         }
         self.next_tick += self.guest_template.tick_period;
         {
-            let mut host = self.host.borrow_mut();
+            let mut host = self.host();
             let HostSide { machine, policy, .. } = &mut *host;
             policy.on_tick(machine);
         }
         let (ksm, balloon, ksm_budget, balloon_budget) = {
-            let h = self.host.borrow();
+            let h = self.host();
             (h.cfg.ksm, h.cfg.balloon, h.cfg.ksm_pages_per_tick, h.cfg.balloon_pages_per_tick)
         };
         for i in 0..self.vms.len() {
@@ -428,7 +437,7 @@ impl VirtSystem {
     fn balloon_pass(&mut self, vm: usize, budget: u64) {
         let host_pid = self.vms[vm].host_pid;
         let frames = self.vms[vm].sim.machine().pm().total_frames();
-        let mut host = self.host.borrow_mut();
+        let mut host = self.host.lock().expect("host mutex poisoned");
         let mut cursor = self.vms[vm].balloon_cursor;
         for _ in 0..budget {
             let gpa = cursor % frames;
@@ -484,7 +493,7 @@ impl VirtSystem {
     fn ksm_pass(&mut self, vm: usize, budget: u64) {
         let host_pid = self.vms[vm].host_pid;
         let frames = self.vms[vm].sim.machine().pm().total_frames();
-        let min_zero = self.host.borrow().cfg.dedup_min_zero;
+        let min_zero = self.host().cfg.dedup_min_zero;
         let mut scanned = 0u64;
         let mut cursor = self.vms[vm].ksm_cursor;
         while scanned < budget {
@@ -502,7 +511,7 @@ impl VirtSystem {
                     }
                 }
             }
-            let mut host = self.host.borrow_mut();
+            let mut host = self.host.lock().expect("host mutex poisoned");
             let host_huge =
                 host.machine.process(host_pid).map(|p| {
                     p.space().page_table().huge_entry(region).is_some()
@@ -577,6 +586,18 @@ mod tests {
                 MemOp::TouchRange { start: Vpn(0), pages, write: true, think: 60, stride: 1, repeats: 1 },
             ],
         )
+    }
+
+    /// Compile-time check: the whole virtualization stack must stay
+    /// `Send` so bench scenarios can run `VirtSystem`s on worker threads.
+    #[allow(dead_code)]
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn virt_system_is_send() {
+        assert_send::<VirtSystem>();
+        assert_send::<HostBridge>();
+        assert_send::<VirtStats>();
     }
 
     #[test]

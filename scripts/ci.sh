@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full local CI gate: build, tests, lints, and a hot-path throughput
 # smoke. Everything runs offline against the committed lockfile.
+#
+# HAWKEYE_BENCH_THREADS caps the scenario-engine worker count for the
+# bench steps below (default: all cores). Output is byte-identical at
+# any setting — only the wall-clock changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +14,12 @@ cargo build --release --workspace
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+# The scenario engine's core guarantee, run explicitly (it is also part
+# of the workspace tests): stdout + JSON identical on 1 vs 8 vs 32
+# workers.
+echo "==> scenario-engine determinism test"
+cargo test -p hawkeye-bench --test determinism -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -17,7 +27,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 # shape and asserts each finishes inside a 30 s budget, so a fast-path
 # regression (e.g. the streak batcher silently falling back to the
 # per-access loop) fails CI instead of just slowing the benches.
-echo "==> touch-throughput smoke (--quick)"
+echo "==> touch-throughput smoke (--quick, HAWKEYE_BENCH_THREADS=${HAWKEYE_BENCH_THREADS:-auto})"
+suite_t0=$SECONDS
 cargo bench -p hawkeye-bench --bench touch_throughput -- --quick
 
+echo "==> suite wall-clock: $((SECONDS - suite_t0))s (bench steps, ${HAWKEYE_BENCH_THREADS:-auto} workers)"
 echo "==> OK"
