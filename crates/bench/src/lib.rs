@@ -20,7 +20,10 @@ pub mod pool;
 pub mod scenario;
 
 pub use json::Json;
-pub use scenario::{run_scenarios, run_scenarios_with, write_json, Report, Row, Scenario};
+pub use scenario::{
+    run_scenarios, run_scenarios_capturing, run_scenarios_with, trace_json, write_json, Report,
+    Row, Scenario,
+};
 
 use hawkeye_core::{HawkEye, HawkEyeConfig};
 use hawkeye_kernel::{

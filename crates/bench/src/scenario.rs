@@ -15,7 +15,16 @@ use crate::json::{self, Json};
 use crate::pool::{self, Job};
 use crate::RunOutcome;
 use hawkeye_kernel::Simulator;
+use hawkeye_trace::{scope, Journal};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Per-scenario journals collected by [`run_scenarios_with`] when
+/// `HAWKEYE_TRACE` is set, drained by [`write_json`] into
+/// `target/bench-results/<target>.trace.json`. Appended on the main thread
+/// in submission order, so trace output is deterministic at any worker
+/// count (same rule as table rows).
+static TRACE_JOURNALS: Mutex<Vec<(String, Journal)>> = Mutex::new(Vec::new());
 
 /// One independent unit of a bench target: a named closure producing a
 /// result on a worker thread.
@@ -60,24 +69,111 @@ impl<T: Send> Scenario<T> {
 
 /// Runs scenarios on [`pool::worker_threads`] workers; results come back
 /// in submission order.
-pub fn run_scenarios<T: Send>(scenarios: Vec<Scenario<T>>) -> Vec<T> {
+pub fn run_scenarios<T: Send + 'static>(scenarios: Vec<Scenario<T>>) -> Vec<T> {
     run_scenarios_with(scenarios, pool::worker_threads())
 }
 
 /// Runs scenarios on an explicit worker count (the determinism test pins
 /// 1 and 8 without touching the process environment). Wall-clock goes to
 /// stderr so stdout stays byte-identical across worker counts.
-pub fn run_scenarios_with<T: Send>(scenarios: Vec<Scenario<T>>, threads: usize) -> Vec<T> {
+///
+/// When `HAWKEYE_TRACE` is set, each scenario additionally records an
+/// event journal, queued for [`write_json`] to dump alongside the summary.
+pub fn run_scenarios_with<T: Send + 'static>(scenarios: Vec<Scenario<T>>, threads: usize) -> Vec<T> {
+    let (results, journals) = run_scenarios_inner(scenarios, threads, hawkeye_trace::env_enabled());
+    if !journals.is_empty() {
+        if let Ok(mut q) = TRACE_JOURNALS.lock() {
+            q.extend(journals);
+        }
+    }
+    results
+}
+
+/// Runs scenarios with tracing forced on (regardless of `HAWKEYE_TRACE`)
+/// and returns the per-scenario journals directly instead of queueing them
+/// for the trace dump. Used by tests that assert on trace contents.
+pub fn run_scenarios_capturing<T: Send + 'static>(
+    scenarios: Vec<Scenario<T>>,
+    threads: usize,
+) -> (Vec<T>, Vec<(String, Journal)>) {
+    run_scenarios_inner(scenarios, threads, true)
+}
+
+fn run_scenarios_inner<T: Send + 'static>(
+    scenarios: Vec<Scenario<T>>,
+    threads: usize,
+    tracing: bool,
+) -> (Vec<T>, Vec<(String, Journal)>) {
     let n = scenarios.len();
     let t0 = Instant::now();
-    let results =
-        pool::run_ordered(scenarios.into_iter().map(|s| s.job).collect(), threads);
+    let (results, journals) = if tracing {
+        // Each job runs start-to-finish on one worker thread, so a
+        // thread-local trace scope around it captures exactly that
+        // scenario's events; `run_ordered` brings the journals back in
+        // submission order with the results.
+        let names: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+        let jobs: Vec<Job<(T, Option<Journal>)>> = scenarios
+            .into_iter()
+            .map(|s| {
+                let job = s.job;
+                Box::new(move || {
+                    scope::begin(hawkeye_trace::DEFAULT_CAPACITY);
+                    let result = job();
+                    (result, scope::end())
+                }) as Job<(T, Option<Journal>)>
+            })
+            .collect();
+        let mut results = Vec::with_capacity(n);
+        let mut journals = Vec::new();
+        for (name, (result, journal)) in names.into_iter().zip(pool::run_ordered(jobs, threads)) {
+            results.push(result);
+            if let Some(j) = journal {
+                journals.push((name, j));
+            }
+        }
+        (results, journals)
+    } else {
+        (pool::run_ordered(scenarios.into_iter().map(|s| s.job).collect(), threads), Vec::new())
+    };
     eprintln!(
         "[scenario-engine] {n} scenario(s) on {} worker(s) in {:.2}s",
         threads.min(n.max(1)),
         t0.elapsed().as_secs_f64()
     );
-    results
+    (results, journals)
+}
+
+/// The `.trace.json` document for one target: every scenario's journal in
+/// submission order, each event flattened to `{t, pid, machine, kind,
+/// <payload fields>}`.
+pub fn trace_json(target: &str, journals: &[(String, Journal)]) -> Json {
+    let scenarios = journals
+        .iter()
+        .map(|(name, journal)| {
+            let events = journal
+                .records
+                .iter()
+                .map(|r| {
+                    let mut fields = vec![
+                        ("t", Json::int(r.at.get())),
+                        ("pid", Json::int(r.pid as u64)),
+                        ("machine", Json::int(r.machine as u64)),
+                        ("kind", Json::str(r.event.kind())),
+                    ];
+                    for (k, v) in r.event.fields() {
+                        fields.push((k, Json::int(v)));
+                    }
+                    Json::obj(fields)
+                })
+                .collect();
+            Json::obj(vec![
+                ("name", Json::str(name.clone())),
+                ("dropped", Json::int(journal.dropped)),
+                ("events", Json::Arr(events)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("target", Json::str(target)), ("scenarios", Json::Arr(scenarios))])
 }
 
 /// One table row produced by a scenario: formatted cells, headline
@@ -196,6 +292,25 @@ pub fn write_json(target: &str, json: &Json) {
     match json::write_results(target, json) {
         Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
         Err(e) => eprintln!("[scenario-engine] could not write {target}.json: {e}"),
+    }
+    write_trace_results(target);
+}
+
+/// Dumps the journals queued by traced runs (if any) to
+/// `target/bench-results/<target>.trace.json`. A no-op when tracing was
+/// off; stdout is untouched either way.
+fn write_trace_results(target: &str) {
+    let journals = match TRACE_JOURNALS.lock() {
+        Ok(mut q) => std::mem::take(&mut *q),
+        Err(_) => return,
+    };
+    if journals.is_empty() {
+        return;
+    }
+    let stem = format!("{target}.trace");
+    match json::write_results(&stem, &trace_json(target, &journals)) {
+        Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
+        Err(e) => eprintln!("[scenario-engine] could not write {stem}.json: {e}"),
     }
 }
 

@@ -8,7 +8,10 @@
 //! `HAWKEYE_BENCH_THREADS` environment variable, so this test stays
 //! race-free when cargo runs tests in parallel.
 
-use hawkeye_bench::{run_one, run_scenarios_with, Json, PolicyKind, Report, Row, Scenario};
+use hawkeye_bench::{
+    run_one, run_scenarios_capturing, run_scenarios_with, trace_json, Json, PolicyKind, Report,
+    Row, Scenario,
+};
 use hawkeye_workloads::Spinup;
 
 const KINDS: [PolicyKind; 5] = [
@@ -67,6 +70,26 @@ fn one_worker_equals_eight_workers() {
         assert!(text1.contains(kind.label()), "missing row for {}", kind.label());
         assert!(json1.contains(kind.label()));
     }
+}
+
+#[test]
+fn trace_journals_match_at_one_and_eight_workers() {
+    // The determinism rule extends to traces: per-scenario journals come
+    // back in submission order with machine ids assigned per scenario, so
+    // the serialized `.trace.json` document is byte-identical at any
+    // worker count. Tracing is forced through the capturing API, not the
+    // `HAWKEYE_TRACE` environment variable, keeping the test race-free.
+    let (_, journals1) = run_scenarios_capturing(matrix(), 1);
+    let (_, journals8) = run_scenarios_capturing(matrix(), 8);
+    let doc1 = trace_json("determinism_matrix", &journals1).to_string();
+    let doc8 = trace_json("determinism_matrix", &journals8).to_string();
+    assert_eq!(doc1, doc8, "trace document must not depend on worker count");
+    // Sanity: the journals hold real fault events for every scenario.
+    assert_eq!(journals1.len(), KINDS.len());
+    for (name, journal) in &journals1 {
+        assert!(!journal.records.is_empty(), "{name}: empty journal");
+    }
+    assert!(doc1.contains(r#""kind":"fault""#));
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! Zero-counter-drift guarantee of the trace layer (PR 1-style
+//! differential tests): the same simulation must produce bit-identical
+//! results with tracing off and with a live trace scope — instrumentation
+//! may observe, never perturb.
+
+use hawkeye_bench::{run_one, PolicyKind};
+use hawkeye_kernel::KernelStats;
+use hawkeye_trace::{scope, Journal, TraceEvent};
+use hawkeye_workloads::Spinup;
+
+struct Observed {
+    faults: u64,
+    exec_secs_bits: u64,
+    cpu_secs_bits: u64,
+    mmu_overhead_bits: u64,
+    kernel_stats: KernelStats,
+}
+
+fn run(kind: PolicyKind) -> Observed {
+    let out = run_one(kind, 128, Some((1.0, 0.55)), 30.0, Box::new(Spinup::new("spin", 8 * 1024)));
+    Observed {
+        faults: out.faults(),
+        exec_secs_bits: out.exec_secs().to_bits(),
+        cpu_secs_bits: out.cpu_secs().to_bits(),
+        mmu_overhead_bits: out.mmu_overhead().to_bits(),
+        kernel_stats: out.sim.machine().stats(),
+    }
+}
+
+fn run_traced(kind: PolicyKind) -> (Observed, Journal) {
+    scope::begin(hawkeye_trace::DEFAULT_CAPACITY);
+    let observed = run(kind);
+    let journal = scope::end().expect("scope was open");
+    (observed, journal)
+}
+
+fn assert_no_drift(kind: PolicyKind) -> Journal {
+    let untraced = run(kind);
+    let (traced, journal) = run_traced(kind);
+    assert_eq!(untraced.faults, traced.faults, "{kind:?}: fault count drifted");
+    assert_eq!(untraced.exec_secs_bits, traced.exec_secs_bits, "{kind:?}: exec time drifted");
+    assert_eq!(untraced.cpu_secs_bits, traced.cpu_secs_bits, "{kind:?}: cpu time drifted");
+    assert_eq!(
+        untraced.mmu_overhead_bits, traced.mmu_overhead_bits,
+        "{kind:?}: MMU overhead drifted"
+    );
+    assert_eq!(untraced.kernel_stats, traced.kernel_stats, "{kind:?}: kernel stats drifted");
+    journal
+}
+
+#[test]
+fn tracing_does_not_perturb_linux_counters() {
+    let journal = assert_no_drift(PolicyKind::Linux2m);
+    assert!(!journal.records.is_empty(), "traced run must journal events");
+}
+
+#[test]
+fn tracing_does_not_perturb_hawkeye_counters() {
+    let journal = assert_no_drift(PolicyKind::HawkEyeG);
+    assert!(
+        journal.records.iter().any(|r| matches!(r.event, TraceEvent::Fault { .. })),
+        "fault path must journal Fault events"
+    );
+    // Timestamps are stamped from the machine clock, which only moves
+    // forward: the journal must be time-ordered as emitted.
+    let times: Vec<u64> = journal.records.iter().map(|r| r.at.get()).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "journal out of time order");
+    // All events of a single-machine scenario carry machine id 0 and a
+    // meaningful pid.
+    assert!(journal.records.iter().all(|r| r.machine == 0));
+}
+
+#[test]
+fn traced_rerun_is_itself_deterministic() {
+    let (_, a) = run_traced(PolicyKind::HawkEyeG);
+    let (_, b) = run_traced(PolicyKind::HawkEyeG);
+    assert_eq!(a, b, "identical traced runs must produce identical journals");
+}

@@ -24,6 +24,7 @@ use hawkeye_mem::{
 use hawkeye_metrics::{Cycles, Recorder, SimClock};
 use hawkeye_mem::fmfi::fmfi;
 use hawkeye_tlb::Mmu;
+use hawkeye_trace::{TraceEvent, TraceSink};
 use hawkeye_vm::{Hvpn, PageSize, Vpn};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
@@ -114,6 +115,7 @@ pub struct Machine {
     file_pages: BTreeSet<Pfn>,
     stats: KernelStats,
     recorder: Recorder,
+    trace: TraceSink,
 }
 
 impl Machine {
@@ -124,9 +126,14 @@ impl Machine {
     /// Panics if the configured frame count is not a valid
     /// [`PhysMemory`] size.
     pub fn new(config: KernelConfig) -> Self {
+        // One sink per machine, attached to the current thread's trace
+        // scope (disabled otherwise); clones share its simulated clock.
+        let trace = TraceSink::attach_current();
         let mut pm = PhysMemory::with_cross_merge(config.frames, config.cross_merge);
+        pm.set_trace_sink(trace.clone());
         let mut mmu = Mmu::new(config.tlb);
         mmu.set_nested(config.nested);
+        mmu.set_trace_sink(trace.clone());
         // Reserve the canonical zero page.
         let z = pm.alloc(Order(0), AllocPref::Zeroed).expect("boot memory");
         pm.frame_mut(z.pfn).set_kind(FrameKind::Pinned);
@@ -141,6 +148,7 @@ impl Machine {
             file_pages: BTreeSet::new(),
             stats: KernelStats::default(),
             recorder: Recorder::new(),
+            trace,
         }
     }
 
@@ -154,6 +162,7 @@ impl Machine {
     /// advancing a host machine in lockstep with guests) use it directly.
     pub fn advance(&mut self, d: Cycles) {
         self.clock.advance(d);
+        self.trace.set_now(self.clock.now());
     }
 
     /// Runs the per-period metric sampling (the simulator calls this on
@@ -170,6 +179,12 @@ impl Machine {
     /// Kernel-wide statistics.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// The machine's event-journal sink (disabled no-op handle unless a
+    /// trace scope was active when the machine booted).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Physical memory state.
@@ -460,6 +475,10 @@ impl Machine {
         self.stats.promotions += 1;
         self.stats.promote_copied_pages += copied as u64;
         self.charge_daemon(cost);
+        self.trace.emit(
+            pid,
+            TraceEvent::Promote { hvpn: hvpn.0, copied, filled, cycles: cost.get() },
+        );
         Ok(Promoted { copied_pages: copied, filled_pages: filled, cycles: cost })
     }
 
@@ -513,6 +532,10 @@ impl Machine {
         self.stats.promotions += 1;
         let cost = self.config.costs.fault_base_4k; // PTE rewrite bookkeeping
         self.charge_daemon(cost);
+        self.trace.emit(
+            pid,
+            TraceEvent::Promote { hvpn: hvpn.0, copied: 0, filled: 0, cycles: cost.get() },
+        );
         Ok(())
     }
 
@@ -534,6 +557,7 @@ impl Machine {
         self.stats.demotions += 1;
         let cost = self.config.costs.fault_base_4k; // split bookkeeping
         self.charge_daemon(cost);
+        self.trace.emit(pid, TraceEvent::Demote { hvpn: hvpn.0, cycles: cost.get() });
         Some(cost)
     }
 
@@ -559,6 +583,10 @@ impl Machine {
         let mut cost = self.config.costs.scan(scan_bytes);
         if zero_pages < min_zero {
             self.charge_daemon(cost);
+            self.trace.emit(
+                pid,
+                TraceEvent::Dedup { hvpn: hvpn.0, zero_pages, demoted: false, cycles: cost.get() },
+            );
             return Some(DedupOutcome::Kept { zero_pages, cycles: cost });
         }
         // Demote, then replace zero pages with canonical-zero COW entries.
@@ -583,6 +611,10 @@ impl Machine {
         }
         self.stats.deduped_zero_pages += zero_pages as u64;
         self.charge_daemon(cost);
+        self.trace.emit(
+            pid,
+            TraceEvent::Dedup { hvpn: hvpn.0, zero_pages, demoted: true, cycles: cost.get() },
+        );
         Some(DedupOutcome::Deduped { zero_pages, cycles: cost })
     }
 
@@ -682,6 +714,8 @@ impl Machine {
             let p = self.processes.get(&pid).expect("exists");
             if p.space().page_table().region_mapped_count(*h) > 0 {
                 demotions += 1;
+                // Split cost is folded into the per-page unmap charge below.
+                self.trace.emit(pid, TraceEvent::Demote { hvpn: h.0, cycles: 0 });
                 let remaining: Vec<Pfn> = p
                     .space()
                     .page_table()
@@ -740,8 +774,9 @@ impl Machine {
         self.stats.daemon_cycles += c;
     }
 
-    pub(crate) fn stats_oom(&mut self) {
+    pub(crate) fn stats_oom(&mut self, pid: u32) {
         self.stats.oom_events += 1;
+        self.trace.emit(pid, TraceEvent::Oom);
     }
 
     /// Records the standard per-sample series (memory, per-process RSS /

@@ -12,6 +12,7 @@ use crate::process::OpCursor;
 use crate::workload::{MemOp, Workload};
 use hawkeye_mem::Pfn;
 use hawkeye_metrics::Cycles;
+use hawkeye_trace::TraceEvent;
 use hawkeye_vm::{PageSize, Vpn};
 
 /// Interposer on the touch path, invoked once per page touch after
@@ -197,7 +198,7 @@ impl Simulator {
         self.machine.mmu_mut().record_unhalted(pid, spent);
         if finished {
             if oom {
-                self.machine.stats_oom();
+                self.machine.stats_oom(pid);
             }
             self.machine.exit_process(pid);
             let at = base_now + spent;
@@ -483,8 +484,8 @@ impl Simulator {
                 .and_then(|p| p.space().translate(vpn))
                 .map(|t| t.zero_cow)
                 .unwrap_or(false);
-            let fault_cost = if write && zero_cow {
-                self.machine.cow_fault(pid, vpn)?
+            let (fault_cost, huge) = if write && zero_cow {
+                (self.machine.cow_fault(pid, vpn)?, false)
             } else {
                 let action = policy.on_fault(&mut self.machine, pid, vpn);
                 self.apply_fault_action(pid, vpn, action)?
@@ -494,6 +495,15 @@ impl Simulator {
             let st = p.stats_mut();
             st.faults += 1;
             st.fault_cycles += fault_cost;
+            self.machine.trace().emit(
+                pid,
+                TraceEvent::Fault {
+                    vpn: vpn.0,
+                    huge,
+                    cow: write && zero_cow,
+                    cycles: fault_cost.get(),
+                },
+            );
         };
         let out = self.machine.mmu_mut().access(pid, vpn, translation.size, write);
         cost += out.cycles + (access_cost + Cycles::new(think as u64)) * repeats as u64;
@@ -515,23 +525,26 @@ impl Simulator {
         Ok((cost, translation))
     }
 
+    /// Returns the fault cost and whether the fault was served huge.
     fn apply_fault_action(
         &mut self,
         pid: u32,
         vpn: Vpn,
         action: FaultAction,
-    ) -> Result<Cycles, OutOfMemory> {
+    ) -> Result<(Cycles, bool), OutOfMemory> {
         match action {
-            FaultAction::MapBase => self.machine.fault_map_base(pid, vpn),
+            FaultAction::MapBase => Ok((self.machine.fault_map_base(pid, vpn)?, false)),
             FaultAction::MapHuge => {
                 let (cost, huge) = self.machine.fault_map_huge(pid, vpn)?;
                 if huge {
                     let p = self.machine.process_mut(pid).expect("exists");
                     p.stats_mut().huge_faults += 1;
                 }
-                Ok(cost)
+                Ok((cost, huge))
             }
-            FaultAction::MapBaseAt(pfn) => Ok(self.machine.fault_map_base_at(pid, vpn, pfn)),
+            FaultAction::MapBaseAt(pfn) => {
+                Ok((self.machine.fault_map_base_at(pid, vpn, pfn), false))
+            }
         }
     }
 }

@@ -15,6 +15,7 @@ use crate::content::PageContent;
 use crate::error::AllocError;
 use crate::frame::{Frame, FrameState, NOT_FREE_HEAD, NO_LINK};
 use crate::types::{Order, Pfn, MAX_ORDER};
+use hawkeye_trace::{TraceEvent, TraceSink};
 
 const NORDERS: usize = MAX_ORDER.0 as usize + 1;
 
@@ -82,6 +83,8 @@ pub struct PhysMemory {
     /// pre-zeroed pool; baselines that never read the zero lists turn it on
     /// to match vanilla Linux merging.
     cross_merge: bool,
+    /// Event journal handle; disabled (no-op) unless a trace scope attaches.
+    trace: TraceSink,
 }
 
 impl PhysMemory {
@@ -120,6 +123,7 @@ impl PhysMemory {
             free_pages: 0,
             zeroed_free_pages: 0,
             cross_merge,
+            trace: TraceSink::default(),
         };
         let mut pfn = 0;
         while pfn < total_frames {
@@ -127,6 +131,18 @@ impl PhysMemory {
             pfn += block;
         }
         pm
+    }
+
+    /// Install the event-journal sink used by pre-zeroing and compaction.
+    /// The default sink is disabled (every emit is a no-op).
+    pub fn set_trace_sink(&mut self, trace: TraceSink) {
+        self.trace = trace;
+    }
+
+    /// The event-journal sink (for free functions like `compact` that
+    /// operate on this memory).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Total number of frames.
@@ -279,6 +295,9 @@ impl PhysMemory {
             self.insert_free_block_raw(pfn, order);
             zeroed += order.pages();
             budget -= order.pages();
+        }
+        if zeroed > 0 {
+            self.trace.emit(0, TraceEvent::PreZero { pages: zeroed });
         }
         zeroed
     }

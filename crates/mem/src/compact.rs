@@ -14,6 +14,7 @@
 use crate::buddy::{AllocPref, PhysMemory};
 use crate::frame::{FrameState, OwnerTag};
 use crate::types::{Order, Pfn, BASE_PAGES_PER_HUGE, HUGE_ORDER};
+use hawkeye_trace::TraceEvent;
 
 /// Outcome of one compaction pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -83,6 +84,15 @@ where
         if compact_region(pm, region.base, &mut budget, &mut stats, &mut migrate) {
             stats.huge_blocks_freed += 1;
         }
+    }
+    if stats.migrated_pages > 0 || stats.huge_blocks_freed > 0 {
+        pm.trace().emit(
+            0,
+            TraceEvent::Compact {
+                migrated: stats.migrated_pages,
+                huge_blocks: stats.huge_blocks_freed,
+            },
+        );
     }
     stats
 }

@@ -42,7 +42,11 @@ pub fn fmfi(pm: &PhysMemory, order: Order) -> f64 {
         .skip(order.index())
         .map(|(i, k)| k * (1u64 << i))
         .sum();
-    (total_free - satisfying) as f64 / total_free as f64
+    // `satisfying` can momentarily exceed `total_free` only if the two
+    // counters disagree (they are maintained independently); saturate and
+    // clamp so the index is always a finite value in [0, 1].
+    let fragmented = total_free.saturating_sub(satisfying);
+    (fragmented as f64 / total_free as f64).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -111,6 +115,36 @@ mod tests {
         let _a = pm.alloc(MAX_ORDER, AllocPref::Zeroed).unwrap();
         assert_eq!(pm.free_pages(), 0);
         assert_eq!(fmfi(&pm, HUGE_ORDER), 0.0);
+    }
+
+    #[test]
+    fn empty_free_list_is_zero_not_nan() {
+        // Regression: FMFI is defined as 0.0 (not 0/0 = NaN) when the buddy
+        // has no free pages at all, under either merge policy.
+        for cross_merge in [false, true] {
+            let mut pm = PhysMemory::with_cross_merge(1024, cross_merge);
+            while pm.alloc(Order(0), AllocPref::Zeroed).is_ok() {}
+            assert_eq!(pm.free_pages(), 0);
+            for order in [Order(0), Order(3), HUGE_ORDER, MAX_ORDER] {
+                let f = fmfi(&pm, order);
+                assert!(!f.is_nan(), "FMFI must never be NaN");
+                assert_eq!(f, 0.0, "empty buddy (cross_merge={cross_merge})");
+            }
+        }
+    }
+
+    #[test]
+    fn fmfi_is_always_finite_and_bounded() {
+        let mut pm = PhysMemory::new(2048);
+        let pages: Vec<Pfn> =
+            (0..512).map(|_| pm.alloc(Order(0), AllocPref::Zeroed).unwrap().pfn).collect();
+        for pfn in pages.iter().filter(|p| p.0 % 3 == 0) {
+            pm.free(*pfn, Order(0));
+        }
+        for o in 0..=MAX_ORDER.0 {
+            let f = fmfi(&pm, Order(o));
+            assert!(f.is_finite() && (0.0..=1.0).contains(&f), "order {o}: {f}");
+        }
     }
 
     #[test]

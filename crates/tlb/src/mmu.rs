@@ -74,6 +74,12 @@ impl Mmu {
         self.nested
     }
 
+    /// Install the event-journal sink (forwarded to the PMU for
+    /// `QuantumEnd` snapshots).
+    pub fn set_trace_sink(&mut self, trace: hawkeye_trace::TraceSink) {
+        self.pmu.set_trace_sink(trace);
+    }
+
     // L2 is unified across page sizes; tag keys with the size so a 4 KB
     // and a 2 MB entry for overlapping ranges never alias.
     #[inline]

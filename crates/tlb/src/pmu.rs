@@ -10,6 +10,7 @@
 //! totals, so counters support snapshot-and-reset windows.
 
 use hawkeye_metrics::Cycles;
+use hawkeye_trace::{TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 
 /// One process's counter set.
@@ -62,12 +63,19 @@ impl PmuWindow {
 pub struct Pmu {
     lifetime: BTreeMap<u32, Counters>,
     window: BTreeMap<u32, Counters>,
+    /// Event journal handle; disabled (no-op) unless a trace scope attaches.
+    trace: TraceSink,
 }
 
 impl Pmu {
     /// Creates an empty counter file.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Install the event-journal sink used for `QuantumEnd` snapshots.
+    pub fn set_trace_sink(&mut self, trace: TraceSink) {
+        self.trace = trace;
     }
 
     /// Charges a page-walk duration to `pid` (`store` selects the store
@@ -104,6 +112,15 @@ impl Pmu {
     pub fn sample_window(&mut self, pid: u32) -> PmuWindow {
         let w = Self::to_window(self.window.get(&pid));
         self.window.remove(&pid);
+        self.trace.emit(
+            pid,
+            TraceEvent::QuantumEnd {
+                load_walk: w.load_walk.get(),
+                store_walk: w.store_walk.get(),
+                unhalted: w.unhalted.get(),
+                walks: w.walks,
+            },
+        );
         w
     }
 

@@ -1,0 +1,490 @@
+//! Structured event tracing for the HawkEye simulator.
+//!
+//! A journal is a bounded ring of [`TraceRecord`]s: typed kernel/VM events
+//! stamped with simulated [`Cycles`] and the faulting pid. Emit sites across
+//! the stack hold a [`TraceSink`] — a cheap cloneable handle that is a no-op
+//! when tracing is disabled, so instrumentation costs one branch on the
+//! simulated hot paths and cannot perturb counters.
+//!
+//! Scoping is per-thread: the bench scenario engine calls [`scope::begin`]
+//! before running a scenario and [`scope::end`] after, collecting the journal
+//! for that scenario only. Machines created inside a scope attach to its
+//! buffer via [`TraceSink::attach_current`] and receive a per-scope machine id
+//! in creation order, which keeps journals deterministic under the ordered
+//! bench pool (each scenario runs start-to-finish on one worker thread).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hawkeye_metrics::Cycles;
+
+/// Default ring capacity for a per-scenario journal: enough to keep every
+/// daemon decision of a long bench run while bounding a fault-heavy scenario
+/// to a few MiB of records.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// A typed simulator event.
+///
+/// Payload fields are raw integers (bools as flags) so the journal can be
+/// serialized generically via [`TraceEvent::fields`] without this crate
+/// depending on any serializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A minor/major fault was serviced in the touch path.
+    Fault {
+        /// Faulting virtual page number (guest-physical frame for EPT faults).
+        vpn: u64,
+        /// The fault was satisfied with a huge mapping.
+        huge: bool,
+        /// The fault was a copy-on-write break of the shared zero page.
+        cow: bool,
+        /// Simulated cycles charged for servicing the fault.
+        cycles: u64,
+    },
+    /// khugepaged-style promotion of a huge-page-aligned region.
+    Promote {
+        /// Huge virtual page number (vpn >> 9).
+        hvpn: u64,
+        /// 4 KiB pages copied from existing small mappings.
+        copied: u32,
+        /// 4 KiB pages filled fresh (unmapped or zero-backed).
+        filled: u32,
+        /// Simulated cycles charged for the promotion.
+        cycles: u64,
+    },
+    /// A huge mapping was split back to 4 KiB mappings.
+    Demote {
+        /// Huge virtual page number.
+        hvpn: u64,
+        /// Simulated cycles charged (0 when folded into another operation).
+        cycles: u64,
+    },
+    /// One compaction pass finished.
+    Compact {
+        /// 4 KiB pages migrated during the pass.
+        migrated: u64,
+        /// Fully-free huge blocks produced by the pass.
+        huge_blocks: u64,
+    },
+    /// The async pre-zero thread zeroed free pages.
+    PreZero {
+        /// 4 KiB pages moved to the zeroed free list.
+        pages: u64,
+    },
+    /// Bloat-recovery scanned a huge region for zero-page dedup.
+    Dedup {
+        /// Huge virtual page number scanned.
+        hvpn: u64,
+        /// Zero-filled 4 KiB pages found in the region.
+        zero_pages: u32,
+        /// The region crossed the threshold and was demoted + deduped.
+        demoted: bool,
+        /// Simulated cycles charged for the scan (and dedup, if any).
+        cycles: u64,
+    },
+    /// An allocation failed after reclaim: the process is OOM-killed.
+    Oom,
+    /// Per-quantum PMU counter snapshot (emitted when a sampling policy
+    /// drains the per-pid window).
+    QuantumEnd {
+        /// TLB-miss page-walk cycles on the load path this window.
+        load_walk: u64,
+        /// TLB-miss page-walk cycles on the store path this window.
+        store_walk: u64,
+        /// Unhalted cycles this window.
+        unhalted: u64,
+        /// Page walks performed this window.
+        walks: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lower-case tag for serialization.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Promote { .. } => "promote",
+            TraceEvent::Demote { .. } => "demote",
+            TraceEvent::Compact { .. } => "compact",
+            TraceEvent::PreZero { .. } => "prezero",
+            TraceEvent::Dedup { .. } => "dedup",
+            TraceEvent::Oom => "oom",
+            TraceEvent::QuantumEnd { .. } => "quantum_end",
+        }
+    }
+
+    /// Payload as ordered `(name, value)` pairs; bools encode as 0/1.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            TraceEvent::Fault { vpn, huge, cow, cycles } => vec![
+                ("vpn", vpn),
+                ("huge", huge as u64),
+                ("cow", cow as u64),
+                ("cycles", cycles),
+            ],
+            TraceEvent::Promote { hvpn, copied, filled, cycles } => vec![
+                ("hvpn", hvpn),
+                ("copied", copied as u64),
+                ("filled", filled as u64),
+                ("cycles", cycles),
+            ],
+            TraceEvent::Demote { hvpn, cycles } => {
+                vec![("hvpn", hvpn), ("cycles", cycles)]
+            }
+            TraceEvent::Compact { migrated, huge_blocks } => {
+                vec![("migrated", migrated), ("huge_blocks", huge_blocks)]
+            }
+            TraceEvent::PreZero { pages } => vec![("pages", pages)],
+            TraceEvent::Dedup { hvpn, zero_pages, demoted, cycles } => vec![
+                ("hvpn", hvpn),
+                ("zero_pages", zero_pages as u64),
+                ("demoted", demoted as u64),
+                ("cycles", cycles),
+            ],
+            TraceEvent::Oom => vec![],
+            TraceEvent::QuantumEnd { load_walk, store_walk, unhalted, walks } => vec![
+                ("load_walk", load_walk),
+                ("store_walk", store_walk),
+                ("unhalted", unhalted),
+                ("walks", walks),
+            ],
+        }
+    }
+}
+
+/// One journal entry: an event stamped with simulated time, the pid it
+/// concerns (0 for machine-global events), and the emitting machine's
+/// per-scope id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of emission.
+    pub at: Cycles,
+    /// Process the event concerns; 0 for machine-global events.
+    pub pid: u32,
+    /// Per-scope machine id (creation order within the scope).
+    pub machine: u32,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Bounded ring of records. When full, the oldest record is overwritten so
+/// the journal keeps the *newest* events; `dropped` counts overwrites.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+    next_machine: u32,
+}
+
+impl TraceBuffer {
+    /// Create a ring holding at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            records: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+            next_machine: 0,
+        }
+    }
+
+    /// Append a record, overwriting the oldest when the ring is full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Allocate the next per-scope machine id.
+    pub fn next_machine_id(&mut self) -> u32 {
+        let id = self.next_machine;
+        self.next_machine += 1;
+        id
+    }
+
+    /// Consume the ring, returning records in emission order plus the
+    /// overwrite count.
+    pub fn drain(mut self) -> (Vec<TraceRecord>, u64) {
+        self.records.rotate_left(self.head);
+        (self.records, self.dropped)
+    }
+}
+
+/// A finished scenario journal: records in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journal {
+    /// Records in emission order (oldest kept first).
+    pub records: Vec<TraceRecord>,
+    /// Records overwritten because the ring filled up.
+    pub dropped: u64,
+}
+
+/// Cheap cloneable emit handle. Disabled sinks (the default) are a no-op:
+/// `emit`/`set_now` early-return on one branch, so instrumented code runs
+/// identically whether or not a trace scope is active.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    shared: Option<Arc<Mutex<TraceBuffer>>>,
+    machine: u32,
+    now: Arc<AtomicU64>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink {
+            shared: None,
+            machine: 0,
+            now: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl TraceSink {
+    /// A permanently-disabled sink.
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// Attach to the current thread's trace scope, if one is active,
+    /// claiming the next machine id in that scope. Returns a disabled sink
+    /// otherwise.
+    pub fn attach_current() -> Self {
+        match scope::current() {
+            Some(shared) => {
+                let machine = match shared.lock() {
+                    Ok(mut buf) => buf.next_machine_id(),
+                    Err(_) => return TraceSink::disabled(),
+                };
+                TraceSink {
+                    shared: Some(shared),
+                    machine,
+                    now: Arc::new(AtomicU64::new(0)),
+                }
+            }
+            None => TraceSink::disabled(),
+        }
+    }
+
+    /// True when emits reach a buffer.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Advance the sink's simulated clock; clones of this sink (handed to
+    /// subsystems of the same machine) share it.
+    #[inline]
+    pub fn set_now(&self, now: Cycles) {
+        if self.shared.is_none() {
+            return;
+        }
+        self.now.store(now.get(), Ordering::Relaxed);
+    }
+
+    /// Record an event for `pid`, stamped with the sink's current simulated
+    /// time. No-op when disabled.
+    #[inline]
+    pub fn emit(&self, pid: u32, event: TraceEvent) {
+        let Some(shared) = &self.shared else { return };
+        let rec = TraceRecord {
+            at: Cycles::new(self.now.load(Ordering::Relaxed)),
+            pid,
+            machine: self.machine,
+            event,
+        };
+        if let Ok(mut buf) = shared.lock() {
+            buf.push(rec);
+        }
+    }
+}
+
+/// Per-thread trace scopes. A scope owns the buffer that sinks created on
+/// this thread (between `begin` and `end`) emit into.
+pub mod scope {
+    use super::{Arc, Journal, Mutex, RefCell, TraceBuffer};
+
+    thread_local! {
+        static CURRENT: RefCell<Option<Arc<Mutex<TraceBuffer>>>> =
+            const { RefCell::new(None) };
+    }
+
+    /// Open a trace scope on this thread with the given ring capacity.
+    /// Replaces any previous scope (its journal is discarded).
+    pub fn begin(capacity: usize) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = Some(Arc::new(Mutex::new(TraceBuffer::new(capacity))));
+        });
+    }
+
+    /// Close this thread's scope, returning its journal. Sinks still holding
+    /// the buffer keep writing into a drained 1-slot ring, harmlessly.
+    pub fn end() -> Option<Journal> {
+        let shared = CURRENT.with(|c| c.borrow_mut().take())?;
+        let mut buf = shared.lock().ok()?;
+        let full = std::mem::replace(&mut *buf, TraceBuffer::new(1));
+        let (records, dropped) = full.drain();
+        Some(Journal { records, dropped })
+    }
+
+    /// True when a scope is open on this thread.
+    pub fn active() -> bool {
+        CURRENT.with(|c| c.borrow().is_some())
+    }
+
+    pub(super) fn current() -> Option<Arc<Mutex<TraceBuffer>>> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+}
+
+/// True when the `HAWKEYE_TRACE` environment variable requests tracing
+/// (set, non-empty, and not `"0"`). Read once per process.
+pub fn env_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("HAWKEYE_TRACE")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> TraceRecord {
+        TraceRecord {
+            at: Cycles::new(i),
+            pid: 1,
+            machine: 0,
+            event: TraceEvent::PreZero { pages: i },
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_on_wraparound() {
+        let mut buf = TraceBuffer::new(4);
+        for i in 0..7 {
+            buf.push(rec(i));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 3);
+        let (records, dropped) = buf.drain();
+        assert_eq!(dropped, 3);
+        let ats: Vec<u64> = records.iter().map(|r| r.at.get()).collect();
+        assert_eq!(ats, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ring_under_capacity_preserves_order() {
+        let mut buf = TraceBuffer::new(8);
+        for i in 0..5 {
+            buf.push(rec(i));
+        }
+        let (records, dropped) = buf.drain();
+        assert_eq!(dropped, 0);
+        let ats: Vec<u64> = records.iter().map(|r| r.at.get()).collect();
+        assert_eq!(ats, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut buf = TraceBuffer::new(0);
+        buf.push(rec(1));
+        buf.push(rec(2));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 1);
+        let (records, _) = buf.drain();
+        assert_eq!(records[0].at.get(), 2);
+    }
+
+    #[test]
+    fn disabled_sink_is_noop() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.set_now(Cycles::new(99));
+        sink.emit(1, TraceEvent::Oom);
+        // Nothing to observe: the point is that neither call panics or
+        // allocates a buffer.
+        assert!(!sink.is_enabled());
+    }
+
+    #[test]
+    fn attach_outside_scope_is_disabled() {
+        assert!(!scope::active());
+        let sink = TraceSink::attach_current();
+        assert!(!sink.is_enabled());
+        sink.emit(1, TraceEvent::Oom);
+        assert!(scope::end().is_none());
+    }
+
+    #[test]
+    fn scope_roundtrip_collects_records() {
+        scope::begin(16);
+        assert!(scope::active());
+        let a = TraceSink::attach_current();
+        let b = TraceSink::attach_current();
+        assert!(a.is_enabled() && b.is_enabled());
+        a.set_now(Cycles::new(10));
+        a.emit(1, TraceEvent::Fault { vpn: 7, huge: false, cow: true, cycles: 300 });
+        b.set_now(Cycles::new(20));
+        b.emit(2, TraceEvent::Demote { hvpn: 3, cycles: 0 });
+        let journal = scope::end().expect("journal");
+        assert!(!scope::active());
+        assert_eq!(journal.dropped, 0);
+        assert_eq!(journal.records.len(), 2);
+        // Machine ids were handed out in creation order.
+        assert_eq!(journal.records[0].machine, 0);
+        assert_eq!(journal.records[1].machine, 1);
+        assert_eq!(journal.records[0].at, Cycles::new(10));
+        assert_eq!(journal.records[1].pid, 2);
+        // Stale sinks keep working after the scope closed.
+        a.emit(1, TraceEvent::Oom);
+        assert!(scope::end().is_none());
+    }
+
+    #[test]
+    fn clones_share_the_clock() {
+        scope::begin(16);
+        let sink = TraceSink::attach_current();
+        let clone = sink.clone();
+        sink.set_now(Cycles::new(42));
+        clone.emit(1, TraceEvent::Oom);
+        let journal = scope::end().expect("journal");
+        assert_eq!(journal.records[0].at, Cycles::new(42));
+    }
+
+    #[test]
+    fn event_kind_and_fields_are_stable() {
+        let ev = TraceEvent::Promote { hvpn: 5, copied: 3, filled: 2, cycles: 100 };
+        assert_eq!(ev.kind(), "promote");
+        assert_eq!(
+            ev.fields(),
+            vec![("hvpn", 5), ("copied", 3), ("filled", 2), ("cycles", 100)]
+        );
+        assert_eq!(TraceEvent::Oom.kind(), "oom");
+        assert!(TraceEvent::Oom.fields().is_empty());
+    }
+}

@@ -34,4 +34,4 @@
 
 pub mod system;
 
-pub use system::{VirtConfig, VirtSystem, VmId, VmSpec};
+pub use system::{VirtConfig, VirtError, VirtSystem, VmId, VmSpec};

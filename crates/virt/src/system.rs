@@ -16,9 +16,58 @@ use hawkeye_kernel::{
 };
 use hawkeye_mem::{PageContent, Pfn};
 use hawkeye_metrics::Cycles;
+use hawkeye_trace::TraceEvent;
 use hawkeye_vm::{Hvpn, PageSize, VmaKind, Vpn};
 use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Error from the host side of the virtualization bridge.
+///
+/// These conditions used to abort the whole process (`unwrap`/`assert!` in
+/// the bridge path); they now propagate so a finished or missing guest
+/// process degrades gracefully — the touch is dropped, the error counted in
+/// [`VirtStats::bridge_errors`], and the suite keeps running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtError {
+    /// The host process backing a VM does not exist (e.g. already exited).
+    NoProcess {
+        /// Host pid that was expected to back the VM.
+        pid: u32,
+    },
+    /// The host fault loop did not converge for a guest-physical address.
+    FaultLoopDiverged {
+        /// Guest-physical address (frame number) that kept faulting.
+        gpa: u64,
+    },
+    /// The host ran out of memory with nothing left to evict.
+    NothingEvictable,
+    /// Repeated eviction could not free enough memory to map a page.
+    Thrashing {
+        /// Guest-physical page that could not be mapped.
+        gpa: u64,
+    },
+}
+
+impl fmt::Display for VirtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtError::NoProcess { pid } => write!(f, "no host process with pid {pid}"),
+            VirtError::FaultLoopDiverged { gpa } => {
+                write!(f, "host fault loop did not converge at gpa {gpa:#x}")
+            }
+            VirtError::NothingEvictable => {
+                f.write_str("host out of memory with nothing evictable")
+            }
+            VirtError::Thrashing { gpa } => {
+                write!(f, "host thrashing: could not free memory for gpa {gpa:#x}")
+            }
+        }
+    }
+}
+
+impl Error for VirtError {}
 
 /// Size of one VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +134,10 @@ pub struct VirtStats {
     pub ksm_merged: u64,
     /// Guest-free pages returned to the host by the balloon.
     pub ballooned: u64,
+    /// Guest touches dropped because the host bridge hit a [`VirtError`]
+    /// (missing process, eviction failure); nonzero values mean the run
+    /// degraded rather than aborting.
+    pub bridge_errors: u64,
 }
 
 struct HostSide {
@@ -99,15 +152,30 @@ struct HostSide {
 
 impl HostSide {
     /// The bridge target: one guest page touch.
-    fn guest_touch(&mut self, host_pid: u32, gpa: u64, write: bool, walk: Cycles) -> Cycles {
+    ///
+    /// # Errors
+    ///
+    /// See [`VirtError`]; the bridge counts the error and drops the touch.
+    fn guest_touch(
+        &mut self,
+        host_pid: u32,
+        gpa: u64,
+        write: bool,
+        walk: Cycles,
+    ) -> Result<Cycles, VirtError> {
         let vpn = Vpn(gpa);
         let mut cost = Cycles::ZERO;
         let mut guard = 0;
         loop {
             guard += 1;
-            assert!(guard <= 6, "host fault loop did not converge at gpa {gpa:#x}");
+            if guard > 6 {
+                return Err(VirtError::FaultLoopDiverged { gpa });
+            }
             let tr = {
-                let p = self.machine.process_mut(host_pid).expect("vm process");
+                let p = self
+                    .machine
+                    .process_mut(host_pid)
+                    .ok_or(VirtError::NoProcess { pid: host_pid })?;
                 p.space_mut().access(vpn, write)
             };
             match tr {
@@ -128,7 +196,7 @@ impl HostSide {
                             .frame_mut(t.pfn)
                             .set_content(PageContent::non_zero(6));
                     }
-                    return cost;
+                    return Ok(cost);
                 }
                 None => {
                     // Unmapped, swapped, or a write to a KSM-merged page.
@@ -139,10 +207,15 @@ impl HostSide {
                         .map(|t| t.zero_cow)
                         .unwrap_or(false);
                     if write && zero_cow {
-                        cost += self.fallible(host_pid, vpn, |hs, pid, v| {
-                            hs.machine.cow_fault(pid, v).map_err(|_| ())
-                        });
+                        let (c, _) = self.fallible(host_pid, vpn, |hs, pid, v| {
+                            hs.machine.cow_fault(pid, v).map(|c| (c, false)).map_err(|_| ())
+                        })?;
+                        cost += c;
                         self.stats.host_cow_faults += 1;
+                        self.machine.trace().emit(
+                            host_pid,
+                            TraceEvent::Fault { vpn: gpa, huge: false, cow: true, cycles: c.get() },
+                        );
                         continue;
                     }
                     if self.swapped.remove(&(host_pid, gpa)) {
@@ -151,45 +224,65 @@ impl HostSide {
                     }
                     // EPT violation: ask the host policy.
                     let action = self.policy.on_fault(&mut self.machine, host_pid, vpn);
-                    cost += self.apply_fault(host_pid, vpn, action);
+                    let (c, huge) = self.apply_fault(host_pid, vpn, action)?;
+                    cost += c;
                     self.stats.ept_faults += 1;
+                    self.machine.trace().emit(
+                        host_pid,
+                        TraceEvent::Fault { vpn: gpa, huge, cow: false, cycles: c.get() },
+                    );
                 }
             }
         }
     }
 
-    fn apply_fault(&mut self, pid: u32, vpn: Vpn, action: FaultAction) -> Cycles {
+    /// Returns the fault cost and whether the host mapped the page huge.
+    fn apply_fault(
+        &mut self,
+        pid: u32,
+        vpn: Vpn,
+        action: FaultAction,
+    ) -> Result<(Cycles, bool), VirtError> {
         match action {
-            FaultAction::MapBase => {
-                self.fallible(pid, vpn, |hs, pid, v| hs.machine.fault_map_base(pid, v).map_err(|_| ()))
-            }
-            FaultAction::MapHuge => self.fallible(pid, vpn, |hs, pid, v| {
-                hs.machine.fault_map_huge(pid, v).map(|(c, _)| c).map_err(|_| ())
+            FaultAction::MapBase => self.fallible(pid, vpn, |hs, pid, v| {
+                hs.machine.fault_map_base(pid, v).map(|c| (c, false)).map_err(|_| ())
             }),
-            FaultAction::MapBaseAt(pfn) => self.machine.fault_map_base_at(pid, vpn, pfn),
+            FaultAction::MapHuge => self.fallible(pid, vpn, |hs, pid, v| {
+                hs.machine.fault_map_huge(pid, v).map_err(|_| ())
+            }),
+            FaultAction::MapBaseAt(pfn) => {
+                Ok((self.machine.fault_map_base_at(pid, vpn, pfn), false))
+            }
         }
     }
 
     /// Runs a fallible host mapping operation, swapping pages out and
     /// retrying on memory exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtError::NothingEvictable`] when eviction frees nothing;
+    /// [`VirtError::Thrashing`] when retries exhaust without mapping.
     fn fallible(
         &mut self,
         pid: u32,
         vpn: Vpn,
-        mut op: impl FnMut(&mut Self, u32, Vpn) -> Result<Cycles, ()>,
-    ) -> Cycles {
+        mut op: impl FnMut(&mut Self, u32, Vpn) -> Result<(Cycles, bool), ()>,
+    ) -> Result<(Cycles, bool), VirtError> {
         let mut cost = Cycles::ZERO;
         for _ in 0..64 {
             match op(self, pid, vpn) {
-                Ok(c) => return cost + c,
+                Ok((c, huge)) => return Ok((cost + c, huge)),
                 Err(()) => {
                     let evicted = self.swap_out(1024, (pid, vpn.0));
-                    assert!(evicted > 0, "host out of memory with nothing evictable");
+                    if evicted == 0 {
+                        return Err(VirtError::NothingEvictable);
+                    }
                     cost += self.cfg.swap_out * evicted;
                 }
             }
         }
-        panic!("host thrashing: could not free memory for {vpn}");
+        Err(VirtError::Thrashing { gpa: vpn.0 })
     }
 
     /// Evicts up to `want` host base pages to swap, round-robin across
@@ -203,16 +296,15 @@ impl HostSide {
             self.evict_rr += 1;
             attempts += 1;
             // Demote one huge mapping if no base pages are available.
-            let victims: Vec<Vpn> = {
-                let p = self.machine.process(pid).expect("vm process");
-                p.space()
-                    .page_table()
-                    .base_mappings()
-                    .filter(|(v, e)| !(e.zero_cow || (pid == protect.0 && v.0 == protect.1)))
-                    .map(|(v, _)| v)
-                    .take((want - evicted) as usize)
-                    .collect()
-            };
+            let Some(p) = self.machine.process(pid) else { continue };
+            let victims: Vec<Vpn> = p
+                .space()
+                .page_table()
+                .base_mappings()
+                .filter(|(v, e)| !(e.zero_cow || (pid == protect.0 && v.0 == protect.1)))
+                .map(|(v, _)| v)
+                .take((want - evicted) as usize)
+                .collect();
             if victims.is_empty() {
                 let huge: Option<Hvpn> = self
                     .machine
@@ -224,13 +316,8 @@ impl HostSide {
                 continue;
             }
             for v in victims {
-                let e = self
-                    .machine
-                    .process_mut(pid)
-                    .expect("vm process")
-                    .space_mut()
-                    .unmap_base(v)
-                    .expect("victim listed");
+                let Some(p) = self.machine.process_mut(pid) else { break };
+                let Ok(e) = p.space_mut().unmap_base(v) else { continue };
                 self.machine.pm_mut().free(e.pfn, hawkeye_mem::Order(0));
                 self.machine.mmu_mut().invalidate_page(pid, v);
                 self.swapped.insert((pid, v.0));
@@ -257,7 +344,16 @@ impl AccessHook for HostBridge {
         write: bool,
         walk: Cycles,
     ) -> Cycles {
-        self.host.lock().expect("host mutex").guest_touch(self.host_pid, pfn.0, write, walk)
+        let mut host = self.host.lock().expect("host mutex poisoned");
+        match host.guest_touch(self.host_pid, pfn.0, write, walk) {
+            Ok(cost) => cost,
+            Err(_) => {
+                // Degrade instead of aborting the suite: the touch is
+                // dropped and the error surfaces in the stats.
+                host.stats.bridge_errors += 1;
+                Cycles::ZERO
+            }
+        }
     }
 }
 
@@ -459,23 +555,13 @@ impl VirtSystem {
                     // splits it first (exactly the paper's observation
                     // that ballooning and THP conflict).
                     host.machine.demote(host_pid, vpn.hvpn());
-                    let e = host
-                        .machine
-                        .process_mut(host_pid)
-                        .expect("vm process")
-                        .space_mut()
-                        .unmap_base(vpn)
-                        .expect("split created entry");
+                    let Some(p) = host.machine.process_mut(host_pid) else { continue };
+                    let Ok(e) = p.space_mut().unmap_base(vpn) else { continue };
                     host.machine.pm_mut().free(e.pfn, hawkeye_mem::Order(0));
                 }
                 PageSize::Base => {
-                    let _ = host
-                        .machine
-                        .process_mut(host_pid)
-                        .expect("vm process")
-                        .space_mut()
-                        .unmap_base(vpn)
-                        .expect("mapping listed");
+                    let Some(p) = host.machine.process_mut(host_pid) else { continue };
+                    let Ok(_) = p.space_mut().unmap_base(vpn) else { continue };
                     if !zero_cow {
                         host.machine.pm_mut().free(pfn, hawkeye_mem::Order(0));
                     }
@@ -518,12 +604,12 @@ impl VirtSystem {
                 }).unwrap_or(false);
             if host_huge {
                 // Sync content, then let the kernel primitive do the work.
-                let base_pfn = host
+                let mapping = host
                     .machine
                     .process(host_pid)
-                    .and_then(|p| p.space().translate(region.base_vpn()))
-                    .expect("huge mapping present")
-                    .pfn;
+                    .and_then(|p| p.space().translate(region.base_vpn()));
+                let Some(t) = mapping else { continue };
+                let base_pfn = t.pfn;
                 for i in 0..512u64 {
                     let content = if zero_gpas.contains(&(region.vpn_at(i).0)) {
                         PageContent::Zero
@@ -550,10 +636,12 @@ impl VirtSystem {
                         continue;
                     }
                     let zero_pfn = host.machine.zero_pfn();
-                    let space =
-                        host.machine.process_mut(host_pid).expect("vm process").space_mut();
-                    space.unmap_base(vpn).expect("entry present");
-                    space.map_zero_cow(vpn, zero_pfn).expect("just unmapped");
+                    let Some(p) = host.machine.process_mut(host_pid) else { continue };
+                    let space = p.space_mut();
+                    if space.unmap_base(vpn).is_err() {
+                        continue;
+                    }
+                    let Ok(()) = space.map_zero_cow(vpn, zero_pfn) else { continue };
                     host.machine.pm_mut().free(e.pfn, hawkeye_mem::Order(0));
                     host.machine.mmu_mut().invalidate_page(host_pid, vpn);
                     host.stats.ksm_merged += 1;
@@ -598,6 +686,22 @@ mod tests {
         assert_send::<VirtSystem>();
         assert_send::<HostBridge>();
         assert_send::<VirtStats>();
+    }
+
+    #[test]
+    fn missing_host_process_degrades_instead_of_panicking() {
+        // Regression: a bridge touch against a pid the host never spawned
+        // used to abort via `.expect("vm process")`. It must now count a
+        // bridge error, charge zero cycles, and leave the system usable.
+        let sys = VirtSystem::new(KernelConfig::small(), Box::new(LinuxThp::default()));
+        let mut bridge = HostBridge { host: Arc::clone(&sys.host), host_pid: 999 };
+        let cost = bridge.on_touch(1, Vpn(0), Pfn(0), PageSize::Base, true, Cycles::ZERO);
+        assert_eq!(cost, Cycles::ZERO);
+        assert_eq!(sys.virt_stats().bridge_errors, 1);
+        // The underlying error is typed and printable.
+        let err = sys.host().guest_touch(999, 0, false, Cycles::ZERO).unwrap_err();
+        assert_eq!(err, VirtError::NoProcess { pid: 999 });
+        assert!(err.to_string().contains("999"));
     }
 
     #[test]

@@ -23,6 +23,16 @@ cargo test -p hawkeye-bench --test determinism -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Non-test library code in the simulation stack must not unwrap: a
+# panic inside the kernel/VM layers would take down a whole bench
+# scenario. `--lib` scopes the lint to non-test library code: unit
+# tests (#[cfg(test)] modules), integration tests, and benches are
+# exempt and may unwrap freely.
+echo "==> cargo clippy --lib -- -D clippy::unwrap_used (core crates)"
+cargo clippy -p hawkeye-metrics -p hawkeye-mem -p hawkeye-vm -p hawkeye-tlb \
+    -p hawkeye-trace -p hawkeye-kernel -p hawkeye-virt -p hawkeye-bench \
+    --lib -- -D clippy::unwrap_used
+
 # Touch-throughput smoke: --quick scales the run down to 1 M touches per
 # shape and asserts each finishes inside a 30 s budget, so a fast-path
 # regression (e.g. the streak batcher silently falling back to the
