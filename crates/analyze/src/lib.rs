@@ -1,0 +1,514 @@
+//! `hawkeye-analyze`: offline analysis of bench trace journals.
+//!
+//! The bench harness (run with `HAWKEYE_TRACE=1`) writes
+//! `target/bench-results/<target>.trace.json` — every scenario's event
+//! journal, flattened to `{t, pid, machine, kind, <payload>}` rows. This
+//! crate loads those documents back into typed
+//! [`hawkeye_trace::TraceRecord`]s and renders per-scenario reports:
+//!
+//! * **Cycle attribution** — the final [`TraceEvent::CycleSample`] per
+//!   machine gives the exact subsystem breakdown of `CPU_CLK_UNHALTED`
+//!   (Table 4's denominator), printed as a text flamegraph. The residue
+//!   (`unhalted − Σ cpu subsystems`) must be zero for every
+//!   simulator-driven machine; [`residues`] checks every sample, and the
+//!   `--check` CLI flag turns any violation into a failing exit.
+//! * **Event latency** — log-bucketed service-time and interarrival
+//!   histograms (p50/p90/p99) for fault and promotion events.
+//! * **MMU overhead over time** — per-pid overhead series reconstructed
+//!   from `QuantumEnd` PMU windows and merged time-sorted per machine.
+//!
+//! Everything is integer- or shortest-roundtrip-f64-deterministic: the
+//! same journal bytes always produce the same report bytes, and journals
+//! themselves are byte-identical at any bench worker count.
+
+pub mod json;
+
+use hawkeye_metrics::{Cycles, LogHistogram, TimeSeries};
+use hawkeye_trace::{TraceEvent, TraceRecord};
+
+use json::Value;
+
+/// One parsed `.trace.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDoc {
+    /// The bench target the document came from.
+    pub target: String,
+    /// Scenario journals in submission order.
+    pub scenarios: Vec<ScenarioTrace>,
+}
+
+/// One scenario's journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioTrace {
+    /// Scenario name.
+    pub name: String,
+    /// Records the bounded ring overwrote before the journal was drained.
+    pub dropped: u64,
+    /// Records in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Parses a `.trace.json` document produced by the bench harness back
+/// into typed records. Unknown event kinds and malformed payloads are
+/// errors — the journal format and [`TraceEvent::from_fields`] evolve
+/// together, so a mismatch means reader and writer are out of sync.
+pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
+    let doc = json::parse(text)?;
+    let target = doc
+        .get("target")
+        .and_then(Value::as_str)
+        .ok_or("missing \"target\"")?
+        .to_string();
+    let mut scenarios = Vec::new();
+    for (i, s) in doc
+        .get("scenarios")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"scenarios\"")?
+        .iter()
+        .enumerate()
+    {
+        let name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("scenario {i}: missing \"name\""))?
+            .to_string();
+        let dropped = s
+            .get("dropped")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("scenario {name}: missing \"dropped\""))?;
+        let mut records = Vec::new();
+        for (j, e) in s
+            .get("events")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("scenario {name}: missing \"events\""))?
+            .iter()
+            .enumerate()
+        {
+            records.push(parse_record(e).map_err(|m| format!("scenario {name}, event {j}: {m}"))?);
+        }
+        scenarios.push(ScenarioTrace { name, dropped, records });
+    }
+    Ok(TraceDoc { target, scenarios })
+}
+
+fn parse_record(e: &Value) -> Result<TraceRecord, String> {
+    let need = |key: &str| e.get(key).and_then(Value::as_u64).ok_or(format!("missing \"{key}\""));
+    let kind = e.get("kind").and_then(Value::as_str).ok_or("missing \"kind\"")?;
+    let fields: Vec<(String, u64)> = e
+        .as_obj()
+        .ok_or("event is not an object")?
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "t" | "pid" | "machine" | "kind"))
+        .map(|(k, v)| {
+            v.as_u64().map(|n| (k.clone(), n)).ok_or(format!("field \"{k}\" is not a u64"))
+        })
+        .collect::<Result<_, _>>()?;
+    let event = TraceEvent::from_fields(kind, &fields)
+        .ok_or_else(|| format!("unknown or incomplete event kind \"{kind}\""))?;
+    Ok(TraceRecord {
+        at: Cycles::new(need("t")?),
+        pid: need("pid")? as u32,
+        machine: need("machine")? as u32,
+        event,
+    })
+}
+
+/// One machine's final cumulative cycle breakdown, read from its last
+/// [`TraceEvent::CycleSample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Per-scope machine id.
+    pub machine: u32,
+    /// CPU-ledger cycles per subsystem, in `Subsystem::ALL` order
+    /// (walk, fault, zero, copy, scan, compact, dedup, idle).
+    pub cpu: [u64; 8],
+    /// `CPU_CLK_UNHALTED` at the sample.
+    pub unhalted: u64,
+    /// Daemon-ledger total at the sample.
+    pub daemon: u64,
+}
+
+/// Subsystem labels matching [`CycleBreakdown::cpu`] order.
+pub const SUBSYSTEMS: [&str; 8] =
+    ["walk", "fault", "zero", "copy", "scan", "compact", "dedup", "idle"];
+
+impl CycleBreakdown {
+    fn from_sample(machine: u32, event: &TraceEvent) -> Option<CycleBreakdown> {
+        let TraceEvent::CycleSample {
+            walk,
+            fault,
+            zero,
+            copy,
+            scan,
+            compact,
+            dedup,
+            idle,
+            unhalted,
+            daemon,
+        } = *event
+        else {
+            return None;
+        };
+        Some(CycleBreakdown {
+            machine,
+            cpu: [walk, fault, zero, copy, scan, compact, dedup, idle],
+            unhalted,
+            daemon,
+        })
+    }
+
+    /// Sum of the CPU ledger.
+    pub fn cpu_total(&self) -> u64 {
+        self.cpu.iter().sum()
+    }
+
+    /// `unhalted − Σ cpu`: exactly 0 for simulator-driven machines.
+    pub fn residue(&self) -> i128 {
+        self.unhalted as i128 - self.cpu_total() as i128
+    }
+}
+
+/// The final cycle breakdown of every machine that emitted a
+/// `cycle_sample`, in machine-id order.
+pub fn breakdowns(s: &ScenarioTrace) -> Vec<CycleBreakdown> {
+    let mut last: Vec<CycleBreakdown> = Vec::new();
+    for r in &s.records {
+        if let Some(b) = CycleBreakdown::from_sample(r.machine, &r.event) {
+            match last.iter_mut().find(|x| x.machine == r.machine) {
+                Some(slot) => *slot = b,
+                None => last.push(b),
+            }
+        }
+    }
+    last.sort_by_key(|b| b.machine);
+    last
+}
+
+/// Service-time and interarrival histograms for one event kind.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    /// Cycles charged per event (the `cycles` payload field).
+    pub service: LogHistogram,
+    /// Simulated cycles between consecutive events on the same machine.
+    pub interarrival: LogHistogram,
+}
+
+/// Latency statistics for `kind` (`"fault"` or `"promote"`) across one
+/// scenario. Interarrival is measured per machine so co-hosted machines
+/// (virtualization scenarios) don't contaminate each other's gaps.
+pub fn latency(s: &ScenarioTrace, kind: &str) -> LatencyStats {
+    let mut stats = LatencyStats::default();
+    let mut last_at: Vec<(u32, u64)> = Vec::new();
+    for r in &s.records {
+        let cycles = match (&r.event, kind) {
+            (TraceEvent::Fault { cycles, .. }, "fault") => *cycles,
+            (TraceEvent::Promote { cycles, .. }, "promote") => *cycles,
+            _ => continue,
+        };
+        stats.service.observe(cycles);
+        match last_at.iter_mut().find(|(m, _)| *m == r.machine) {
+            Some((_, prev)) => {
+                stats.interarrival.observe(r.at.get().saturating_sub(*prev));
+                *prev = r.at.get();
+            }
+            None => last_at.push((r.machine, r.at.get())),
+        }
+    }
+    stats
+}
+
+/// MMU overhead over time for one scenario, reconstructed from
+/// `QuantumEnd` PMU windows: per-(machine, pid) series of
+/// `(load_walk + store_walk) / unhalted` (as a percentage), merged
+/// time-sorted into one series. Empty windows are skipped.
+pub fn mmu_overhead_series(s: &ScenarioTrace) -> TimeSeries {
+    let mut per_pid: Vec<((u32, u32), TimeSeries)> = Vec::new();
+    for r in &s.records {
+        let TraceEvent::QuantumEnd { load_walk, store_walk, unhalted, .. } = r.event else {
+            continue;
+        };
+        if unhalted == 0 {
+            continue;
+        }
+        let pct = (load_walk + store_walk) as f64 * 100.0 / unhalted as f64;
+        let key = (r.machine, r.pid);
+        let series = match per_pid.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, series)) => series,
+            None => {
+                per_pid.push((key, TimeSeries::new(format!("m{}.pid{}", key.0, key.1))));
+                &mut per_pid.last_mut().expect("just pushed").1
+            }
+        };
+        series.push(r.at.as_secs(), pct);
+    }
+    per_pid.sort_by_key(|(k, _)| *k);
+    per_pid
+        .into_iter()
+        .map(|(_, s)| s)
+        .reduce(|acc, s| acc.merge_sorted(&s, "mmu_overhead_pct"))
+        .unwrap_or_else(|| TimeSeries::new("mmu_overhead_pct"))
+}
+
+/// Residue audit over *every* `cycle_sample` in a document (not just the
+/// final one per machine): samples with `unhalted == 0` are skipped (the
+/// virtualization host machine is driven outside the scheduler and never
+/// records unhalted cycles), everything else must attribute exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidueReport {
+    /// `cycle_sample` events inspected.
+    pub samples: u64,
+    /// Violations: `(scenario, machine, residue)`.
+    pub nonzero: Vec<(String, u32, i128)>,
+}
+
+/// Audits every cycle sample in the document. See [`ResidueReport`].
+pub fn residues(doc: &TraceDoc) -> ResidueReport {
+    let mut report = ResidueReport::default();
+    for s in &doc.scenarios {
+        for r in &s.records {
+            let Some(b) = CycleBreakdown::from_sample(r.machine, &r.event) else { continue };
+            report.samples += 1;
+            if b.unhalted == 0 {
+                continue;
+            }
+            let residue = b.residue();
+            if residue != 0
+                && !report
+                    .nonzero
+                    .iter()
+                    .any(|(n, m, res)| n == &s.name && *m == b.machine && *res == residue)
+            {
+                report.nonzero.push((s.name.clone(), b.machine, residue));
+            }
+        }
+    }
+    report
+}
+
+fn bar(frac: f64) -> String {
+    let n = (frac * 40.0).round().clamp(0.0, 40.0) as usize;
+    "#".repeat(n)
+}
+
+fn pct_line(out: &mut String, label: &str, cycles: u64, total: u64) {
+    let frac = if total == 0 { 0.0 } else { cycles as f64 / total as f64 };
+    out.push_str(&format!(
+        "    {label:<8} {cycles:>16}  {:>6.2}%  |{}\n",
+        frac * 100.0,
+        bar(frac)
+    ));
+}
+
+fn hist_line(out: &mut String, label: &str, h: &LogHistogram) {
+    if h.count() == 0 {
+        out.push_str(&format!("    {label:<14} (no events)\n"));
+        return;
+    }
+    out.push_str(&format!(
+        "    {label:<14} n={:<8} p50={:<12} p90={:<12} p99={:<12} max={}\n",
+        h.count(),
+        h.percentile(50.0),
+        h.percentile(90.0),
+        h.percentile(99.0),
+        h.max(),
+    ));
+}
+
+/// Renders the full deterministic text report for one document.
+pub fn report(doc: &TraceDoc) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== hawkeye-analyze: {} ==\n", doc.target));
+    for s in &doc.scenarios {
+        out.push_str(&format!(
+            "\n-- {} ({} events{}) --\n",
+            s.name,
+            s.records.len(),
+            if s.dropped > 0 {
+                format!(", {} dropped by the ring", s.dropped)
+            } else {
+                String::new()
+            },
+        ));
+        let breakdowns = breakdowns(s);
+        if breakdowns.is_empty() {
+            out.push_str("  cycle attribution: no cycle_sample events\n");
+        }
+        for b in &breakdowns {
+            out.push_str(&format!(
+                "  machine {}: unhalted={} residue={} daemon={}\n",
+                b.machine,
+                b.unhalted,
+                b.residue(),
+                b.daemon,
+            ));
+            for (label, cycles) in SUBSYSTEMS.iter().zip(b.cpu.iter()) {
+                pct_line(&mut out, label, *cycles, b.unhalted);
+            }
+        }
+        out.push_str("  latency (cycles):\n");
+        for kind in ["fault", "promote"] {
+            let l = latency(s, kind);
+            hist_line(&mut out, &format!("{kind} service"), &l.service);
+            hist_line(&mut out, &format!("{kind} gap"), &l.interarrival);
+        }
+        let series = mmu_overhead_series(s);
+        if series.is_empty() {
+            out.push_str("  mmu overhead: no quantum_end windows\n");
+        } else {
+            out.push_str(&format!(
+                "  mmu overhead over time ({} windows):\n",
+                series.len()
+            ));
+            for sample in series.downsample(8) {
+                out.push_str(&format!(
+                    "    t={:>10.4}s  {:>7.3}%  |{}\n",
+                    sample.secs,
+                    sample.value,
+                    bar(sample.value / 100.0)
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, pid: u32, machine: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord { at: Cycles::new(at), pid, machine, event }
+    }
+
+    fn sample(walk: u64, idle: u64, unhalted: u64) -> TraceEvent {
+        TraceEvent::CycleSample {
+            walk,
+            fault: 0,
+            zero: 0,
+            copy: 0,
+            scan: 0,
+            compact: 0,
+            dedup: 0,
+            idle,
+            unhalted,
+            daemon: 0,
+        }
+    }
+
+    fn doc(records: Vec<TraceRecord>) -> TraceDoc {
+        TraceDoc {
+            target: "t".into(),
+            scenarios: vec![ScenarioTrace { name: "s".into(), dropped: 0, records }],
+        }
+    }
+
+    #[test]
+    fn breakdowns_keep_last_sample_per_machine() {
+        let d = doc(vec![
+            rec(10, 0, 0, sample(1, 1, 2)),
+            rec(10, 0, 1, sample(5, 5, 10)),
+            rec(20, 0, 0, sample(3, 7, 10)),
+        ]);
+        let b = breakdowns(&d.scenarios[0]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].machine, 0);
+        assert_eq!(b[0].cpu[0], 3, "last sample wins");
+        assert_eq!(b[0].residue(), 0);
+        assert_eq!(b[1].unhalted, 10);
+    }
+
+    #[test]
+    fn residues_flag_unattributed_cycles_and_skip_hosts() {
+        let d = doc(vec![
+            rec(10, 0, 0, sample(1, 1, 3)),
+            rec(20, 0, 0, sample(1, 1, 3)),
+            // A host-style machine: charges but no unhalted — skipped.
+            rec(20, 0, 1, sample(9, 0, 0)),
+        ]);
+        let r = residues(&d);
+        assert_eq!(r.samples, 3);
+        assert_eq!(r.nonzero, vec![("s".to_string(), 0, 1)], "duplicates collapse");
+    }
+
+    #[test]
+    fn latency_tracks_service_and_gaps_per_machine() {
+        let fault = |c| TraceEvent::Fault { vpn: 1, huge: false, cow: false, cycles: c };
+        let d = doc(vec![
+            rec(100, 1, 0, fault(1000)),
+            rec(150, 1, 1, fault(2000)),
+            rec(400, 1, 0, fault(1000)),
+        ]);
+        let l = latency(&d.scenarios[0], "fault");
+        assert_eq!(l.service.count(), 3);
+        // One gap only: machine 0's 100→400; machine 1 saw a single event.
+        assert_eq!(l.interarrival.count(), 1);
+        assert_eq!(l.interarrival.max(), 300);
+        assert_eq!(latency(&d.scenarios[0], "promote").service.count(), 0);
+    }
+
+    #[test]
+    fn mmu_series_merges_pids_time_sorted() {
+        let qe = |lw, un| TraceEvent::QuantumEnd {
+            load_walk: lw,
+            store_walk: 0,
+            unhalted: un,
+            walks: 1,
+        };
+        let d = doc(vec![
+            rec(2_300_000, 1, 0, qe(10, 100)),
+            rec(4_600_000, 2, 0, qe(50, 100)),
+            rec(6_900_000, 1, 0, qe(20, 100)),
+            rec(9_200_000, 1, 0, qe(0, 0)), // empty window: skipped
+        ]);
+        let s = mmu_overhead_series(&d.scenarios[0]);
+        assert_eq!(s.len(), 3);
+        let secs: Vec<f64> = s.samples().iter().map(|x| x.secs).collect();
+        assert!(secs.windows(2).all(|w| w[0] <= w[1]), "time-sorted: {secs:?}");
+        assert_eq!(s.samples()[1].value, 50.0);
+    }
+
+    #[test]
+    fn parse_trace_round_trips_bench_shape() {
+        let text = r#"{"target":"demo","scenarios":[{"name":"a","dropped":0,"events":[
+            {"t":5,"pid":1,"machine":0,"kind":"fault","vpn":7,"huge":1,"cow":0,"cycles":6095},
+            {"t":9,"pid":0,"machine":0,"kind":"oom"}
+        ]}]}"#;
+        let d = parse_trace(text).expect("parse");
+        assert_eq!(d.target, "demo");
+        assert_eq!(d.scenarios[0].records.len(), 2);
+        assert_eq!(
+            d.scenarios[0].records[0].event,
+            TraceEvent::Fault { vpn: 7, huge: true, cow: false, cycles: 6095 }
+        );
+        assert_eq!(d.scenarios[0].records[1].event, TraceEvent::Oom);
+    }
+
+    #[test]
+    fn parse_trace_rejects_unknown_kinds() {
+        let text = r#"{"target":"demo","scenarios":[{"name":"a","dropped":0,"events":[
+            {"t":5,"pid":1,"machine":0,"kind":"mystery"}
+        ]}]}"#;
+        let err = parse_trace(text).expect_err("must reject");
+        assert!(err.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_mentions_every_section() {
+        let d = doc(vec![
+            rec(10, 0, 0, sample(400, 600, 1000)),
+            rec(15, 1, 0, TraceEvent::Fault { vpn: 1, huge: false, cow: false, cycles: 900 }),
+            rec(
+                20,
+                1,
+                0,
+                TraceEvent::QuantumEnd { load_walk: 10, store_walk: 5, unhalted: 100, walks: 2 },
+            ),
+        ]);
+        let r1 = report(&d);
+        let r2 = report(&d);
+        assert_eq!(r1, r2);
+        for needle in ["hawkeye-analyze: t", "machine 0", "walk", "fault service", "mmu overhead"] {
+            assert!(r1.contains(needle), "missing {needle:?} in:\n{r1}");
+        }
+    }
+}

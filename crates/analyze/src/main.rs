@@ -1,0 +1,92 @@
+//! CLI for [`hawkeye_analyze`]: load one or more `.trace.json` journals
+//! and print their reports.
+//!
+//! ```text
+//! hawkeye-analyze [--check] <file.trace.json>...
+//! ```
+//!
+//! `--check` turns the run into a gate (used by `scripts/ci.sh`): exit
+//! nonzero if any file fails to parse, contains no `cycle_sample` events
+//! (the attribution pipeline silently off is a failure, not a pass), or
+//! leaves unattributed cycles (nonzero residue on a scheduler-driven
+//! machine).
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: hawkeye-analyze [--check] <file.trace.json>...\n\
+     \n\
+     Prints per-scenario cycle attribution, fault/promotion latency\n\
+     histograms, and MMU-overhead-over-time reconstructed from a bench\n\
+     trace journal (produced by HAWKEYE_TRACE=1 cargo bench ...).\n\
+     \n\
+     --check   exit nonzero on parse errors, missing cycle_sample\n\
+     \x20         events, or nonzero cycle-attribution residue\n"
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprint!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("hawkeye-analyze: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match hawkeye_analyze::parse_trace(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("hawkeye-analyze: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        print!("{}", hawkeye_analyze::report(&doc));
+        if check {
+            let audit = hawkeye_analyze::residues(&doc);
+            if audit.samples == 0 {
+                eprintln!(
+                    "hawkeye-analyze: {path}: no cycle_sample events — \
+                     was the registry attached?"
+                );
+                failed = true;
+            }
+            for (scenario, machine, residue) in &audit.nonzero {
+                eprintln!(
+                    "hawkeye-analyze: {path}: scenario {scenario:?} machine \
+                     {machine}: {residue} unattributed cycles"
+                );
+                failed = true;
+            }
+            if !failed {
+                eprintln!(
+                    "hawkeye-analyze: {path}: {} cycle sample(s), zero residue",
+                    audit.samples
+                );
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end tests of the trace→analyze pipeline against the real bench
+//! writer: journals serialized by `hawkeye-bench` must parse back into
+//! structurally identical records (round-trip), and the analyzer's report
+//! must be byte-identical regardless of how many workers produced the
+//! journal (the bench determinism rule extends through the reader).
+
+use hawkeye_analyze::{parse_trace, report, residues};
+use hawkeye_bench::{run_one, run_scenarios_capturing, trace_json, PolicyKind, Scenario};
+use hawkeye_metrics::Cycles;
+use hawkeye_trace::{Journal, TraceEvent, TraceRecord};
+use hawkeye_workloads::AllocTouch;
+
+#[test]
+fn every_event_variant_round_trips_through_the_writer() {
+    let events = vec![
+        TraceEvent::Fault { vpn: 7, huge: true, cow: false, cycles: 6095 },
+        TraceEvent::Fault { vpn: u64::MAX >> 11, huge: false, cow: true, cycles: 0 },
+        TraceEvent::Promote { hvpn: 5, copied: 3, filled: 509, cycles: 123_456 },
+        TraceEvent::Demote { hvpn: 9, cycles: 0 },
+        TraceEvent::Compact { migrated: 128, huge_blocks: 4 },
+        TraceEvent::PreZero { pages: 512 },
+        TraceEvent::Dedup { hvpn: 1, zero_pages: 400, demoted: true, cycles: 77 },
+        TraceEvent::Oom,
+        TraceEvent::QuantumEnd { load_walk: 1, store_walk: 2, unhalted: 3, walks: 4 },
+        TraceEvent::CycleSample {
+            walk: 1,
+            fault: 2,
+            zero: 3,
+            copy: 4,
+            scan: 5,
+            compact: 6,
+            dedup: 7,
+            idle: 8,
+            unhalted: 36,
+            daemon: 9,
+        },
+    ];
+    let records: Vec<TraceRecord> = events
+        .into_iter()
+        .enumerate()
+        .map(|(i, event)| TraceRecord {
+            at: Cycles::new(i as u64 * 1000),
+            pid: i as u32 % 3,
+            machine: i as u32 % 2,
+            event,
+        })
+        .collect();
+    let journal = Journal { records: records.clone(), dropped: 2 };
+    let text = trace_json("roundtrip", &[("all-variants \"quoted\"".to_string(), journal)])
+        .to_string();
+    let doc = parse_trace(&text).expect("writer output must parse");
+    assert_eq!(doc.target, "roundtrip");
+    assert_eq!(doc.scenarios.len(), 1);
+    let s = &doc.scenarios[0];
+    assert_eq!(s.name, "all-variants \"quoted\"");
+    assert_eq!(s.dropped, 2);
+    assert_eq!(s.records, records, "records must survive the writer→parser trip");
+}
+
+/// Two policies, long enough (~280 simulated ms) that the 100 ms sampler
+/// emits `cycle_sample` snapshots into the journal. HawkEye-PMU also
+/// drains per-pid PMU windows, journaling the `quantum_end` events the
+/// MMU-overhead reconstruction reads.
+fn matrix() -> Vec<Scenario<u64>> {
+    [PolicyKind::Linux2m, PolicyKind::HawkEyePmu]
+        .into_iter()
+        .map(|kind| {
+            Scenario::new(kind.label(), move || {
+                run_one(kind, 64, Some((1.0, 0.55)), 10.0, Box::new(AllocTouch::new(4096, 30, 5000)))
+                    .faults()
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn analyzer_report_is_byte_identical_across_worker_counts() {
+    let (_, journals1, _) = run_scenarios_capturing(matrix(), 1);
+    let (_, journals8, _) = run_scenarios_capturing(matrix(), 8);
+    let text1 = trace_json("pipeline", &journals1).to_string();
+    let text8 = trace_json("pipeline", &journals8).to_string();
+    assert_eq!(text1, text8, "journal document must not depend on worker count");
+    let doc = parse_trace(&text1).expect("bench journal must parse");
+    let out1 = report(&doc);
+    let out8 = report(&parse_trace(&text8).expect("parse"));
+    assert_eq!(out1, out8, "analyzer report must not depend on worker count");
+    // The report carries all three sections for a real run.
+    for needle in ["machine 0", "residue=0", "fault service", "mmu overhead over time"] {
+        assert!(out1.contains(needle), "missing {needle:?} in report:\n{out1}");
+    }
+    // And the residue audit that `--check` runs is clean and non-trivial.
+    let audit = residues(&doc);
+    assert!(audit.samples > 0, "no cycle samples in a 280 ms run");
+    assert_eq!(audit.nonzero, vec![], "unattributed cycles");
+}

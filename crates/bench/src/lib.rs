@@ -21,8 +21,8 @@ pub mod scenario;
 
 pub use json::Json;
 pub use scenario::{
-    run_scenarios, run_scenarios_capturing, run_scenarios_with, trace_json, write_json, Report,
-    Row, Scenario,
+    cycles_json, run_scenarios, run_scenarios_capturing, run_scenarios_with,
+    take_metric_snapshots, trace_json, write_json, Report, Row, Scenario,
 };
 
 use hawkeye_core::{HawkEye, HawkEyeConfig};

@@ -15,6 +15,7 @@ use crate::json::{self, Json};
 use crate::pool::{self, Job};
 use crate::RunOutcome;
 use hawkeye_kernel::Simulator;
+use hawkeye_metrics::{registry, Registry, Subsystem};
 use hawkeye_trace::{scope, Journal};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -25,6 +26,12 @@ use std::time::Instant;
 /// in submission order, so trace output is deterministic at any worker
 /// count (same rule as table rows).
 static TRACE_JOURNALS: Mutex<Vec<(String, Journal)>> = Mutex::new(Vec::new());
+
+/// Per-scenario cycle-attribution registries, collected unconditionally
+/// (the registry's disabled-path guarantee means it cannot perturb the
+/// simulation) and drained by [`write_json`] into the summary's `cycles`
+/// section. Same submission-order rule as [`TRACE_JOURNALS`].
+static METRIC_SNAPSHOTS: Mutex<Vec<(String, Registry)>> = Mutex::new(Vec::new());
 
 /// One independent unit of a bench target: a named closure producing a
 /// result on a worker thread.
@@ -80,67 +87,95 @@ pub fn run_scenarios<T: Send + 'static>(scenarios: Vec<Scenario<T>>) -> Vec<T> {
 /// When `HAWKEYE_TRACE` is set, each scenario additionally records an
 /// event journal, queued for [`write_json`] to dump alongside the summary.
 pub fn run_scenarios_with<T: Send + 'static>(scenarios: Vec<Scenario<T>>, threads: usize) -> Vec<T> {
-    let (results, journals) = run_scenarios_inner(scenarios, threads, hawkeye_trace::env_enabled());
+    let (results, journals, registries) =
+        run_scenarios_inner(scenarios, threads, hawkeye_trace::env_enabled());
     if !journals.is_empty() {
         if let Ok(mut q) = TRACE_JOURNALS.lock() {
             q.extend(journals);
         }
     }
+    if !registries.is_empty() {
+        if let Ok(mut q) = METRIC_SNAPSHOTS.lock() {
+            q.extend(registries);
+        }
+    }
     results
 }
 
+/// Results plus the per-scenario artifacts captured alongside them: the
+/// event journals (named, in submission order, when tracing) and the
+/// cycle-attribution registries.
+pub type Captured<T> = (Vec<T>, Vec<(String, Journal)>, Vec<(String, Registry)>);
+
 /// Runs scenarios with tracing forced on (regardless of `HAWKEYE_TRACE`)
-/// and returns the per-scenario journals directly instead of queueing them
-/// for the trace dump. Used by tests that assert on trace contents.
+/// and returns the per-scenario journals and cycle-attribution registries
+/// directly instead of queueing them for the JSON dump. Used by tests that
+/// assert on trace or registry contents.
 pub fn run_scenarios_capturing<T: Send + 'static>(
     scenarios: Vec<Scenario<T>>,
     threads: usize,
-) -> (Vec<T>, Vec<(String, Journal)>) {
+) -> Captured<T> {
     run_scenarios_inner(scenarios, threads, true)
+}
+
+/// Drains the cycle-attribution registries queued by [`run_scenarios_with`]
+/// since the last drain ([`write_json`] calls this; tests may too).
+pub fn take_metric_snapshots() -> Vec<(String, Registry)> {
+    match METRIC_SNAPSHOTS.lock() {
+        Ok(mut q) => std::mem::take(&mut *q),
+        Err(_) => Vec::new(),
+    }
 }
 
 fn run_scenarios_inner<T: Send + 'static>(
     scenarios: Vec<Scenario<T>>,
     threads: usize,
     tracing: bool,
-) -> (Vec<T>, Vec<(String, Journal)>) {
+) -> Captured<T> {
     let n = scenarios.len();
     let t0 = Instant::now();
-    let (results, journals) = if tracing {
-        // Each job runs start-to-finish on one worker thread, so a
-        // thread-local trace scope around it captures exactly that
-        // scenario's events; `run_ordered` brings the journals back in
-        // submission order with the results.
-        let names: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
-        let jobs: Vec<Job<(T, Option<Journal>)>> = scenarios
-            .into_iter()
-            .map(|s| {
-                let job = s.job;
-                Box::new(move || {
+    // Each job runs start-to-finish on one worker thread, so thread-local
+    // scopes around it capture exactly that scenario's events and charges;
+    // `run_ordered` brings everything back in submission order with the
+    // results. The registry scope is always on — it never perturbs the
+    // simulation (the drift test pins this) and feeds the summary's
+    // `cycles` section; the trace scope costs a journal allocation per
+    // scenario and stays opt-in.
+    type Instrumented<T> = (T, Option<Journal>, Option<Registry>);
+    let names: Vec<String> = scenarios.iter().map(|s| s.name.clone()).collect();
+    let jobs: Vec<Job<Instrumented<T>>> = scenarios
+        .into_iter()
+        .map(|s| {
+            let job = s.job;
+            Box::new(move || {
+                registry::scope::begin();
+                if tracing {
                     scope::begin(hawkeye_trace::DEFAULT_CAPACITY);
-                    let result = job();
-                    (result, scope::end())
-                }) as Job<(T, Option<Journal>)>
-            })
-            .collect();
-        let mut results = Vec::with_capacity(n);
-        let mut journals = Vec::new();
-        for (name, (result, journal)) in names.into_iter().zip(pool::run_ordered(jobs, threads)) {
-            results.push(result);
-            if let Some(j) = journal {
-                journals.push((name, j));
-            }
+                }
+                let result = job();
+                let journal = if tracing { scope::end() } else { None };
+                (result, journal, registry::scope::end())
+            }) as Job<Instrumented<T>>
+        })
+        .collect();
+    let mut results = Vec::with_capacity(n);
+    let mut journals = Vec::new();
+    let mut registries = Vec::new();
+    for (name, (result, journal, reg)) in names.into_iter().zip(pool::run_ordered(jobs, threads)) {
+        results.push(result);
+        if let Some(j) = journal {
+            journals.push((name.clone(), j));
         }
-        (results, journals)
-    } else {
-        (pool::run_ordered(scenarios.into_iter().map(|s| s.job).collect(), threads), Vec::new())
-    };
+        if let Some(r) = reg {
+            registries.push((name, r));
+        }
+    }
     eprintln!(
         "[scenario-engine] {n} scenario(s) on {} worker(s) in {:.2}s",
         threads.min(n.max(1)),
         t0.elapsed().as_secs_f64()
     );
-    (results, journals)
+    (results, journals, registries)
 }
 
 /// The `.trace.json` document for one target: every scenario's journal in
@@ -174,6 +209,80 @@ pub fn trace_json(target: &str, journals: &[(String, Journal)]) -> Json {
         })
         .collect();
     Json::obj(vec![("target", Json::str(target)), ("scenarios", Json::Arr(scenarios))])
+}
+
+/// The `cycles` section of a JSON summary: for every scenario, each
+/// machine's exact cycle attribution — `CPU_CLK_UNHALTED`, the residue it
+/// leaves after subtracting the CPU ledger (`null` when the machine never
+/// recorded unhalted cycles, e.g. the virtualization host), both ledgers
+/// by subsystem, plus non-cycle counters, gauges, and histogram
+/// percentiles. Deterministic: registries arrive in submission order and
+/// every map inside them iterates in key order.
+pub fn cycles_json(snapshots: &[(String, Registry)]) -> Json {
+    let scenarios = snapshots
+        .iter()
+        .map(|(name, reg)| {
+            let machines = reg
+                .machines()
+                .map(|(id, m)| {
+                    let ledger = |keyed: &dyn Fn(Subsystem) -> u64| {
+                        Json::obj(
+                            Subsystem::ALL.iter().map(|s| (s.name(), Json::int(keyed(*s)))).collect(),
+                        )
+                    };
+                    let counters: Vec<(&str, Json)> = m
+                        .counters()
+                        .filter(|(k, _)| !k.starts_with("cycles."))
+                        .map(|(k, v)| (k, Json::int(v)))
+                        .collect();
+                    let gauges: Vec<(&str, Json)> =
+                        m.gauges().map(|(k, v)| (k, Json::num(v))).collect();
+                    let hists: Vec<(&str, Json)> = m
+                        .hists()
+                        .map(|(k, h)| {
+                            (
+                                k,
+                                Json::obj(vec![
+                                    ("count", Json::int(h.count())),
+                                    ("mean", Json::int(h.mean())),
+                                    ("p50", Json::int(h.percentile(50.0))),
+                                    ("p90", Json::int(h.percentile(90.0))),
+                                    ("p99", Json::int(h.percentile(99.0))),
+                                    ("max", Json::int(h.max())),
+                                ]),
+                            )
+                        })
+                        .collect();
+                    let residue = if m.unhalted() == 0 {
+                        Json::Null
+                    } else {
+                        Json::num(m.residue() as f64)
+                    };
+                    Json::obj(vec![
+                        ("machine", Json::int(id as u64)),
+                        ("unhalted", Json::int(m.unhalted())),
+                        ("residue", residue),
+                        ("cpu", ledger(&|s| m.cpu_cycles(s))),
+                        ("daemon", ledger(&|s| m.daemon_cycles(s))),
+                        ("counters", Json::Obj(
+                            counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                        )),
+                        ("gauges", Json::Obj(
+                            gauges.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                        )),
+                        ("hist", Json::Obj(
+                            hists.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                        )),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("scenario", Json::str(name.clone())),
+                ("machines", Json::Arr(machines)),
+            ])
+        })
+        .collect();
+    Json::Arr(scenarios)
 }
 
 /// One table row produced by a scenario: formatted cells, headline
@@ -289,7 +398,15 @@ impl Report {
 /// Multi-section targets (ablations) assemble their own [`Json`] and call
 /// this once.
 pub fn write_json(target: &str, json: &Json) {
-    match json::write_results(target, json) {
+    let snapshots = take_metric_snapshots();
+    let json = if snapshots.is_empty() {
+        json.clone()
+    } else {
+        let mut j = json.clone();
+        j.push("cycles", cycles_json(&snapshots));
+        j
+    };
+    match json::write_results(target, &json) {
         Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
         Err(e) => eprintln!("[scenario-engine] could not write {target}.json: {e}"),
     }

@@ -79,8 +79,8 @@ fn trace_journals_match_at_one_and_eight_workers() {
     // the serialized `.trace.json` document is byte-identical at any
     // worker count. Tracing is forced through the capturing API, not the
     // `HAWKEYE_TRACE` environment variable, keeping the test race-free.
-    let (_, journals1) = run_scenarios_capturing(matrix(), 1);
-    let (_, journals8) = run_scenarios_capturing(matrix(), 8);
+    let (_, journals1, _) = run_scenarios_capturing(matrix(), 1);
+    let (_, journals8, _) = run_scenarios_capturing(matrix(), 8);
     let doc1 = trace_json("determinism_matrix", &journals1).to_string();
     let doc8 = trace_json("determinism_matrix", &journals8).to_string();
     assert_eq!(doc1, doc8, "trace document must not depend on worker count");

@@ -1,10 +1,12 @@
 //! Zero-counter-drift guarantee of the trace layer (PR 1-style
 //! differential tests): the same simulation must produce bit-identical
 //! results with tracing off and with a live trace scope — instrumentation
-//! may observe, never perturb.
+//! may observe, never perturb. The cycle-attribution registry makes the
+//! same promise, checked the same way.
 
 use hawkeye_bench::{run_one, PolicyKind};
 use hawkeye_kernel::KernelStats;
+use hawkeye_metrics::{registry, Registry};
 use hawkeye_trace::{scope, Journal, TraceEvent};
 use hawkeye_workloads::Spinup;
 
@@ -75,4 +77,39 @@ fn traced_rerun_is_itself_deterministic() {
     let (_, a) = run_traced(PolicyKind::HawkEyeG);
     let (_, b) = run_traced(PolicyKind::HawkEyeG);
     assert_eq!(a, b, "identical traced runs must produce identical journals");
+}
+
+fn run_metered(kind: PolicyKind) -> (Observed, Registry) {
+    registry::scope::begin();
+    let observed = run(kind);
+    let reg = registry::scope::end().expect("registry scope was open");
+    (observed, reg)
+}
+
+#[test]
+fn registry_does_not_perturb_counters() {
+    // Same differential as tracing: registry on vs. off must leave fault
+    // counts, exec/cpu seconds, MMU overhead, and every kernel stat
+    // bit-identical — charging the ledgers only observes.
+    for kind in [PolicyKind::Linux2m, PolicyKind::HawkEyeG] {
+        let off = run(kind);
+        let (on, reg) = run_metered(kind);
+        assert_eq!(off.faults, on.faults, "{kind:?}: fault count drifted");
+        assert_eq!(off.exec_secs_bits, on.exec_secs_bits, "{kind:?}: exec time drifted");
+        assert_eq!(off.cpu_secs_bits, on.cpu_secs_bits, "{kind:?}: cpu time drifted");
+        assert_eq!(
+            off.mmu_overhead_bits, on.mmu_overhead_bits,
+            "{kind:?}: MMU overhead drifted"
+        );
+        assert_eq!(off.kernel_stats, on.kernel_stats, "{kind:?}: kernel stats drifted");
+        // And the registry actually collected a consistent ledger.
+        let m = reg.machine(0).expect("machine attached");
+        assert!(m.unhalted() > 0, "{kind:?}: no unhalted cycles");
+        assert_eq!(m.residue(), 0, "{kind:?}: unattributed cycles");
+        assert_eq!(
+            m.daemon_total(),
+            on.kernel_stats.daemon_cycles.get(),
+            "{kind:?}: daemon ledger mismatch"
+        );
+    }
 }

@@ -124,6 +124,7 @@ impl BloatRecovery {
             }
         }
         self.recovered_pages += recovered;
+        m.metrics().add("scan.bloat_recovered_pages", recovered);
         recovered
     }
 

@@ -129,6 +129,9 @@ impl HawkEye {
         let alpha = self.cfg.ema_alpha;
         for pid in m.running_pids() {
             let regions = Self::candidate_regions(m, pid);
+            // Counter only: access-bit sampling reads PTE bits the hardware
+            // maintains, so the model charges it no cycles (§3.3).
+            m.metrics().add("scan.sampled_regions", regions.len() as u64);
             let map = self.maps.entry(pid).or_insert_with(|| AccessMap::new(alpha));
             for h in regions {
                 let p = m.process_mut(pid).expect("running");

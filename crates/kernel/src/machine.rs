@@ -21,7 +21,7 @@ use hawkeye_mem::{
     compact, AllocPref, Allocation, FrameKind, Order, OwnerTag, PageContent, Pfn, PhysMemory,
     HUGE_ORDER,
 };
-use hawkeye_metrics::{Cycles, Recorder, SimClock};
+use hawkeye_metrics::{Cycles, MetricsSink, Recorder, SimClock, Subsystem, UNHALTED};
 use hawkeye_mem::fmfi::fmfi;
 use hawkeye_tlb::Mmu;
 use hawkeye_trace::{TraceEvent, TraceSink};
@@ -116,6 +116,7 @@ pub struct Machine {
     stats: KernelStats,
     recorder: Recorder,
     trace: TraceSink,
+    metrics: MetricsSink,
 }
 
 impl Machine {
@@ -128,12 +129,17 @@ impl Machine {
     pub fn new(config: KernelConfig) -> Self {
         // One sink per machine, attached to the current thread's trace
         // scope (disabled otherwise); clones share its simulated clock.
+        // The metrics sink mirrors the pattern for the cycle-attribution
+        // registry; both hand out per-scope machine ids in creation order.
         let trace = TraceSink::attach_current();
+        let metrics = MetricsSink::attach_current();
         let mut pm = PhysMemory::with_cross_merge(config.frames, config.cross_merge);
         pm.set_trace_sink(trace.clone());
+        pm.set_metrics_sink(metrics.clone());
         let mut mmu = Mmu::new(config.tlb);
         mmu.set_nested(config.nested);
         mmu.set_trace_sink(trace.clone());
+        mmu.set_metrics_sink(metrics.clone());
         // Reserve the canonical zero page.
         let z = pm.alloc(Order(0), AllocPref::Zeroed).expect("boot memory");
         pm.frame_mut(z.pfn).set_kind(FrameKind::Pinned);
@@ -149,6 +155,7 @@ impl Machine {
             stats: KernelStats::default(),
             recorder: Recorder::new(),
             trace,
+            metrics,
         }
     }
 
@@ -185,6 +192,23 @@ impl Machine {
     /// trace scope was active when the machine booted).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// The machine's cycle-attribution sink (disabled no-op handle unless
+    /// a registry scope was active when the machine booted). Policies and
+    /// daemons use it for counters/histograms; cycle charges flow through
+    /// the fault primitives and [`Machine::record_unhalted`].
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Credits one scheduler quantum's executed cycles to `pid`'s PMU
+    /// window and the machine's `CPU_CLK_UNHALTED` counter. The simulator
+    /// calls this once per quantum, after attributing the same cycles by
+    /// subsystem — keeping `Σ cycles.cpu.* == cycles.unhalted` exact.
+    pub fn record_unhalted(&mut self, pid: u32, spent: Cycles) {
+        self.mmu.record_unhalted(pid, spent);
+        self.metrics.add(UNHALTED, spent.get());
     }
 
     /// Physical memory state.
@@ -292,10 +316,12 @@ impl Machine {
     pub fn fault_map_base(&mut self, pid: u32, vpn: Vpn) -> Result<Cycles, OutOfMemory> {
         let (a, reclaim_cost) = self.alloc_user(Order(0), AllocPref::Zeroed).ok_or(OutOfMemory)?;
         let mut cost = self.config.costs.fault_base_4k + reclaim_cost;
+        self.metrics.charge_cpu(Subsystem::Fault, cost);
         if !a.was_zeroed {
             self.pm.zero_block(a.pfn, Order(0));
             self.stats.sync_zeroed_pages += 1;
             cost += self.config.costs.zero_4k;
+            self.metrics.charge_cpu(Subsystem::Zero, self.config.costs.zero_4k);
         }
         self.finish_map_base(pid, vpn, a.pfn);
         Ok(cost)
@@ -304,10 +330,12 @@ impl Machine {
     /// Maps a policy-provided frame (FreeBSD-style reservations) at `vpn`.
     pub fn fault_map_base_at(&mut self, pid: u32, vpn: Vpn, pfn: Pfn) -> Cycles {
         let mut cost = self.config.costs.fault_base_4k;
+        self.metrics.charge_cpu(Subsystem::Fault, cost);
         if !self.pm.frame(pfn).is_zeroed() {
             self.pm.zero_block(pfn, Order(0));
             self.stats.sync_zeroed_pages += 1;
             cost += self.config.costs.zero_4k;
+            self.metrics.charge_cpu(Subsystem::Zero, self.config.costs.zero_4k);
         }
         self.finish_map_base(pid, vpn, pfn);
         cost
@@ -354,10 +382,12 @@ impl Machine {
             return self.fault_map_base(pid, vpn).map(|c| (c, false));
         };
         let mut cost = self.config.costs.fault_base_2m;
+        self.metrics.charge_cpu(Subsystem::Fault, cost);
         if !a.was_zeroed {
             self.pm.zero_block(a.pfn, HUGE_ORDER);
             self.stats.sync_zeroed_pages += 512;
             cost += self.config.costs.zero_2m();
+            self.metrics.charge_cpu(Subsystem::Zero, self.config.costs.zero_2m());
         }
         self.install_huge_frames(pid, hvpn, a.pfn);
         let p = self.processes.get_mut(&pid).expect("faulting process exists");
@@ -384,10 +414,12 @@ impl Machine {
         let (a, reclaim_cost) = self.alloc_user(Order(0), AllocPref::Zeroed).ok_or(OutOfMemory)?;
         let mut cost =
             self.config.costs.fault_base_4k + self.config.costs.cow_extra + reclaim_cost;
+        self.metrics.charge_cpu(Subsystem::Fault, cost);
         if !a.was_zeroed {
             self.pm.zero_block(a.pfn, Order(0));
             self.stats.sync_zeroed_pages += 1;
             cost += self.config.costs.zero_4k;
+            self.metrics.charge_cpu(Subsystem::Zero, self.config.costs.zero_4k);
         }
         {
             let f = self.pm.frame_mut(a.pfn);
@@ -474,7 +506,12 @@ impl Machine {
         self.mmu.invalidate_region(pid, hvpn.0);
         self.stats.promotions += 1;
         self.stats.promote_copied_pages += copied as u64;
-        self.charge_daemon(cost);
+        // Attribute the promotion's copy and zero portions separately;
+        // together they are exactly `cost`.
+        let copy_cost = self.config.costs.copy_4k * copied as u64;
+        self.charge_daemon(Subsystem::Copy, copy_cost);
+        self.charge_daemon(Subsystem::Zero, cost - copy_cost);
+        self.metrics.observe("promote_cycles", cost.get());
         self.trace.emit(
             pid,
             TraceEvent::Promote { hvpn: hvpn.0, copied, filled, cycles: cost.get() },
@@ -531,7 +568,10 @@ impl Machine {
         self.mmu.invalidate_region(pid, hvpn.0);
         self.stats.promotions += 1;
         let cost = self.config.costs.fault_base_4k; // PTE rewrite bookkeeping
-        self.charge_daemon(cost);
+        // Promotion work rides under `copy` even when nothing is copied,
+        // keeping all promotion cycles in one report column.
+        self.charge_daemon(Subsystem::Copy, cost);
+        self.metrics.observe("promote_cycles", cost.get());
         self.trace.emit(
             pid,
             TraceEvent::Promote { hvpn: hvpn.0, copied: 0, filled: 0, cycles: cost.get() },
@@ -556,7 +596,7 @@ impl Machine {
         self.mmu.invalidate_region(pid, hvpn.0);
         self.stats.demotions += 1;
         let cost = self.config.costs.fault_base_4k; // split bookkeeping
-        self.charge_daemon(cost);
+        self.charge_daemon(Subsystem::Fault, cost);
         self.trace.emit(pid, TraceEvent::Demote { hvpn: hvpn.0, cycles: cost.get() });
         Some(cost)
     }
@@ -581,8 +621,9 @@ impl Machine {
             zero_pages += content.is_zero() as u32;
         }
         let mut cost = self.config.costs.scan(scan_bytes);
+        let scan_cost = cost;
         if zero_pages < min_zero {
-            self.charge_daemon(cost);
+            self.charge_daemon(Subsystem::Scan, cost);
             self.trace.emit(
                 pid,
                 TraceEvent::Dedup { hvpn: hvpn.0, zero_pages, demoted: false, cycles: cost.get() },
@@ -610,7 +651,12 @@ impl Machine {
             cost += self.config.costs.cow_extra; // remap bookkeeping
         }
         self.stats.deduped_zero_pages += zero_pages as u64;
-        self.charge_daemon(cost);
+        // The scan portion goes under `scan`; the demote + remap remainder
+        // under `dedup`. (The demotion inside `cost` was *also* charged by
+        // `demote` itself — the historical double count in daemon_cycles —
+        // so totals stay bit-identical with the pre-registry ledger.)
+        self.charge_daemon(Subsystem::Scan, scan_cost);
+        self.charge_daemon(Subsystem::Dedup, cost - scan_cost);
         self.trace.emit(
             pid,
             TraceEvent::Dedup { hvpn: hvpn.0, zero_pages, demoted: true, cycles: cost.get() },
@@ -625,7 +671,7 @@ impl Machine {
     pub fn prezero(&mut self, pages: u64) -> u64 {
         let z = self.pm.prezero_step(pages);
         self.stats.prezeroed_pages += z;
-        self.charge_daemon(self.config.costs.zero_4k * z);
+        self.charge_daemon(Subsystem::Zero, self.config.costs.zero_4k * z);
         z
     }
 
@@ -640,7 +686,7 @@ impl Machine {
         });
         self.stats.compaction_runs += 1;
         self.stats.compaction_migrated += stats.migrated_pages;
-        self.charge_daemon(self.config.costs.copy_4k * stats.migrated_pages);
+        self.charge_daemon(Subsystem::Compact, self.config.costs.copy_4k * stats.migrated_pages);
         stats
     }
 
@@ -744,6 +790,10 @@ impl Machine {
                 }
             }
         }
+        // The caller (the simulator's syscall path) folds `cost` into the
+        // faulting process's quantum; attribute it here so the CPU ledger
+        // stays exact.
+        self.metrics.charge_cpu(Subsystem::Fault, cost);
         cost
     }
 
@@ -770,8 +820,9 @@ impl Machine {
         self.mmu.flush_translations(pid);
     }
 
-    fn charge_daemon(&mut self, c: Cycles) {
+    fn charge_daemon(&mut self, sub: Subsystem, c: Cycles) {
         self.stats.daemon_cycles += c;
+        self.metrics.charge_daemon(sub, c);
     }
 
     pub(crate) fn stats_oom(&mut self, pid: u32) {
@@ -786,6 +837,29 @@ impl Machine {
         let alloc = self.pm.allocated_pages() as f64;
         self.recorder.record_at("mem.allocated_pages", now, alloc);
         self.recorder.record_at("mem.zeroed_free_pages", now, self.pm.zeroed_free_pages() as f64);
+        self.metrics.set_gauge("mem.utilization", self.pm.utilization());
+        self.metrics.set_gauge("mem.zeroed_free_pages", self.pm.zeroed_free_pages() as f64);
+        // Journal a cumulative attribution snapshot so the analyzer can
+        // reconstruct cycle breakdowns over time (and check the residue).
+        if self.trace.is_enabled() {
+            if let Some(m) = self.metrics.snapshot() {
+                self.trace.emit(
+                    0,
+                    TraceEvent::CycleSample {
+                        walk: m.cpu_cycles(Subsystem::Walk),
+                        fault: m.cpu_cycles(Subsystem::Fault),
+                        zero: m.cpu_cycles(Subsystem::Zero),
+                        copy: m.cpu_cycles(Subsystem::Copy),
+                        scan: m.cpu_cycles(Subsystem::Scan),
+                        compact: m.cpu_cycles(Subsystem::Compact),
+                        dedup: m.cpu_cycles(Subsystem::Dedup),
+                        idle: m.cpu_cycles(Subsystem::Idle),
+                        unhalted: m.unhalted(),
+                        daemon: m.daemon_total(),
+                    },
+                );
+            }
+        }
         let rows: Vec<(u32, f64, f64)> = self
             .processes
             .values()

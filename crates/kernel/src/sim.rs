@@ -11,7 +11,7 @@ use crate::policy::{FaultAction, HugePagePolicy};
 use crate::process::OpCursor;
 use crate::workload::{MemOp, Workload};
 use hawkeye_mem::Pfn;
-use hawkeye_metrics::Cycles;
+use hawkeye_metrics::{Cycles, Subsystem};
 use hawkeye_trace::TraceEvent;
 use hawkeye_vm::{PageSize, Vpn};
 
@@ -62,6 +62,22 @@ pub struct Simulator {
     next_tick: Cycles,
     next_sample: Cycles,
     hook: Option<Box<dyn AccessHook>>,
+}
+
+/// Per-quantum CPU-side cycle attribution, accumulated alongside `spent`
+/// and flushed to the machine's metrics sink when the quantum ends. The
+/// fault primitives charge their own costs at the call site (they know
+/// their zero/fault split); the ledger covers what the run loop itself
+/// adds to `spent`, so per quantum
+/// `machine charges + ledger == spent == CPU_CLK_UNHALTED delta`.
+#[derive(Debug, Default, Clone, Copy)]
+struct CpuLedger {
+    /// TLB-miss translation cycles (page walks plus L2-lookup cost).
+    walk: Cycles,
+    /// Syscall entry and access-hook (EPT/nested) cycles.
+    fault: Cycles,
+    /// Application compute: think time, in-core accesses, spin loops.
+    idle: Cycles,
 }
 
 /// The page sequence a guaranteed-L1-hit streak covers.
@@ -167,6 +183,7 @@ impl Simulator {
     fn step_process(&mut self, policy: &mut dyn HugePagePolicy, pid: u32, quantum: Cycles) {
         let base_now = self.machine.now();
         let mut spent = Cycles::ZERO;
+        let mut ledger = CpuLedger::default();
         let mut finished = false;
         let mut oom = false;
         while spent < quantum {
@@ -181,7 +198,7 @@ impl Simulator {
                 finished = true;
                 break;
             };
-            match self.exec_slice(policy, pid, cursor, quantum, &mut spent) {
+            match self.exec_slice(policy, pid, cursor, quantum, &mut spent, &mut ledger) {
                 Ok(Some(rest)) => {
                     self.machine.process_mut(pid).expect("exists").pending = Some(rest);
                 }
@@ -193,9 +210,18 @@ impl Simulator {
                 }
             }
         }
+        {
+            // Attribute the run loop's share of this quantum; the fault
+            // primitives charged theirs already. Together they sum to
+            // `spent`, which `record_unhalted` credits below.
+            let m = self.machine.metrics();
+            m.charge_cpu(Subsystem::Walk, ledger.walk);
+            m.charge_cpu(Subsystem::Fault, ledger.fault);
+            m.charge_cpu(Subsystem::Idle, ledger.idle);
+        }
         let p = self.machine.process_mut(pid).expect("exists");
         p.charge(spent);
-        self.machine.mmu_mut().record_unhalted(pid, spent);
+        self.machine.record_unhalted(pid, spent);
         if finished {
             if oom {
                 self.machine.stats_oom(pid);
@@ -216,6 +242,7 @@ impl Simulator {
         mut cursor: OpCursor,
         quantum: Cycles,
         spent: &mut Cycles,
+        ledger: &mut CpuLedger,
     ) -> Result<Option<OpCursor>, OutOfMemory> {
         let syscall_cost = Cycles::from_nanos(500);
         match &cursor.op {
@@ -223,6 +250,7 @@ impl Simulator {
                 let p = self.machine.process_mut(pid).expect("exists");
                 p.space_mut().mmap(*start, *pages, *kind).expect("workload mmap is valid");
                 *spent += syscall_cost;
+                ledger.fault += syscall_cost;
                 Ok(None)
             }
             MemOp::Munmap { start } => {
@@ -232,7 +260,10 @@ impl Simulator {
                     .process(pid)
                     .and_then(|p| p.space().find_vma(start).map(|v| (v.start(), v.pages())));
                 if let Some((s, pages)) = range {
+                    // The madvise cost is attributed inside the machine;
+                    // only the syscall entry is the run loop's to tag.
                     *spent += self.machine.madvise_dontneed(pid, s, pages) + syscall_cost;
+                    ledger.fault += syscall_cost;
                     let p = self.machine.process_mut(pid).expect("exists");
                     let _ = p.space_mut().munmap(s);
                     policy.on_release(&mut self.machine, pid, s, pages);
@@ -242,6 +273,7 @@ impl Simulator {
             MemOp::Madvise { start, pages } => {
                 let (start, pages) = (*start, *pages);
                 *spent += self.machine.madvise_dontneed(pid, start, pages) + syscall_cost;
+                ledger.fault += syscall_cost;
                 policy.on_release(&mut self.machine, pid, start, pages);
                 Ok(None)
             }
@@ -252,17 +284,18 @@ impl Simulator {
                 let room = quantum.saturating_sub(*spent);
                 if left <= room {
                     *spent += left;
+                    ledger.idle += left;
                     Ok(None)
                 } else {
                     *spent += room;
+                    ledger.idle += room;
                     cursor.progress += room.get();
                     Ok(Some(cursor))
                 }
             }
             MemOp::Touch { vpn, write, repeats, think } => {
                 let (vpn, write, repeats, think) = (*vpn, *write, *repeats, *think);
-                let (cost, _) = self.touch_page(policy, pid, vpn, write, repeats, think)?;
-                *spent += cost;
+                self.touch_page(policy, pid, vpn, write, repeats, think, spent, ledger)?;
                 Ok(None)
             }
             MemOp::TouchRange { start, pages, write, think, stride, repeats } => {
@@ -276,8 +309,7 @@ impl Simulator {
                         return Ok(Some(cursor));
                     }
                     let vpn = Vpn(start.0 + i * stride);
-                    let (cost, tr) = self.touch_page(policy, pid, vpn, write, repeats, think)?;
-                    *spent += cost;
+                    let tr = self.touch_page(policy, pid, vpn, write, repeats, think, spent, ledger)?;
                     i += 1;
                     if fast && tr.size == PageSize::Huge && i < pages {
                         // The rest of this huge region is resident behind
@@ -293,6 +325,7 @@ impl Simulator {
                             max,
                             quantum,
                             spent,
+                            ledger,
                         );
                     }
                 }
@@ -308,8 +341,7 @@ impl Simulator {
                         return Ok(Some(cursor));
                     }
                     let vpn = vpns[i];
-                    let (cost, tr) = self.touch_page(policy, pid, vpn, write, 1, think)?;
-                    *spent += cost;
+                    let tr = self.touch_page(policy, pid, vpn, write, 1, think, spent, ledger)?;
                     i += 1;
                     if fast {
                         // Later list entries guaranteed to hit the same L1
@@ -336,6 +368,7 @@ impl Simulator {
                                 run,
                                 quantum,
                                 spent,
+                                ledger,
                             );
                             i += n as usize;
                         }
@@ -389,6 +422,7 @@ impl Simulator {
         max: u64,
         quantum: Cycles,
         spent: &mut Cycles,
+        ledger: &mut CpuLedger,
     ) -> u64 {
         if max == 0 {
             return 0;
@@ -412,6 +446,7 @@ impl Simulator {
             return 0;
         }
         *spent += c_touch * n;
+        ledger.idle += c_touch * n;
         if write {
             // One dirt draw per touch, in op order, then apply to frames;
             // the draw is separated from the application only to keep the
@@ -439,9 +474,12 @@ impl Simulator {
     }
 
     /// One page touch: translation (with TLB timing), fault handling via
-    /// the policy, content dirtying, and repeat accesses. Returns the cost
-    /// and the translation the touch resolved to (streak batching uses the
-    /// latter to extend over the rest of a huge region).
+    /// the policy, content dirtying, and repeat accesses. Costs accumulate
+    /// directly into `spent` (and their attribution into `ledger`), so
+    /// fault work done before a mid-touch OOM stays counted in the
+    /// quantum — matching the registry charges the fault primitives
+    /// already made. Returns the translation the touch resolved to (streak
+    /// batching uses it to extend over the rest of a huge region).
     ///
     /// # Fault accounting
     ///
@@ -454,6 +492,7 @@ impl Simulator {
     /// can legitimately fault twice (unmapped, then the policy maps the
     /// region zero-COW and a write must immediately COW), which is why
     /// the loop guard allows a few iterations.
+    #[allow(clippy::too_many_arguments)]
     fn touch_page(
         &mut self,
         policy: &mut dyn HugePagePolicy,
@@ -462,10 +501,11 @@ impl Simulator {
         write: bool,
         repeats: u32,
         think: u32,
-    ) -> Result<(Cycles, hawkeye_vm::Translation), OutOfMemory> {
+        spent: &mut Cycles,
+        ledger: &mut CpuLedger,
+    ) -> Result<hawkeye_vm::Translation, OutOfMemory> {
         let repeats = repeats.max(1);
         let access_cost = self.machine.config().costs.access;
-        let mut cost = Cycles::ZERO;
         let mut guard = 0;
         let translation = loop {
             let tr = {
@@ -490,11 +530,12 @@ impl Simulator {
                 let action = policy.on_fault(&mut self.machine, pid, vpn);
                 self.apply_fault_action(pid, vpn, action)?
             };
-            cost += fault_cost;
+            *spent += fault_cost;
             let p = self.machine.process_mut(pid).expect("exists");
             let st = p.stats_mut();
             st.faults += 1;
             st.fault_cycles += fault_cost;
+            self.machine.metrics().observe("fault_cycles", fault_cost.get());
             self.machine.trace().emit(
                 pid,
                 TraceEvent::Fault {
@@ -506,10 +547,15 @@ impl Simulator {
             );
         };
         let out = self.machine.mmu_mut().access(pid, vpn, translation.size, write);
-        cost += out.cycles + (access_cost + Cycles::new(think as u64)) * repeats as u64;
+        let compute = (access_cost + Cycles::new(think as u64)) * repeats as u64;
+        *spent += out.cycles + compute;
+        ledger.walk += out.cycles;
+        ledger.idle += compute;
         if let Some(hook) = self.hook.as_mut() {
-            cost +=
+            let hook_cost =
                 hook.on_touch(pid, vpn, translation.pfn, translation.size, write, out.walk_cycles);
+            *spent += hook_cost;
+            ledger.fault += hook_cost;
         }
         if write && !translation.zero_cow {
             let dirt = self.machine.process_mut(pid).expect("exists").dirt_offset();
@@ -522,7 +568,7 @@ impl Simulator {
         let st = p.stats_mut();
         st.touches += 1;
         st.accesses += repeats as u64;
-        Ok((cost, translation))
+        Ok(translation)
     }
 
     /// Returns the fault cost and whether the fault was served huge.
@@ -701,5 +747,37 @@ mod tests {
         assert_eq!(p.stats().touches, 1);
         assert_eq!(p.stats().accesses, 1000);
         assert_eq!(p.stats().faults, 1);
+    }
+
+    #[test]
+    fn registry_breakdown_sums_to_unhalted() {
+        use hawkeye_metrics::registry;
+        // Both fault shapes (read faults hit the zero page, write faults
+        // allocate + zero): the CPU ledger must attribute every unhalted
+        // cycle either way, and the daemon ledger must match the kernel's
+        // own daemon_cycles stat.
+        for write in [false, true] {
+            registry::scope::begin();
+            let mut sim = Simulator::new(KernelConfig::small(), Box::new(AlwaysHuge));
+            sim.spawn(touch_workload(2048, write));
+            sim.run();
+            let stats = sim.machine().stats();
+            let reg = registry::scope::end().expect("registry");
+            let m = reg.machine(0).expect("machine attached to scope");
+            assert!(m.unhalted() > 0, "write={write}: no unhalted cycles recorded");
+            assert_eq!(
+                m.residue(),
+                0,
+                "write={write}: sum of cycles.cpu.* must equal CPU_CLK_UNHALTED"
+            );
+            assert_eq!(
+                m.daemon_total(),
+                stats.daemon_cycles.get(),
+                "write={write}: daemon ledger must match stats.daemon_cycles"
+            );
+            assert!(m.cpu_cycles(Subsystem::Walk) > 0, "write={write}: walks charged");
+            assert!(m.cpu_cycles(Subsystem::Fault) > 0, "write={write}: faults charged");
+            assert!(m.cpu_cycles(Subsystem::Idle) > 0, "write={write}: compute charged");
+        }
     }
 }

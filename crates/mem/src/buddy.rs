@@ -15,6 +15,7 @@ use crate::content::PageContent;
 use crate::error::AllocError;
 use crate::frame::{Frame, FrameState, NOT_FREE_HEAD, NO_LINK};
 use crate::types::{Order, Pfn, MAX_ORDER};
+use hawkeye_metrics::MetricsSink;
 use hawkeye_trace::{TraceEvent, TraceSink};
 
 const NORDERS: usize = MAX_ORDER.0 as usize + 1;
@@ -85,6 +86,9 @@ pub struct PhysMemory {
     cross_merge: bool,
     /// Event journal handle; disabled (no-op) unless a trace scope attaches.
     trace: TraceSink,
+    /// Cycle-attribution handle; disabled (no-op) unless a registry scope
+    /// attaches.
+    metrics: MetricsSink,
 }
 
 impl PhysMemory {
@@ -124,6 +128,7 @@ impl PhysMemory {
             zeroed_free_pages: 0,
             cross_merge,
             trace: TraceSink::default(),
+            metrics: MetricsSink::default(),
         };
         let mut pfn = 0;
         while pfn < total_frames {
@@ -143,6 +148,12 @@ impl PhysMemory {
     /// operate on this memory).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// Install the cycle-attribution sink used by the pre-zeroing step.
+    /// The default sink is disabled (every charge is a no-op).
+    pub fn set_metrics_sink(&mut self, metrics: MetricsSink) {
+        self.metrics = metrics;
     }
 
     /// Total number of frames.
@@ -228,6 +239,15 @@ impl PhysMemory {
         }
         let was_zeroed = self.block_is_zeroed(pfn, order);
         self.mark_allocated(pfn, order);
+        // How often the pre-zeroed pool absorbs a zero-demand allocation
+        // (the paper's §3.1 win) vs. forcing synchronous zeroing.
+        if pref == AllocPref::Zeroed {
+            if was_zeroed {
+                self.metrics.add("mem.zeroed_alloc_hits", order.pages());
+            } else {
+                self.metrics.add("mem.zeroed_alloc_misses", order.pages());
+            }
+        }
         Ok(Allocation { pfn, order, was_zeroed })
     }
 
@@ -298,6 +318,7 @@ impl PhysMemory {
         }
         if zeroed > 0 {
             self.trace.emit(0, TraceEvent::PreZero { pages: zeroed });
+            self.metrics.add("mem.prezeroed_pages", zeroed);
         }
         zeroed
     }

@@ -10,6 +10,9 @@
 //! * [`stats`] — summary statistics (mean, geometric mean, percentiles).
 //! * [`table`] — plain-text table rendering so each bench target can print
 //!   rows in the same shape as the paper's tables.
+//! * [`registry`] — the cycle-attribution registry: named counters, gauges,
+//!   and log-bucketed histograms behind a zero-cost-when-disabled
+//!   [`MetricsSink`], tagging every clock charge with a [`Subsystem`].
 //!
 //! # Examples
 //!
@@ -21,11 +24,13 @@
 //! assert!(clock.now().as_secs() > 0.0004);
 //! ```
 
+pub mod registry;
 pub mod series;
 pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use registry::{LogHistogram, MachineMetrics, MetricsSink, Registry, Subsystem, UNHALTED};
 pub use series::{Recorder, Sample, TimeSeries};
 pub use stats::Summary;
 pub use table::TextTable;

@@ -47,10 +47,43 @@ impl TimeSeries {
         &self.name
     }
 
-    /// Appends an observation. Times should be non-decreasing; this is not
-    /// enforced, but [`TimeSeries::value_at`] assumes it.
+    /// Appends an observation. Times must be non-decreasing:
+    /// [`TimeSeries::value_at`] and figure reconstruction assume it, and an
+    /// out-of-order push would corrupt them silently, so debug builds
+    /// assert. Merging independently-recorded series (e.g. per-pid
+    /// overhead curves in the analyzer) is what [`TimeSeries::merge_sorted`]
+    /// is for.
     pub fn push(&mut self, secs: f64, value: f64) {
+        debug_assert!(
+            self.samples.last().is_none_or(|s| s.secs <= secs),
+            "TimeSeries {:?}: out-of-order push ({} after {})",
+            self.name,
+            secs,
+            self.samples.last().map_or(f64::NAN, |s| s.secs),
+        );
         self.samples.push(Sample { secs, value });
+    }
+
+    /// Merges two time-sorted series into a new one named `name`,
+    /// preserving time order. Stable: on equal timestamps, `self`'s
+    /// samples come first. Both inputs must individually be sorted (the
+    /// invariant [`TimeSeries::push`] asserts).
+    pub fn merge_sorted(&self, other: &TimeSeries, name: impl Into<String>) -> TimeSeries {
+        let mut out = TimeSeries::new(name);
+        out.samples.reserve(self.samples.len() + other.samples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.samples.len() && j < other.samples.len() {
+            if other.samples[j].secs < self.samples[i].secs {
+                out.samples.push(other.samples[j]);
+                j += 1;
+            } else {
+                out.samples.push(self.samples[i]);
+                i += 1;
+            }
+        }
+        out.samples.extend_from_slice(&self.samples[i..]);
+        out.samples.extend_from_slice(&other.samples[j..]);
+        out
     }
 
     /// Number of observations.
@@ -199,6 +232,38 @@ mod tests {
         assert_eq!(d.last().unwrap().secs, 99.0);
         assert!(s.downsample(0).is_empty());
         assert_eq!(s.downsample(1000).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order push")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_asserts() {
+        let mut s = TimeSeries::new("x");
+        s.push(2.0, 1.0);
+        s.push(1.0, 2.0);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves_stably() {
+        let mut a = TimeSeries::new("a");
+        a.push(0.0, 1.0);
+        a.push(2.0, 2.0);
+        a.push(2.0, 3.0);
+        let mut b = TimeSeries::new("b");
+        b.push(1.0, 10.0);
+        b.push(2.0, 20.0);
+        b.push(5.0, 30.0);
+        let m = a.merge_sorted(&b, "merged");
+        assert_eq!(m.name(), "merged");
+        let got: Vec<(f64, f64)> = m.samples().iter().map(|s| (s.secs, s.value)).collect();
+        // Equal timestamps: all of `a`'s samples precede `b`'s.
+        assert_eq!(
+            got,
+            vec![(0.0, 1.0), (1.0, 10.0), (2.0, 2.0), (2.0, 3.0), (2.0, 20.0), (5.0, 30.0)]
+        );
+        let empty = TimeSeries::new("e");
+        assert_eq!(empty.merge_sorted(&b, "eb").len(), 3);
+        assert_eq!(b.merge_sorted(&empty, "be").len(), 3);
     }
 
     #[test]

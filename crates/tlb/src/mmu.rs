@@ -80,6 +80,12 @@ impl Mmu {
         self.pmu.set_trace_sink(trace);
     }
 
+    /// Install the cycle-attribution sink (forwarded to the PMU for the
+    /// walk-duration histogram).
+    pub fn set_metrics_sink(&mut self, metrics: hawkeye_metrics::MetricsSink) {
+        self.pmu.set_metrics_sink(metrics);
+    }
+
     // L2 is unified across page sizes; tag keys with the size so a 4 KB
     // and a 2 MB entry for overlapping ranges never alias.
     #[inline]

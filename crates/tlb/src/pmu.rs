@@ -9,7 +9,7 @@
 //! HawkEye-PMU samples a *window* (recent overhead) rather than lifetime
 //! totals, so counters support snapshot-and-reset windows.
 
-use hawkeye_metrics::Cycles;
+use hawkeye_metrics::{Cycles, MetricsSink};
 use hawkeye_trace::{TraceEvent, TraceSink};
 use std::collections::BTreeMap;
 
@@ -65,6 +65,8 @@ pub struct Pmu {
     window: BTreeMap<u32, Counters>,
     /// Event journal handle; disabled (no-op) unless a trace scope attaches.
     trace: TraceSink,
+    /// Cycle-attribution handle; feeds the per-walk duration histogram.
+    metrics: MetricsSink,
 }
 
 impl Pmu {
@@ -78,6 +80,12 @@ impl Pmu {
         self.trace = trace;
     }
 
+    /// Install the cycle-attribution sink feeding the `walk_cycles`
+    /// per-walk duration histogram.
+    pub fn set_metrics_sink(&mut self, metrics: MetricsSink) {
+        self.metrics = metrics;
+    }
+
     /// Charges a page-walk duration to `pid` (`store` selects the store
     /// counter, mirroring the two Table 4 events).
     pub fn record_walk(&mut self, pid: u32, duration: Cycles, store: bool) {
@@ -89,6 +97,7 @@ impl Pmu {
             }
             c.walks += 1;
         }
+        self.metrics.observe("walk_cycles", duration.get());
     }
 
     /// Charges executed cycles (`CPU_CLK_UNHALTED`) to `pid`.

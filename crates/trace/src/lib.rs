@@ -97,6 +97,34 @@ pub enum TraceEvent {
         /// Page walks performed this window.
         walks: u64,
     },
+    /// Periodic cycle-attribution snapshot from the metrics registry:
+    /// cumulative per-subsystem cycle totals for the emitting machine.
+    /// Emitted at each metrics sample when both a trace scope and a
+    /// registry scope are active. CPU-side fields sum to `unhalted`
+    /// (the residue the analyzer checks); `daemon` is the background
+    /// ledger's total.
+    CycleSample {
+        /// Cumulative CPU cycles spent in page walks.
+        walk: u64,
+        /// Cumulative CPU cycles spent in fault handling / PT maintenance.
+        fault: u64,
+        /// Cumulative CPU cycles spent zeroing pages.
+        zero: u64,
+        /// Cumulative CPU cycles spent copying pages.
+        copy: u64,
+        /// Cumulative CPU cycles spent in content scans.
+        scan: u64,
+        /// Cumulative CPU cycles spent in compaction.
+        compact: u64,
+        /// Cumulative CPU cycles spent deduplicating zero pages.
+        dedup: u64,
+        /// Cumulative CPU cycles spent in application compute.
+        idle: u64,
+        /// Cumulative `CPU_CLK_UNHALTED` at the snapshot.
+        unhalted: u64,
+        /// Cumulative daemon-ledger cycles (all subsystems).
+        daemon: u64,
+    },
 }
 
 impl TraceEvent {
@@ -111,6 +139,7 @@ impl TraceEvent {
             TraceEvent::Dedup { .. } => "dedup",
             TraceEvent::Oom => "oom",
             TraceEvent::QuantumEnd { .. } => "quantum_end",
+            TraceEvent::CycleSample { .. } => "cycle_sample",
         }
     }
 
@@ -149,7 +178,85 @@ impl TraceEvent {
                 ("unhalted", unhalted),
                 ("walks", walks),
             ],
+            TraceEvent::CycleSample {
+                walk,
+                fault,
+                zero,
+                copy,
+                scan,
+                compact,
+                dedup,
+                idle,
+                unhalted,
+                daemon,
+            } => vec![
+                ("walk", walk),
+                ("fault", fault),
+                ("zero", zero),
+                ("copy", copy),
+                ("scan", scan),
+                ("compact", compact),
+                ("dedup", dedup),
+                ("idle", idle),
+                ("unhalted", unhalted),
+                ("daemon", daemon),
+            ],
         }
+    }
+
+    /// Reconstructs an event from its serialized `(kind, fields)` form —
+    /// the inverse of [`TraceEvent::kind`] + [`TraceEvent::fields`], used
+    /// by the `hawkeye-analyze` journal parser. Field lookup is by name so
+    /// readers tolerate reordered keys; returns `None` for an unknown kind
+    /// or a missing field.
+    pub fn from_fields(kind: &str, fields: &[(String, u64)]) -> Option<TraceEvent> {
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+        Some(match kind {
+            "fault" => TraceEvent::Fault {
+                vpn: get("vpn")?,
+                huge: get("huge")? != 0,
+                cow: get("cow")? != 0,
+                cycles: get("cycles")?,
+            },
+            "promote" => TraceEvent::Promote {
+                hvpn: get("hvpn")?,
+                copied: get("copied")? as u32,
+                filled: get("filled")? as u32,
+                cycles: get("cycles")?,
+            },
+            "demote" => TraceEvent::Demote { hvpn: get("hvpn")?, cycles: get("cycles")? },
+            "compact" => TraceEvent::Compact {
+                migrated: get("migrated")?,
+                huge_blocks: get("huge_blocks")?,
+            },
+            "prezero" => TraceEvent::PreZero { pages: get("pages")? },
+            "dedup" => TraceEvent::Dedup {
+                hvpn: get("hvpn")?,
+                zero_pages: get("zero_pages")? as u32,
+                demoted: get("demoted")? != 0,
+                cycles: get("cycles")?,
+            },
+            "oom" => TraceEvent::Oom,
+            "quantum_end" => TraceEvent::QuantumEnd {
+                load_walk: get("load_walk")?,
+                store_walk: get("store_walk")?,
+                unhalted: get("unhalted")?,
+                walks: get("walks")?,
+            },
+            "cycle_sample" => TraceEvent::CycleSample {
+                walk: get("walk")?,
+                fault: get("fault")?,
+                zero: get("zero")?,
+                copy: get("copy")?,
+                scan: get("scan")?,
+                compact: get("compact")?,
+                dedup: get("dedup")?,
+                idle: get("idle")?,
+                unhalted: get("unhalted")?,
+                daemon: get("daemon")?,
+            },
+            _ => return None,
+        })
     }
 }
 
@@ -474,6 +581,40 @@ mod tests {
         clone.emit(1, TraceEvent::Oom);
         let journal = scope::end().expect("journal");
         assert_eq!(journal.records[0].at, Cycles::new(42));
+    }
+
+    #[test]
+    fn from_fields_inverts_fields_for_every_variant() {
+        let events = vec![
+            TraceEvent::Fault { vpn: 7, huge: true, cow: false, cycles: 6095 },
+            TraceEvent::Promote { hvpn: 5, copied: 3, filled: 2, cycles: 100 },
+            TraceEvent::Demote { hvpn: 9, cycles: 0 },
+            TraceEvent::Compact { migrated: 128, huge_blocks: 4 },
+            TraceEvent::PreZero { pages: 512 },
+            TraceEvent::Dedup { hvpn: 1, zero_pages: 400, demoted: true, cycles: 77 },
+            TraceEvent::Oom,
+            TraceEvent::QuantumEnd { load_walk: 1, store_walk: 2, unhalted: 3, walks: 4 },
+            TraceEvent::CycleSample {
+                walk: 1,
+                fault: 2,
+                zero: 3,
+                copy: 4,
+                scan: 5,
+                compact: 6,
+                dedup: 7,
+                idle: 8,
+                unhalted: 36,
+                daemon: 9,
+            },
+        ];
+        for ev in events {
+            let fields: Vec<(String, u64)> =
+                ev.fields().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+            let back = TraceEvent::from_fields(ev.kind(), &fields).expect("round-trip");
+            assert_eq!(back, ev);
+        }
+        assert!(TraceEvent::from_fields("nonsense", &[]).is_none());
+        assert!(TraceEvent::from_fields("fault", &[]).is_none(), "missing fields reject");
     }
 
     #[test]

@@ -212,6 +212,7 @@ impl HostSide {
                         })?;
                         cost += c;
                         self.stats.host_cow_faults += 1;
+                        self.machine.metrics().add("virt.host_cow_faults", 1);
                         self.machine.trace().emit(
                             host_pid,
                             TraceEvent::Fault { vpn: gpa, huge: false, cow: true, cycles: c.get() },
@@ -221,12 +222,14 @@ impl HostSide {
                     if self.swapped.remove(&(host_pid, gpa)) {
                         cost += self.cfg.swap_in;
                         self.stats.swap_ins += 1;
+                        self.machine.metrics().add("virt.swap_ins", 1);
                     }
                     // EPT violation: ask the host policy.
                     let action = self.policy.on_fault(&mut self.machine, host_pid, vpn);
                     let (c, huge) = self.apply_fault(host_pid, vpn, action)?;
                     cost += c;
                     self.stats.ept_faults += 1;
+                    self.machine.metrics().add("virt.ept_faults", 1);
                     self.machine.trace().emit(
                         host_pid,
                         TraceEvent::Fault { vpn: gpa, huge, cow: false, cycles: c.get() },
@@ -569,6 +572,7 @@ impl VirtSystem {
             }
             host.machine.mmu_mut().invalidate_page(host_pid, vpn);
             host.stats.ballooned += 1;
+            host.machine.metrics().add("virt.ballooned_pages", 1);
         }
         self.vms[vm].balloon_cursor = cursor;
     }
@@ -622,6 +626,7 @@ impl VirtSystem {
                     host.machine.dedup_zero_pages(host_pid, region, min_zero)
                 {
                     host.stats.ksm_merged += zero_pages as u64;
+                    host.machine.metrics().add("virt.ksm_merged_pages", zero_pages as u64);
                 }
             } else {
                 // Base mappings: merge zero pages individually.
@@ -645,6 +650,7 @@ impl VirtSystem {
                     host.machine.pm_mut().free(e.pfn, hawkeye_mem::Order(0));
                     host.machine.mmu_mut().invalidate_page(host_pid, vpn);
                     host.stats.ksm_merged += 1;
+                    host.machine.metrics().add("virt.ksm_merged_pages", 1);
                 }
             }
             if cursor / 512 >= (frames / 512).max(1) && scanned >= budget {

@@ -31,7 +31,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy --lib -- -D clippy::unwrap_used (core crates)"
 cargo clippy -p hawkeye-metrics -p hawkeye-mem -p hawkeye-vm -p hawkeye-tlb \
     -p hawkeye-trace -p hawkeye-kernel -p hawkeye-virt -p hawkeye-bench \
+    -p hawkeye-analyze \
     --lib -- -D clippy::unwrap_used
+
+# Cycle-attribution gate: run one real traced scenario and pipe the
+# journal through hawkeye-analyze --check, which fails on parse errors,
+# missing cycle_sample events (attribution silently off), or nonzero
+# residue (unhalted cycles the subsystem ledger failed to attribute).
+echo "==> cycle-attribution gate (traced table1 -> hawkeye-analyze --check)"
+results_dir="${HAWKEYE_BENCH_RESULTS:-${CARGO_TARGET_DIR:-target}/bench-results}"
+HAWKEYE_TRACE=1 cargo bench -p hawkeye-bench --bench table1_fault_latency
+cargo run --release -q -p hawkeye-analyze -- --check \
+    "$results_dir/table1_fault_latency.trace.json"
 
 # Touch-throughput smoke: --quick scales the run down to 1 M touches per
 # shape and asserts each finishes inside a 30 s budget, so a fast-path
