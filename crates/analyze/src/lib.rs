@@ -21,9 +21,14 @@
 //! same journal bytes always produce the same report bytes, and journals
 //! themselves are byte-identical at any bench worker count.
 
+#![warn(missing_docs)]
+
 pub mod json;
+pub mod render;
+pub mod summary;
 
 use hawkeye_metrics::{Cycles, LogHistogram, TimeSeries};
+use render::{bar, hist_line, pct_line};
 use hawkeye_trace::{TraceEvent, TraceRecord};
 
 use json::Value;
@@ -283,35 +288,6 @@ pub fn residues(doc: &TraceDoc) -> ResidueReport {
         }
     }
     report
-}
-
-fn bar(frac: f64) -> String {
-    let n = (frac * 40.0).round().clamp(0.0, 40.0) as usize;
-    "#".repeat(n)
-}
-
-fn pct_line(out: &mut String, label: &str, cycles: u64, total: u64) {
-    let frac = if total == 0 { 0.0 } else { cycles as f64 / total as f64 };
-    out.push_str(&format!(
-        "    {label:<8} {cycles:>16}  {:>6.2}%  |{}\n",
-        frac * 100.0,
-        bar(frac)
-    ));
-}
-
-fn hist_line(out: &mut String, label: &str, h: &LogHistogram) {
-    if h.count() == 0 {
-        out.push_str(&format!("    {label:<14} (no events)\n"));
-        return;
-    }
-    out.push_str(&format!(
-        "    {label:<14} n={:<8} p50={:<12} p90={:<12} p99={:<12} max={}\n",
-        h.count(),
-        h.percentile(50.0),
-        h.percentile(90.0),
-        h.percentile(99.0),
-        h.max(),
-    ));
 }
 
 /// Renders the full deterministic text report for one document.

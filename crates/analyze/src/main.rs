@@ -5,11 +5,13 @@
 //! hawkeye-analyze [--check] <file.trace.json>...
 //! ```
 //!
-//! `--check` turns the run into a gate (used by `scripts/ci.sh`): exit
-//! nonzero if any file fails to parse, contains no `cycle_sample` events
-//! (the attribution pipeline silently off is a failure, not a pass), or
-//! leaves unattributed cycles (nonzero residue on a scheduler-driven
-//! machine).
+//! `--check` turns the run into a gate (used by `scripts/ci.sh`): each
+//! failure is reported to stderr with the gate that tripped —
+//! `gate=parse` (unreadable or malformed journal), `gate=missing-samples`
+//! (no `cycle_sample` events: the attribution pipeline silently off is a
+//! failure, not a pass), or `gate=residue` (unattributed cycles on a
+//! scheduler-driven machine) — and the exit code identifies the
+//! most severe gate tripped across all files (see [`usage`]).
 
 use std::process::ExitCode;
 
@@ -20,8 +22,42 @@ fn usage() -> &'static str {
      histograms, and MMU-overhead-over-time reconstructed from a bench\n\
      trace journal (produced by HAWKEYE_TRACE=1 cargo bench ...).\n\
      \n\
-     --check   exit nonzero on parse errors, missing cycle_sample\n\
-     \x20         events, or nonzero cycle-attribution residue\n"
+     --check   gate mode: verify every journal parses, carries\n\
+     \x20         cycle_sample events, and attributes cycles exactly;\n\
+     \x20         failures name the gate (parse / missing-samples /\n\
+     \x20         residue) on stderr\n\
+     \n\
+     exit codes:\n\
+     \x20  0   all files passed\n\
+     \x20  2   usage error (no input files)\n\
+     \x20  3   gate=parse: a file was unreadable or malformed\n\
+     \x20  4   gate=missing-samples: a journal has no cycle_sample events\n\
+     \x20  5   gate=residue: a machine left unattributed cycles\n\
+     \n\
+     When several gates trip across the file list the lowest code wins\n\
+     (parse failures outrank missing samples outrank residue).\n"
+}
+
+/// Which gates tripped, across all input files.
+#[derive(Default)]
+struct Gates {
+    parse: bool,
+    missing_samples: bool,
+    residue: bool,
+}
+
+impl Gates {
+    fn exit(&self) -> ExitCode {
+        if self.parse {
+            ExitCode::from(3)
+        } else if self.missing_samples {
+            ExitCode::from(4)
+        } else if self.residue {
+            ExitCode::from(5)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -41,42 +77,46 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::from(2);
     }
-    let mut failed = false;
+    let mut gates = Gates::default();
     for path in &paths {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
-                eprintln!("hawkeye-analyze: {path}: {e}");
-                failed = true;
+                eprintln!("hawkeye-analyze: {path}: gate=parse: {e}");
+                gates.parse = true;
                 continue;
             }
         };
         let doc = match hawkeye_analyze::parse_trace(&text) {
             Ok(d) => d,
             Err(e) => {
-                eprintln!("hawkeye-analyze: {path}: {e}");
-                failed = true;
+                eprintln!("hawkeye-analyze: {path}: gate=parse: {e}");
+                gates.parse = true;
                 continue;
             }
         };
         print!("{}", hawkeye_analyze::report(&doc));
         if check {
             let audit = hawkeye_analyze::residues(&doc);
+            let mut file_ok = true;
             if audit.samples == 0 {
                 eprintln!(
-                    "hawkeye-analyze: {path}: no cycle_sample events — \
-                     was the registry attached?"
+                    "hawkeye-analyze: {path}: gate=missing-samples: no \
+                     cycle_sample events — was the registry attached?"
                 );
-                failed = true;
+                gates.missing_samples = true;
+                file_ok = false;
             }
             for (scenario, machine, residue) in &audit.nonzero {
                 eprintln!(
-                    "hawkeye-analyze: {path}: scenario {scenario:?} machine \
-                     {machine}: {residue} unattributed cycles"
+                    "hawkeye-analyze: {path}: gate=residue: scenario \
+                     {scenario:?} machine {machine}: {residue} unattributed \
+                     cycles"
                 );
-                failed = true;
+                gates.residue = true;
+                file_ok = false;
             }
-            if !failed {
+            if file_ok {
                 eprintln!(
                     "hawkeye-analyze: {path}: {} cycle sample(s), zero residue",
                     audit.samples
@@ -84,9 +124,5 @@ fn main() -> ExitCode {
             }
         }
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    gates.exit()
 }

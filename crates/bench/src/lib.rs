@@ -18,11 +18,12 @@
 pub mod json;
 pub mod pool;
 pub mod scenario;
+pub mod suite;
 
 pub use json::Json;
 pub use scenario::{
     cycles_json, run_scenarios, run_scenarios_capturing, run_scenarios_with,
-    take_metric_snapshots, trace_json, write_json, Report, Row, Scenario,
+    take_metric_snapshots, trace_json, write_json, write_json_in, Report, Row, Scenario,
 };
 
 use hawkeye_core::{HawkEye, HawkEyeConfig};

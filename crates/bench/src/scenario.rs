@@ -398,6 +398,14 @@ impl Report {
 /// Multi-section targets (ablations) assemble their own [`Json`] and call
 /// this once.
 pub fn write_json(target: &str, json: &Json) {
+    write_json_in(&json::results_dir(), target, json);
+}
+
+/// The explicit-dir variant of [`write_json`]: drains the metric and
+/// trace queues into `<dir>/<target>.json` / `<dir>/<target>.trace.json`.
+/// `hawkeye-report` uses this to collect the whole suite's artifacts in
+/// one place without mutating process environment.
+pub fn write_json_in(dir: &std::path::Path, target: &str, json: &Json) {
     let snapshots = take_metric_snapshots();
     let json = if snapshots.is_empty() {
         json.clone()
@@ -406,17 +414,17 @@ pub fn write_json(target: &str, json: &Json) {
         j.push("cycles", cycles_json(&snapshots));
         j
     };
-    match json::write_results(target, &json) {
+    match json::write_results_in(dir, target, &json) {
         Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
         Err(e) => eprintln!("[scenario-engine] could not write {target}.json: {e}"),
     }
-    write_trace_results(target);
+    write_trace_results(dir, target);
 }
 
 /// Dumps the journals queued by traced runs (if any) to
-/// `target/bench-results/<target>.trace.json`. A no-op when tracing was
-/// off; stdout is untouched either way.
-fn write_trace_results(target: &str) {
+/// `<dir>/<target>.trace.json`. A no-op when tracing was off; stdout is
+/// untouched either way.
+fn write_trace_results(dir: &std::path::Path, target: &str) {
     let journals = match TRACE_JOURNALS.lock() {
         Ok(mut q) => std::mem::take(&mut *q),
         Err(_) => return,
@@ -425,7 +433,7 @@ fn write_trace_results(target: &str) {
         return;
     }
     let stem = format!("{target}.trace");
-    match json::write_results(&stem, &trace_json(target, &journals)) {
+    match json::write_results_in(dir, &stem, &trace_json(target, &journals)) {
         Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
         Err(e) => eprintln!("[scenario-engine] could not write {stem}.json: {e}"),
     }

@@ -1,6 +1,6 @@
 //! Free Memory Fragmentation Index (FMFI).
 //!
-//! Gorman & Whitcroft's index ([50] in the paper): for a requested order
+//! Gorman & Whitcroft's index (citation \[50\] in the paper): for a requested order
 //! `j`, how fragmented is free memory with respect to that request?
 //!
 //! ```text

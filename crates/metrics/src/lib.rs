@@ -24,6 +24,8 @@
 //! assert!(clock.now().as_secs() > 0.0004);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod registry;
 pub mod series;
 pub mod stats;
@@ -31,7 +33,7 @@ pub mod table;
 pub mod time;
 
 pub use registry::{LogHistogram, MachineMetrics, MetricsSink, Registry, Subsystem, UNHALTED};
-pub use series::{Recorder, Sample, TimeSeries};
+pub use series::{Recorder, Reduce, Sample, TimeSeries};
 pub use stats::Summary;
 pub use table::TextTable;
 pub use time::{Cycles, SimClock, CPU_HZ};

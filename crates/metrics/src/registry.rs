@@ -10,7 +10,7 @@
 //! unhalted counter ([`UNHALTED`]) — asserted in tests and checked by the
 //! `hawkeye-analyze` residue pass.
 //!
-//! Wiring mirrors the trace layer ([`hawkeye-trace`]): emit sites hold a
+//! Wiring mirrors the trace layer (`hawkeye-trace`): emit sites hold a
 //! cheap cloneable [`MetricsSink`] that early-returns on one branch when no
 //! registry scope is active, so instrumentation can never perturb the
 //! simulation (the registry-drift test pins this). Scoping is per-thread:

@@ -17,6 +17,47 @@ pub struct Sample {
     pub value: f64,
 }
 
+/// How [`TimeSeries::resample`] reduces the samples inside one time bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduce {
+    /// Arithmetic mean of the bin's values (rates, percentages).
+    Mean,
+    /// Sum of the bin's values (event counts per bin).
+    Sum,
+    /// Maximum of the bin's values (peaks).
+    Max,
+}
+
+impl Reduce {
+    fn apply(self, values: impl Iterator<Item = f64>) -> f64 {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            n += 1;
+            sum += v;
+            max = max.max(v);
+        }
+        match self {
+            Reduce::Mean => {
+                if n == 0 {
+                    0.0
+                } else {
+                    sum / n as f64
+                }
+            }
+            Reduce::Sum => sum,
+            Reduce::Max => {
+                if n == 0 {
+                    0.0
+                } else {
+                    max
+                }
+            }
+        }
+    }
+}
+
 /// A named sequence of observations ordered by time.
 ///
 /// # Examples
@@ -115,6 +156,45 @@ impl TimeSeries {
     /// sample at or before `secs`, or `None` if `secs` precedes all samples.
     pub fn value_at(&self, secs: f64) -> Option<f64> {
         self.samples.iter().take_while(|s| s.secs <= secs).last().map(|s| s.value)
+    }
+
+    /// Resamples onto `bins` fixed-width time bins spanning
+    /// `[first.secs, last.secs]`, reducing the samples that fall into each
+    /// bin with `reduce`. Empty bins are skipped (no interpolation), so
+    /// the result has at most `bins` entries; each carries the bin's
+    /// *center* time. Unlike [`TimeSeries::downsample`] (which picks
+    /// samples by index and so drifts with sampling density), resampling
+    /// produces figure bins aligned on simulated time — what the report
+    /// pipeline's sparkline figures want. Deterministic: pure f64
+    /// arithmetic over the samples in time order.
+    pub fn resample(&self, bins: usize, reduce: Reduce) -> Vec<Sample> {
+        if bins == 0 || self.samples.is_empty() {
+            return Vec::new();
+        }
+        let t0 = self.samples[0].secs;
+        let t1 = self.samples[self.samples.len() - 1].secs;
+        let width = (t1 - t0) / bins as f64;
+        if width <= 0.0 {
+            // Degenerate span: everything lands in one bin.
+            let v = reduce.apply(self.samples.iter().map(|s| s.value));
+            return vec![Sample { secs: t0, value: v }];
+        }
+        let mut out = Vec::new();
+        let mut start = 0;
+        for b in 0..bins {
+            // The final bin is closed on the right so `t1` is included.
+            let hi = if b + 1 == bins { f64::INFINITY } else { t0 + width * (b + 1) as f64 };
+            let mut end = start;
+            while end < self.samples.len() && self.samples[end].secs < hi {
+                end += 1;
+            }
+            if end > start {
+                let v = reduce.apply(self.samples[start..end].iter().map(|s| s.value));
+                out.push(Sample { secs: t0 + width * (b as f64 + 0.5), value: v });
+            }
+            start = end;
+        }
+        out
     }
 
     /// Downsamples to at most `n` evenly spaced samples (by index), always
@@ -232,6 +312,51 @@ mod tests {
         assert_eq!(d.last().unwrap().secs, 99.0);
         assert!(s.downsample(0).is_empty());
         assert_eq!(s.downsample(1000).len(), 100);
+    }
+
+    #[test]
+    fn resample_bins_on_time_not_index() {
+        let mut s = TimeSeries::new("x");
+        // Dense early samples, one late sample: index-based downsampling
+        // would put most picks early; time bins must not.
+        for i in 0..9 {
+            s.push(i as f64 * 0.1, 1.0);
+        }
+        s.push(10.0, 5.0);
+        let bins = s.resample(2, Reduce::Mean);
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].secs, 2.5);
+        assert_eq!(bins[0].value, 1.0);
+        assert_eq!(bins[1].secs, 7.5);
+        assert_eq!(bins[1].value, 5.0);
+    }
+
+    #[test]
+    fn resample_reduces_sum_and_max_and_skips_empty_bins() {
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 1.0);
+        s.push(0.5, 2.0);
+        s.push(4.0, 7.0); // bins over (1,2) and (2,3) are empty
+        let sum = s.resample(4, Reduce::Sum);
+        assert_eq!(
+            sum.iter().map(|b| (b.secs, b.value)).collect::<Vec<_>>(),
+            vec![(0.5, 3.0), (3.5, 7.0)]
+        );
+        let max = s.resample(1, Reduce::Max);
+        assert_eq!(max[0].value, 7.0);
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        let empty = TimeSeries::new("e");
+        assert!(empty.resample(4, Reduce::Mean).is_empty());
+        let mut point = TimeSeries::new("p");
+        point.push(3.0, 1.0);
+        point.push(3.0, 3.0);
+        let bins = point.resample(4, Reduce::Mean);
+        assert_eq!(bins.len(), 1, "zero-width span collapses to one bin");
+        assert_eq!(bins[0].value, 2.0);
+        assert!(point.resample(0, Reduce::Sum).is_empty());
     }
 
     #[test]

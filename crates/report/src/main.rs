@@ -1,0 +1,154 @@
+//! CLI for [`hawkeye_report`]: run the suite, build REPORT.md, and
+//! optionally gate on the tolerance bands.
+//!
+//! ```text
+//! hawkeye-report [--check] [--no-run] [--threads N] [--slack F]
+//!                [--only a,b,...] [--dir DIR]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hawkeye_report::paper;
+
+fn usage() -> &'static str {
+    "usage: hawkeye-report [--check] [--no-run] [--threads N] [--slack F]\n\
+     \x20                     [--only t1,t2,...] [--dir DIR]\n\
+     \n\
+     Runs the full paper-experiment suite in-process (tracing forced on),\n\
+     writes per-target summaries + trace journals under DIR, and renders\n\
+     DIR/REPORT.md: every table/figure of DESIGN.md \u{a7}4 side-by-side\n\
+     with the paper's number, a percent delta, and a tolerance band.\n\
+     \n\
+     --check       exit nonzero if any check lands outside its band\n\
+     --no-run      skip the suite run; rebuild REPORT.md from artifacts\n\
+     \x20             already in DIR\n\
+     --threads N   worker threads for the scenario engine (default:\n\
+     \x20             HAWKEYE_BENCH_THREADS or all cores); REPORT.md is\n\
+     \x20             byte-identical at any value\n\
+     --slack F     widen every band's half-width by F (e.g. 0.5 = 1.5x);\n\
+     \x20             exact gates stay exact\n\
+     --only LIST   comma-separated subset of suite targets\n\
+     --dir DIR     artifact directory (default: <target>/report)\n\
+     \n\
+     exit codes:\n\
+     \x20  0   report written; all checks in tolerance (or no --check)\n\
+     \x20  1   --check: at least one check out of tolerance\n\
+     \x20  2   usage error\n\
+     \x20  3   pipeline error (missing or malformed artifact)\n"
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut run = true;
+    let mut threads: Option<usize> = None;
+    let mut slack = 0.0f64;
+    let mut only: Option<Vec<String>> = None;
+    let mut dir: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--check" => check = true,
+            "--no-run" => run = false,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--threads" => match value("--threads").map(|v| v.parse::<usize>()) {
+                Ok(Ok(n)) if n > 0 => threads = Some(n),
+                _ => {
+                    eprintln!("hawkeye-report: --threads needs a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--slack" => match value("--slack").map(|v| v.parse::<f64>()) {
+                Ok(Ok(f)) if f >= 0.0 => slack = f,
+                _ => {
+                    eprintln!("hawkeye-report: --slack needs a non-negative number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--only" => match value("--only") {
+                Ok(list) => {
+                    only = Some(list.split(',').map(|s| s.trim().to_string()).collect())
+                }
+                Err(e) => {
+                    eprintln!("hawkeye-report: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--dir" => match value("--dir") {
+                Ok(d) => dir = Some(PathBuf::from(d)),
+                Err(e) => {
+                    eprintln!("hawkeye-report: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("hawkeye-report: unknown argument `{other}`\n");
+                eprint!("{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let dir = dir.unwrap_or_else(hawkeye_report::default_report_dir);
+    let data_dir = dir.join("data");
+    let targets = match hawkeye_report::select_targets(only.as_deref()) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("hawkeye-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if run {
+        let threads = threads.unwrap_or_else(hawkeye_bench::pool::worker_threads);
+        eprintln!(
+            "[hawkeye-report] running {} suite target(s) on {threads} worker(s)",
+            targets.len()
+        );
+        hawkeye_report::run_suite(&targets, threads, &data_dir);
+    }
+
+    let data = match hawkeye_report::load(&targets, &data_dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("hawkeye-report: gate=load: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let sections = paper::sections(&data);
+    let report = hawkeye_report::render(&sections, slack);
+
+    let out_path = dir.join("REPORT.md");
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&out_path, &report))
+    {
+        eprintln!("hawkeye-report: gate=load: could not write {}: {e}", out_path.display());
+        return ExitCode::from(3);
+    }
+    eprintln!("[hawkeye-report] wrote {}", out_path.display());
+
+    if check {
+        let failures = hawkeye_report::failures(&sections, slack);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("hawkeye-report: gate=tolerance: {f}");
+            }
+            eprintln!(
+                "hawkeye-report: {} check(s) out of tolerance — see {}",
+                failures.len(),
+                out_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        let total: usize = sections.iter().map(|s| s.checks.len()).sum();
+        eprintln!("hawkeye-report: all {total} check(s) within tolerance");
+    }
+    ExitCode::SUCCESS
+}

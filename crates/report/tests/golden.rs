@@ -1,0 +1,125 @@
+//! Golden-file tests for `hawkeye-report` (DESIGN.md §12).
+//!
+//! 1. REPORT.md is byte-identical at `--threads 1` and `--threads 8`
+//!    over a fast subset of the suite — the §9 determinism invariant
+//!    extended to the rendered artifact.
+//! 2. `--check` fails (exit 1) when a summary artifact carries an
+//!    out-of-tolerance value — the gate actually gates.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Fast suite subset (each target < ~1 s in debug builds).
+const SUBSET: &str =
+    "table4_pmu_methodology,fig3_first_nonzero_byte,fig4_access_map,fig10_prezero_interference";
+
+fn report_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_hawkeye-report")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hawkeye-report-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale temp dir");
+    }
+    dir
+}
+
+fn run_subset(dir: &Path, threads: usize) {
+    let status = Command::new(report_bin())
+        .args(["--only", SUBSET, "--threads", &threads.to_string()])
+        .arg("--dir")
+        .arg(dir)
+        .status()
+        .expect("spawn hawkeye-report");
+    assert!(status.success(), "hawkeye-report failed with {status}");
+}
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    let dir1 = temp_dir("w1");
+    let dir8 = temp_dir("w8");
+    run_subset(&dir1, 1);
+    run_subset(&dir8, 8);
+
+    let report1 = std::fs::read(dir1.join("REPORT.md")).expect("read 1-worker REPORT.md");
+    let report8 = std::fs::read(dir8.join("REPORT.md")).expect("read 8-worker REPORT.md");
+    assert!(
+        report1 == report8,
+        "REPORT.md differs between --threads 1 and --threads 8"
+    );
+
+    // The summaries feeding the report must be identical too, or the
+    // report-level match is a coincidence of rendering.
+    for target in SUBSET.split(',') {
+        let name = format!("{target}.json");
+        let s1 = std::fs::read(dir1.join("data").join(&name)).expect("1-worker summary");
+        let s8 = std::fs::read(dir8.join("data").join(&name)).expect("8-worker summary");
+        assert!(s1 == s8, "{name} differs between worker counts");
+    }
+
+    let text = String::from_utf8(report1).expect("REPORT.md is UTF-8");
+    for target in SUBSET.split(',') {
+        assert!(
+            text.contains(&format!("`{target}`")),
+            "REPORT.md missing section for {target}"
+        );
+    }
+    assert!(text.contains("Overall: **all sections within tolerance**"));
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir8).ok();
+}
+
+#[test]
+fn check_fails_on_injected_out_of_tolerance_value() {
+    let dir = temp_dir("inject");
+    run_subset(&dir, 2);
+
+    // Baseline: artifacts as written pass the gate.
+    let ok = Command::new(report_bin())
+        .args(["--only", SUBSET, "--no-run", "--check"])
+        .arg("--dir")
+        .arg(&dir)
+        .status()
+        .expect("spawn hawkeye-report --check");
+    assert!(ok.success(), "pristine artifacts should pass --check");
+
+    // Inject: corrupt the stored MMU overhead for the random scan in
+    // table4's summary. This lands outside its band AND breaks the
+    // exact-1 consistency gate (overhead must equal (C1+C2)/C3).
+    let summary_path = dir.join("data").join("table4_pmu_methodology.json");
+    let text = std::fs::read_to_string(&summary_path).expect("read table4 summary");
+    let key = "\"mmu_overhead\":";
+    let start = text.find(key).expect("summary has mmu_overhead field") + key.len();
+    let end = start
+        + text[start..]
+            .find([',', '}'])
+            .expect("mmu_overhead value is delimited");
+    let injected = format!("{}9.875{}", &text[..start], &text[end..]);
+    assert_ne!(injected, text, "injection must change the summary");
+    std::fs::write(&summary_path, injected).expect("write injected summary");
+
+    let out = Command::new(report_bin())
+        .args(["--only", SUBSET, "--no-run", "--check"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("spawn hawkeye-report --check after injection");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--check must exit 1 on an out-of-tolerance cell"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("gate=tolerance"),
+        "failure must name its gate on stderr, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("table4_pmu_methodology"),
+        "failure must name the offending target, got:\n{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -370,7 +370,7 @@ struct VmEntry {
 /// A host plus a set of VMs.
 ///
 /// The host sits behind an `Arc<Mutex<..>>` shared with the per-VM
-/// [`HostBridge`]s, keeping the whole system `Send`: a bench scenario can
+/// `HostBridge`s, keeping the whole system `Send`: a bench scenario can
 /// build a `VirtSystem` on one thread and run it on another. The mutex is
 /// uncontended — guests run rounds sequentially within one system — so
 /// locking is a pointer check, not a scalability cost.

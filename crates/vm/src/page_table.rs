@@ -10,7 +10,7 @@
 //!
 //! # Layout
 //!
-//! Entries are stored per 2 MB region in a [`RegionChunk`]: one optional
+//! Entries are stored per 2 MB region in a `RegionChunk`: one optional
 //! huge entry plus 512 frame slots and mapped/accessed/dirty/zero-COW
 //! bitmaps. Intra-region operations are O(1) array/bit work and region
 //! coverage sampling is a popcount, instead of per-page tree lookups.

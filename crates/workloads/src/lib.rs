@@ -15,7 +15,7 @@
 //!   promotion in Figs. 5–6), plus a PageRank-like uniform scanner.
 //! * [`npb`] — NAS-Parallel-Benchmark-shaped kernels (cg's random gather,
 //!   mg's sequential sweeps, …) for Table 3.
-//! * [`census`] — 79 synthetic application profiles across 7 suites for
+//! * [`mod@census`] — 79 synthetic application profiles across 7 suites for
 //!   Table 2's TLB-sensitivity census.
 //! * [`content`] — first-non-zero-byte distributions (Fig. 3).
 

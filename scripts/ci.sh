@@ -23,6 +23,12 @@ cargo test -p hawkeye-bench --test determinism -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Rustdoc gate: every public item documented (trace/metrics/analyze set
+# #![warn(missing_docs)]), every intra-doc link resolving. REPORT.md and
+# DESIGN.md lean on the API docs, so broken links are CI failures.
+echo "==> RUSTDOCFLAGS=-D warnings cargo doc --no-deps --workspace"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 # Non-test library code in the simulation stack must not unwrap: a
 # panic inside the kernel/VM layers would take down a whole bench
 # scenario. `--lib` scopes the lint to non-test library code: unit
@@ -31,7 +37,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy --lib -- -D clippy::unwrap_used (core crates)"
 cargo clippy -p hawkeye-metrics -p hawkeye-mem -p hawkeye-vm -p hawkeye-tlb \
     -p hawkeye-trace -p hawkeye-kernel -p hawkeye-virt -p hawkeye-bench \
-    -p hawkeye-analyze \
+    -p hawkeye-analyze -p hawkeye-report \
     --lib -- -D clippy::unwrap_used
 
 # Cycle-attribution gate: run one real traced scenario and pipe the
@@ -51,6 +57,13 @@ cargo run --release -q -p hawkeye-analyze -- --check \
 echo "==> touch-throughput smoke (--quick, HAWKEYE_BENCH_THREADS=${HAWKEYE_BENCH_THREADS:-auto})"
 suite_t0=$SECONDS
 cargo bench -p hawkeye-bench --bench touch_throughput -- --quick
+
+# Paper-reproduction gate: run the full suite through hawkeye-report and
+# fail if any REPORT.md check lands outside its tolerance band (see
+# DESIGN.md §12). This regenerates target/report/REPORT.md as a side
+# effect, so a green CI run always leaves a fresh report behind.
+echo "==> hawkeye-report --check (full suite -> target/report/REPORT.md)"
+cargo run --release -q -p hawkeye-report -- --check
 
 echo "==> suite wall-clock: $((SECONDS - suite_t0))s (bench steps, ${HAWKEYE_BENCH_THREADS:-auto} workers)"
 echo "==> OK"
