@@ -105,27 +105,38 @@ pub fn parse(text: &str) -> Result<Value, String> {
     Ok(v)
 }
 
-struct Parser<'a> {
+/// The raw pull parser behind [`parse`]. The trace loader drives it
+/// directly (`crate::parse_trace`): a `.trace.json` document holds
+/// millions of tiny event objects, and materializing each as a
+/// [`Value::Obj`] (a `Vec` of owned-key pairs) costs ~10 heap allocations
+/// per event — the dominant cost of loading a journal back. Streaming over
+/// this parser reads the same grammar with borrowed keys instead.
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
+/// A pull parser over `text`, positioned at the start.
+pub(crate) fn parser(text: &str) -> Parser<'_> {
+    Parser { bytes: text.as_bytes(), pos: 0 }
+}
+
 impl<'a> Parser<'a> {
-    fn err(&self, msg: &str) -> String {
+    pub(crate) fn err(&self, msg: &str) -> String {
         format!("json error at byte {}: {}", self.pos, msg)
     }
 
-    fn peek(&self) -> Option<u8> {
+    pub(crate) fn peek(&self) -> Option<u8> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    pub(crate) fn expect(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -143,7 +154,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    pub(crate) fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
@@ -207,7 +218,58 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    /// True once the whole input has been consumed.
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Consumes one value without keeping it (unknown keys in streamed
+    /// documents).
+    pub(crate) fn skip_value(&mut self) -> Result<(), String> {
+        self.value().map(|_| ())
+    }
+
+    /// Reads a string, borrowing from the input when it contains no
+    /// escapes (every key and kind the writer emits). Escaped strings
+    /// fall back to the allocating reader.
+    pub(crate) fn string_ref(&mut self) -> Result<std::borrow::Cow<'a, str>, String> {
+        let start = self.pos;
+        self.expect(b'"')?;
+        let mut i = self.pos;
+        while let Some(&b) = self.bytes.get(i) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[self.pos..i])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    self.pos = i + 1;
+                    return Ok(std::borrow::Cow::Borrowed(s));
+                }
+                b'\\' => {
+                    self.pos = start;
+                    return self.string().map(std::borrow::Cow::Owned);
+                }
+                _ => i += 1,
+            }
+        }
+        self.pos = i;
+        Err(self.err("unterminated string"))
+    }
+
+    /// Reads a number as `f64` (same grammar as [`Parser::number`]).
+    pub(crate) fn number_f64(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        s.parse::<f64>().map_err(|_| self.err("invalid number"))
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -275,17 +337,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
-            self.pos += 1;
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        s.parse::<f64>().map(Value::Num).map_err(|_| self.err("invalid number"))
+    pub(crate) fn number(&mut self) -> Result<Value, String> {
+        self.number_f64().map(Value::Num)
     }
 }
 

@@ -31,7 +31,6 @@ use hawkeye_metrics::{Cycles, LogHistogram, TimeSeries};
 use render::{bar, hist_line, pct_line};
 use hawkeye_trace::{TraceEvent, TraceRecord};
 
-use json::Value;
 
 /// One parsed `.trace.json` document.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,63 +56,179 @@ pub struct ScenarioTrace {
 /// into typed records. Unknown event kinds and malformed payloads are
 /// errors — the journal format and [`TraceEvent::from_fields`] evolve
 /// together, so a mismatch means reader and writer are out of sync.
+///
+/// The document is streamed: journals hold millions of event objects and
+/// loading them through a generic JSON tree costs ~10 heap allocations
+/// per event, which dominates report-pipeline load time on fault-heavy
+/// targets. Keys stay borrowed from the input; only the typed
+/// [`TraceRecord`]s are allocated. Key order and unknown keys are
+/// tolerated, as before.
 pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
-    let doc = json::parse(text)?;
-    let target = doc
-        .get("target")
-        .and_then(Value::as_str)
-        .ok_or("missing \"target\"")?
-        .to_string();
-    let mut scenarios = Vec::new();
-    for (i, s) in doc
-        .get("scenarios")
-        .and_then(Value::as_arr)
-        .ok_or("missing \"scenarios\"")?
-        .iter()
-        .enumerate()
-    {
-        let name = s
-            .get("name")
-            .and_then(Value::as_str)
-            .ok_or_else(|| format!("scenario {i}: missing \"name\""))?
-            .to_string();
-        let dropped = s
-            .get("dropped")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| format!("scenario {name}: missing \"dropped\""))?;
-        let mut records = Vec::new();
-        for (j, e) in s
-            .get("events")
-            .and_then(Value::as_arr)
-            .ok_or_else(|| format!("scenario {name}: missing \"events\""))?
-            .iter()
-            .enumerate()
-        {
-            records.push(parse_record(e).map_err(|m| format!("scenario {name}, event {j}: {m}"))?);
+    let mut p = json::parser(text);
+    p.skip_ws();
+    let mut target: Option<String> = None;
+    let mut scenarios: Vec<ScenarioTrace> = Vec::new();
+    let mut saw_scenarios = false;
+    walk_obj(&mut p, |p, key| match key.as_ref() {
+        "target" => {
+            target = Some(p.string_ref()?.into_owned());
+            Ok(())
         }
-        scenarios.push(ScenarioTrace { name, dropped, records });
+        "scenarios" => {
+            saw_scenarios = true;
+            walk_arr(p, |p| {
+                let i = scenarios.len();
+                let s = parse_scenario(p, i)?;
+                scenarios.push(s);
+                Ok(())
+            })
+        }
+        _ => p.skip_value(),
+    })?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing data after document"));
+    }
+    let target = target.ok_or("missing \"target\"")?;
+    if !saw_scenarios {
+        return Err("missing \"scenarios\"".to_string());
     }
     Ok(TraceDoc { target, scenarios })
 }
 
-fn parse_record(e: &Value) -> Result<TraceRecord, String> {
-    let need = |key: &str| e.get(key).and_then(Value::as_u64).ok_or(format!("missing \"{key}\""));
-    let kind = e.get("kind").and_then(Value::as_str).ok_or("missing \"kind\"")?;
-    let fields: Vec<(String, u64)> = e
-        .as_obj()
-        .ok_or("event is not an object")?
-        .iter()
-        .filter(|(k, _)| !matches!(k.as_str(), "t" | "pid" | "machine" | "kind"))
-        .map(|(k, v)| {
-            v.as_u64().map(|n| (k.clone(), n)).ok_or(format!("field \"{k}\" is not a u64"))
-        })
-        .collect::<Result<_, _>>()?;
-    let event = TraceEvent::from_fields(kind, &fields)
+/// Drives `field(parser, key)` over every `"key": value` pair of the
+/// object at the parser's position (the parser is left just past the
+/// closing brace; `field` must consume exactly the value). Keys borrow
+/// from the document whenever they contain no escapes.
+fn walk_obj<'a>(
+    p: &mut json::Parser<'a>,
+    mut field: impl FnMut(&mut json::Parser<'a>, std::borrow::Cow<'a, str>) -> Result<(), String>,
+) -> Result<(), String> {
+    p.skip_ws();
+    p.expect(b'{')?;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return p.expect(b'}');
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string_ref()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        field(p, key)?;
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.expect(b',')?,
+            _ => return p.expect(b'}'),
+        }
+    }
+}
+
+/// Drives `item` over every element of the array at the parser's
+/// position (same contract as [`walk_obj`]).
+fn walk_arr<'a>(
+    p: &mut json::Parser<'a>,
+    mut item: impl FnMut(&mut json::Parser<'a>) -> Result<(), String>,
+) -> Result<(), String> {
+    p.skip_ws();
+    p.expect(b'[')?;
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        return p.expect(b']');
+    }
+    loop {
+        p.skip_ws();
+        item(p)?;
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.expect(b',')?,
+            _ => return p.expect(b']'),
+        }
+    }
+}
+
+/// Reads a number with [`json::Value::as_u64`]'s conversion rules.
+fn u64_number(p: &mut json::Parser<'_>, what: &str) -> Result<u64, String> {
+    let x = p.number_f64()?;
+    if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= 9_007_199_254_740_992.0 {
+        Ok(x as u64)
+    } else {
+        Err(format!("field \"{what}\" is not a u64"))
+    }
+}
+
+fn parse_scenario<'a>(p: &mut json::Parser<'a>, index: usize) -> Result<ScenarioTrace, String> {
+    let mut name: Option<String> = None;
+    let mut dropped: Option<u64> = None;
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut saw_events = false;
+    // Scratch for one event's payload fields, reused across the journal.
+    let mut fields: Vec<(std::borrow::Cow<'a, str>, u64)> = Vec::new();
+    walk_obj(p, |p, key| match key.as_ref() {
+        "name" => {
+            name = Some(p.string_ref()?.into_owned());
+            Ok(())
+        }
+        "dropped" => {
+            dropped = Some(u64_number(p, "dropped")?);
+            Ok(())
+        }
+        "events" => {
+            saw_events = true;
+            walk_arr(p, |p| {
+                let j = records.len();
+                let label = || match &name {
+                    Some(n) => format!("scenario {n}, event {j}"),
+                    None => format!("scenario {index}, event {j}"),
+                };
+                let r = parse_record(p, &mut fields).map_err(|m| format!("{}: {m}", label()))?;
+                records.push(r);
+                Ok(())
+            })
+        }
+        _ => p.skip_value(),
+    })?;
+    let name = name.ok_or_else(|| format!("scenario {index}: missing \"name\""))?;
+    let dropped = dropped.ok_or_else(|| format!("scenario {name}: missing \"dropped\""))?;
+    if !saw_events {
+        return Err(format!("scenario {name}: missing \"events\""));
+    }
+    Ok(ScenarioTrace { name, dropped, records })
+}
+
+fn parse_record<'a>(
+    p: &mut json::Parser<'a>,
+    fields: &mut Vec<(std::borrow::Cow<'a, str>, u64)>,
+) -> Result<TraceRecord, String> {
+    fields.clear();
+    let (mut t, mut pid, mut machine) = (None, None, None);
+    let mut kind: Option<std::borrow::Cow<'a, str>> = None;
+    if p.peek() != Some(b'{') {
+        // Consume the value so the error is about shape, not grammar.
+        p.skip_value()?;
+        return Err("event is not an object".to_string());
+    }
+    walk_obj(p, |p, key| {
+        match key.as_ref() {
+            "t" => t = Some(u64_number(p, "t")?),
+            "pid" => pid = Some(u64_number(p, "pid")?),
+            "machine" => machine = Some(u64_number(p, "machine")?),
+            "kind" => kind = Some(p.string_ref()?),
+            _ => {
+                let v = u64_number(p, &key)?;
+                fields.push((key, v));
+            }
+        }
+        Ok(())
+    })?;
+    let kind = kind.ok_or("missing \"kind\"")?;
+    let event = TraceEvent::from_fields(&kind, fields)
         .ok_or_else(|| format!("unknown or incomplete event kind \"{kind}\""))?;
     Ok(TraceRecord {
-        at: Cycles::new(need("t")?),
-        pid: need("pid")? as u32,
-        machine: need("machine")? as u32,
+        at: Cycles::new(t.ok_or("missing \"t\"")?),
+        pid: pid.ok_or("missing \"pid\"")? as u32,
+        machine: machine.ok_or("missing \"machine\"")? as u32,
         event,
     })
 }

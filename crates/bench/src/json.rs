@@ -55,53 +55,113 @@ impl Json {
     }
 }
 
-fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-    f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
+/// Appends `s` JSON-escaped (quoted) to `out`. Unescaped stretches are
+/// copied in bulk; only the writer's escape set (`"`, `\`, control chars)
+/// goes through per-character handling.
+pub(crate) fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
+        }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            _ => {
+                out.push_str("\\u00");
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0xf) as usize] as char);
+            }
+        }
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+/// Appends a finite `f64` to `out` exactly as Rust's `{}` formatting
+/// renders it. Integer values (the overwhelmingly common case — every
+/// counter goes through [`Json::int`]) take a manual decimal fast path;
+/// fractional values fall back to the standard shortest-roundtrip
+/// formatter.
+pub(crate) fn num_into(x: f64, out: &mut String) {
+    const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x == x.trunc() && x.abs() < EXACT && !(x == 0.0 && x.is_sign_negative()) {
+        let mut n = x as i64;
+        if n < 0 {
+            out.push('-');
+            n = -n;
+        }
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        let mut n = n as u64;
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+    } else {
+        use fmt::Write as _;
+        write!(out, "{x}").expect("writing to String cannot fail");
+    }
+}
+
+impl Json {
+    /// Serializes into `out`. This is the writer the artifact paths use:
+    /// byte-for-byte the same output as `Display`, but appending to a
+    /// `String` directly instead of going through the formatter machinery
+    /// (which costs a virtual dispatch per token — measurable on
+    /// multi-megabyte trace documents).
+    pub fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) if x.is_finite() => num_into(*x, out),
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
         }
     }
-    f.write_str("\"")
 }
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
-            Json::Num(_) => f.write_str("null"),
-            Json::Str(s) => escape(s, f),
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(pairs) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    escape(k, f)?;
-                    f.write_str(":")?;
-                    write!(f, "{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
+        let mut out = String::new();
+        self.write_into(&mut out);
+        f.write_str(&out)
     }
 }
 
@@ -130,7 +190,10 @@ pub fn write_results(target: &str, json: &Json) -> std::io::Result<PathBuf> {
 pub fn write_results_in(dir: &std::path::Path, stem: &str, json: &Json) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{stem}.json"));
-    std::fs::write(&path, format!("{json}\n"))?;
+    let mut doc = String::new();
+    json.write_into(&mut doc);
+    doc.push('\n');
+    std::fs::write(&path, doc)?;
     Ok(path)
 }
 
@@ -170,5 +233,48 @@ mod tests {
     fn identical_values_serialize_identically() {
         let build = || Json::obj(vec![("x", Json::num(0.30000000000000004))]);
         assert_eq!(build().to_string(), build().to_string());
+    }
+
+    #[test]
+    fn fast_number_path_matches_std_formatting() {
+        // The integer fast path in `num_into` must render exactly what
+        // `{}` on the f64 renders — including sign edge cases the fast
+        // path declines (negative zero) and magnitudes past 2^53.
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            53253.0,
+            2.3e9,
+            9_007_199_254_740_991.0,
+            9_007_199_254_740_992.0,
+            1e300,
+            -1.5,
+            0.30000000000000004,
+            1e-12,
+            u64::MAX as f64,
+        ] {
+            let mut fast = String::new();
+            num_into(x, &mut fast);
+            assert_eq!(fast, format!("{x}"), "mismatch for {x:e}");
+        }
+    }
+
+    #[test]
+    fn write_into_matches_display() {
+        let j = Json::obj(vec![
+            ("s", Json::str("a\"b\\c\nd\u{1}é")),
+            ("n", Json::Arr(vec![Json::int(7), Json::num(-2.5), Json::Num(f64::INFINITY)])),
+            ("b", Json::Bool(false)),
+            ("z", Json::Null),
+        ]);
+        let mut fast = String::new();
+        j.write_into(&mut fast);
+        assert_eq!(fast, j.to_string());
+        assert_eq!(
+            fast,
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u0001é\",\"n\":[7,-2.5,null],\"b\":false,\"z\":null}"
+        );
     }
 }

@@ -19,6 +19,7 @@ pub mod json;
 pub mod pool;
 pub mod scenario;
 pub mod suite;
+pub mod wallclock;
 
 pub use json::Json;
 pub use scenario::{

@@ -170,12 +170,63 @@ fn run_scenarios_inner<T: Send + 'static>(
             registries.push((name, r));
         }
     }
+    let elapsed = t0.elapsed().as_secs_f64();
+    crate::wallclock::record("engine", elapsed);
     eprintln!(
-        "[scenario-engine] {n} scenario(s) on {} worker(s) in {:.2}s",
+        "[scenario-engine] {n} scenario(s) on {} worker(s) in {elapsed:.2}s",
         threads.min(n.max(1)),
-        t0.elapsed().as_secs_f64()
     );
     (results, journals, registries)
+}
+
+/// Serializes the `.trace.json` document for one target straight into a
+/// `String` — byte-for-byte what [`trace_json`] + [`Json::write_into`]
+/// produce, without materializing a [`Json`] tree first. Journals run to
+/// millions of events; the intermediate tree costs ~10 heap allocations
+/// per event (a `Vec` of pairs plus owned key strings), which dominates
+/// the artifact dump on fault-heavy targets. A test pins the two paths
+/// byte-identical across every event kind.
+pub fn trace_doc_string(target: &str, journals: &[(String, Journal)]) -> String {
+    // ~95 bytes/event across the suite's journals; oversizing slightly
+    // avoids a late doubling of a hundred-megabyte buffer.
+    let events: usize = journals.iter().map(|(_, j)| j.records.len()).sum();
+    let mut out = String::with_capacity(128 * events + 1024);
+    out.push_str("{\"target\":");
+    json::escape_into(target, &mut out);
+    out.push_str(",\"scenarios\":[");
+    for (i, (name, journal)) in journals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::escape_into(name, &mut out);
+        out.push_str(",\"dropped\":");
+        json::num_into(journal.dropped as f64, &mut out);
+        out.push_str(",\"events\":[");
+        for (j, r) in journal.records.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"t\":");
+            json::num_into(r.at.get() as f64, &mut out);
+            out.push_str(",\"pid\":");
+            json::num_into(r.pid as f64, &mut out);
+            out.push_str(",\"machine\":");
+            json::num_into(r.machine as f64, &mut out);
+            out.push_str(",\"kind\":");
+            json::escape_into(r.event.kind(), &mut out);
+            for (k, v) in r.event.fields() {
+                out.push(',');
+                json::escape_into(k, &mut out);
+                out.push(':');
+                json::num_into(v as f64, &mut out);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// The `.trace.json` document for one target: every scenario's journal in
@@ -406,6 +457,7 @@ pub fn write_json(target: &str, json: &Json) {
 /// `hawkeye-report` uses this to collect the whole suite's artifacts in
 /// one place without mutating process environment.
 pub fn write_json_in(dir: &std::path::Path, target: &str, json: &Json) {
+    let t0 = Instant::now();
     let snapshots = take_metric_snapshots();
     let json = if snapshots.is_empty() {
         json.clone()
@@ -418,7 +470,12 @@ pub fn write_json_in(dir: &std::path::Path, target: &str, json: &Json) {
         Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
         Err(e) => eprintln!("[scenario-engine] could not write {target}.json: {e}"),
     }
+    crate::wallclock::record("summary_write", t0.elapsed().as_secs_f64());
     write_trace_results(dir, target);
+    // Dump the host-side timing sidecar last: it collects the phases the
+    // lines above just recorded (plus the engine phase) without ever
+    // touching the deterministic artifacts.
+    crate::wallclock::write_in(dir, target);
 }
 
 /// Dumps the journals queued by traced runs (if any) to
@@ -432,11 +489,21 @@ fn write_trace_results(dir: &std::path::Path, target: &str) {
     if journals.is_empty() {
         return;
     }
+    let t0 = Instant::now();
     let stem = format!("{target}.trace");
-    match json::write_results_in(dir, &stem, &trace_json(target, &journals)) {
+    let mut doc = trace_doc_string(target, &journals);
+    doc.push('\n');
+    let write = || -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.json"));
+        std::fs::write(&path, doc)?;
+        Ok(path)
+    };
+    match write() {
         Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
         Err(e) => eprintln!("[scenario-engine] could not write {stem}.json: {e}"),
     }
+    crate::wallclock::record("trace_write", t0.elapsed().as_secs_f64());
 }
 
 #[cfg(test)]
@@ -453,6 +520,53 @@ mod tests {
     fn scenario_types_are_send() {
         assert_send::<Scenario<Row>>();
         assert_send::<Simulator>();
+    }
+
+    #[test]
+    fn streamed_trace_doc_matches_tree_serialization() {
+        use hawkeye_metrics::Cycles;
+        use hawkeye_trace::{Journal, TraceEvent, TraceRecord};
+        // One record per event kind, plus name characters that need
+        // escaping — the streaming writer must reproduce the tree
+        // serialization byte for byte.
+        let events = vec![
+            TraceEvent::Fault { vpn: 7, huge: true, cow: false, cycles: 6095 },
+            TraceEvent::Promote { hvpn: 3, copied: 512, filled: 0, cycles: 1 },
+            TraceEvent::Demote { hvpn: 3, cycles: 2 },
+            TraceEvent::Compact { migrated: 10, huge_blocks: 2 },
+            TraceEvent::PreZero { pages: 512 },
+            TraceEvent::Dedup { hvpn: 4, zero_pages: 100, demoted: true, cycles: 9 },
+            TraceEvent::Oom,
+            TraceEvent::QuantumEnd { load_walk: 1, store_walk: 2, unhalted: 3, walks: 4 },
+            TraceEvent::CycleSample {
+                walk: 1,
+                fault: 2,
+                zero: 3,
+                copy: 4,
+                scan: 5,
+                compact: 6,
+                dedup: 7,
+                idle: 8,
+                unhalted: 36,
+                daemon: 9,
+            },
+        ];
+        let records = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TraceRecord {
+                at: Cycles::new(i as u64 * 1_000_000_007),
+                pid: i as u32,
+                machine: (i % 2) as u32,
+                event,
+            })
+            .collect();
+        let journals = vec![
+            ("quoted \"name\"\n".to_string(), Journal { records, dropped: 3 }),
+            ("empty".to_string(), Journal { records: Vec::new(), dropped: 0 }),
+        ];
+        let streamed = trace_doc_string("demo \\target", &journals);
+        assert_eq!(streamed, trace_json("demo \\target", &journals).to_string());
     }
 
     #[test]

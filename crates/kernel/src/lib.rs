@@ -37,6 +37,7 @@ pub mod machine;
 pub mod policy;
 pub mod process;
 pub use hawkeye_mem::rng;
+pub mod sched_stats;
 pub mod sim;
 pub mod stats;
 pub mod workload;

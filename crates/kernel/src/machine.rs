@@ -289,6 +289,17 @@ impl Machine {
         self.processes.get_mut(&pid)
     }
 
+    /// Split borrow for the touch hot path: one process lookup hands the
+    /// run loop every piece a mapped touch needs (address space, MMU
+    /// model, frame contents, cost table) as disjoint borrows.
+    pub(crate) fn touch_parts(
+        &mut self,
+        pid: u32,
+    ) -> Option<(&mut Process, &mut Mmu, &mut PhysMemory, &KernelConfig)> {
+        let p = self.processes.get_mut(&pid)?;
+        Some((p, &mut self.mmu, &mut self.pm, &self.config))
+    }
+
     // ---- allocation & fault primitives -----------------------------------
 
     /// Allocates a user block, reclaiming file-cache pages on pressure.
@@ -462,32 +473,37 @@ impl Machine {
             .map_err(|_| PromoteError::NoContiguousMemory)?;
 
         let p = self.processes.get_mut(&pid).expect("checked above");
-        let entries = p.space_mut().page_table_mut().take_base_entries_in_region(hvpn);
         let mut cost = Cycles::ZERO;
         let mut copied = 0u32;
+        let mut taken = 0u32;
         let mut covered = [false; 512];
         // Copy mapped pages into the huge frame; free their old frames.
-        for (vpn, e) in &entries {
+        // (Callback drain: the entries never materialize in a Vec.)
+        let pm = &mut self.pm;
+        let mmu = &mut self.mmu;
+        let costs = &self.config.costs;
+        p.space_mut().page_table_mut().take_base_entries_in_region(hvpn, |vpn, e| {
             let off = vpn.huge_offset();
             covered[off as usize] = true;
+            taken += 1;
             let dst = Pfn(a.pfn.0 + off);
             if e.zero_cow {
                 // Shared zero page: the destination must be zero.
-                if !self.pm.frame(dst).is_zeroed() {
-                    self.pm.zero_block(dst, Order(0));
-                    cost += self.config.costs.zero_4k;
+                if !pm.frame(dst).is_zeroed() {
+                    pm.zero_block(dst, Order(0));
+                    cost += costs.zero_4k;
                 }
             } else {
-                let content = self.pm.frame(e.pfn).content();
-                self.pm.frame_mut(dst).set_content(content);
-                self.pm.free(e.pfn, Order(0));
-                cost += self.config.costs.copy_4k;
+                let content = pm.frame(e.pfn).content();
+                pm.frame_mut(dst).set_content(content);
+                pm.free(e.pfn, Order(0));
+                cost += costs.copy_4k;
                 copied += 1;
             }
-            self.mmu.invalidate_page(pid, *vpn);
-        }
+            mmu.invalidate_page(pid, vpn);
+        });
         // Previously-unmapped tail: must read as zero (bloat risk).
-        let filled = 512 - entries.len() as u32;
+        let filled = 512 - taken;
         if !a.was_zeroed {
             for (i, covered) in covered.iter().enumerate() {
                 if *covered {
@@ -562,7 +578,7 @@ impl Machine {
         }
         let p = self.processes.get_mut(&pid).expect("checked");
         let pt = p.space_mut().page_table_mut();
-        let _ = pt.take_base_entries_in_region(hvpn);
+        pt.take_base_entries_in_region(hvpn, |_, _| {});
         pt.map_huge(hvpn, first).expect("entries taken");
         self.install_huge_frames(pid, hvpn, first);
         self.mmu.invalidate_region(pid, hvpn.0);
@@ -762,15 +778,9 @@ impl Machine {
                 demotions += 1;
                 // Split cost is folded into the per-page unmap charge below.
                 self.trace.emit(pid, TraceEvent::Demote { hvpn: h.0, cycles: 0 });
-                let remaining: Vec<Pfn> = p
-                    .space()
-                    .page_table()
-                    .base_mappings()
-                    .filter(|(v, _)| v.hvpn() == *h)
-                    .map(|(_, e)| e.pfn)
-                    .collect();
-                for pfn in remaining {
-                    self.pm.frame_mut(pfn).set_movable(true);
+                let pm = &mut self.pm;
+                for (_, e) in p.space().page_table().base_mappings_in_region(*h) {
+                    pm.frame_mut(e.pfn).set_movable(true);
                 }
             }
         }

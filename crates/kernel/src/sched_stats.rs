@@ -1,0 +1,62 @@
+//! Process-wide event-skip scheduler counters.
+//!
+//! The run loop tracks, per [`crate::Simulator`], how many scheduler
+//! quanta elapsed and how many of those were charged in closed form by
+//! the event-skip scheduler instead of executed. Simulators flush their
+//! local counters here when a run call returns, so harnesses (the bench
+//! suite's wall-clock artifacts, the CI skip-efficiency gate) can read
+//! machine-independent totals without threading handles through every
+//! layer.
+//!
+//! The counters are host-side instrumentation only: they are never part
+//! of deterministic simulation output (reports, traces, metric
+//! registries) — skipping changes *how* quanta are charged, not what any
+//! simulated observable reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static QUANTA_TOTAL: AtomicU64 = AtomicU64::new(0);
+static QUANTA_SKIPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Adds one run call's quanta to the process-wide totals.
+pub(crate) fn flush(total: u64, skipped: u64) {
+    if total > 0 {
+        QUANTA_TOTAL.fetch_add(total, Ordering::Relaxed);
+    }
+    if skipped > 0 {
+        QUANTA_SKIPPED.fetch_add(skipped, Ordering::Relaxed);
+    }
+}
+
+/// `(quanta_total, quanta_skipped)` accumulated by every simulator run
+/// in this process since start (or the last [`reset`]).
+pub fn snapshot() -> (u64, u64) {
+    (QUANTA_TOTAL.load(Ordering::Relaxed), QUANTA_SKIPPED.load(Ordering::Relaxed))
+}
+
+/// Zeroes the totals (benchmark harnesses isolate per-target windows).
+pub fn reset() {
+    QUANTA_TOTAL.store(0, Ordering::Relaxed);
+    QUANTA_SKIPPED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_accumulates_and_reset_zeroes() {
+        // Other tests in the process may flush concurrently; assert on
+        // deltas of a private baseline rather than absolute values.
+        let (t0, s0) = snapshot();
+        flush(10, 7);
+        let (t1, s1) = snapshot();
+        assert!(t1 >= t0 + 10);
+        assert!(s1 >= s0 + 7);
+        reset();
+        // After reset the totals restart from zero (possibly plus
+        // concurrent flushes, which only add).
+        let (t2, _) = snapshot();
+        assert!(t2 < t1);
+    }
+}

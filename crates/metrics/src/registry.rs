@@ -243,6 +243,14 @@ impl MachineMetrics {
         self.hists.entry(name).or_default().observe(v);
     }
 
+    /// Merges a locally-accumulated histogram into histogram `name`.
+    /// Equivalent to observing every value in `h` individually — the
+    /// bucket counts, count, sum, min and max are all additive — so hot
+    /// paths can batch observations outside the registry lock.
+    pub fn merge_hist(&mut self, name: &'static str, h: &LogHistogram) {
+        self.hists.entry(name).or_default().merge(h);
+    }
+
     /// Counter value (0 if never written).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -424,6 +432,16 @@ impl MetricsSink {
             return;
         }
         self.with(|m| m.observe(name, v));
+    }
+
+    /// Merges a batch of observations (see [`MachineMetrics::merge_hist`]).
+    /// No-op when disabled or `h` is empty.
+    #[inline]
+    pub fn merge_hist(&self, name: &'static str, h: &LogHistogram) {
+        if self.shared.is_none() || h.count() == 0 {
+            return;
+        }
+        self.with(|m| m.merge_hist(name, h));
     }
 
     /// Charges `c` cycles to the CPU ledger under `sub`. No-op when

@@ -158,17 +158,14 @@ impl Ingens {
         }
         let cursor = self.cursors.get(&pid).copied().unwrap_or(0);
         let p = m.process(pid)?;
-        let regions = p.space().page_table().mapped_regions();
-        let found = regions
-            .iter()
-            .copied()
+        let pt = p.space().page_table();
+        let found = pt
+            .mapped_regions()
             .filter(|h| h.0 >= cursor)
             .find(|h| Self::region_eligible(m, pid, *h, threshold))
             .or_else(|| {
                 // Wrap the sequential scan.
-                regions
-                    .iter()
-                    .copied()
+                pt.mapped_regions()
                     .filter(|h| h.0 < cursor)
                     .find(|h| Self::region_eligible(m, pid, *h, threshold))
             });

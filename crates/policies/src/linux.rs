@@ -91,7 +91,6 @@ impl LinuxThp {
         p.space()
             .page_table()
             .mapped_regions()
-            .into_iter()
             .filter(|h| h.0 >= cursor)
             .find(|h| {
                 pt.huge_entry(*h).is_none()

@@ -174,18 +174,138 @@ pub fn select_targets(only: Option<&[String]>) -> Result<Vec<&'static Target>, S
     Ok(suite::TARGETS.iter().filter(|t| names.iter().any(|n| n == t.name)).collect())
 }
 
+/// Host wall-clock spent on one suite target, assembled from a
+/// monotonic clock around the target's run plus the phase breakdown the
+/// bench pipeline dumps to `<target>.wallclock.json`. Host timing never
+/// enters REPORT.md or any deterministic artifact — it feeds the
+/// separate WALLCLOCK.md table (EXPERIMENTS.md "Suite wall-clock").
+#[derive(Debug, Clone)]
+pub struct TargetWall {
+    /// Bench-target name.
+    pub name: &'static str,
+    /// End-to-end wall seconds for the target: scenario engine, table
+    /// formatting, and every artifact dump.
+    pub total_secs: f64,
+    /// `(phase, seconds)` breakdown from the sidecar (`engine`,
+    /// `summary_write`, `trace_write`); empty when the sidecar is
+    /// missing.
+    pub phases: Vec<(String, f64)>,
+    /// Scheduler quanta elapsed across the target's simulations.
+    pub quanta_total: u64,
+    /// Quanta the event-skip scheduler charged in closed form.
+    pub quanta_skipped: u64,
+}
+
+impl TargetWall {
+    /// Seconds recorded against one sidecar phase (0 when absent).
+    pub fn phase_secs(&self, phase: &str) -> f64 {
+        self.phases.iter().find(|(p, _)| p == phase).map_or(0.0, |(_, s)| *s)
+    }
+}
+
+/// `(phases, quanta_total, quanta_skipped)` from a timing sidecar.
+type WallSidecar = (Vec<(String, f64)>, u64, u64);
+
+/// Reads `<dir>/<name>.wallclock.json` back.
+fn read_wallclock(dir: &Path, name: &str) -> Option<WallSidecar> {
+    let text = std::fs::read_to_string(dir.join(format!("{name}.wallclock.json"))).ok()?;
+    let doc = hawkeye_analyze::json::parse(&text).ok()?;
+    let obj = doc.as_obj()?;
+    let get = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    let phases = get("phases")?
+        .as_arr()?
+        .iter()
+        .filter_map(|p| {
+            let o = p.as_obj()?;
+            let field = |k: &str| o.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+            Some((field("phase")?.as_str()?.to_string(), field("secs")?.as_f64()?))
+        })
+        .collect();
+    let int = |k: &str| get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+    Some((phases, int("quanta_total"), int("quanta_skipped")))
+}
+
 /// Runs the selected targets in-process with tracing forced on, writing
 /// `<dir>/<target>.json` and `<dir>/<target>.trace.json` for each. The
 /// bench tables go to stdout exactly as the standalone binaries print
-/// them, so a report run doubles as a full-suite run.
-pub fn run_suite(targets: &[&'static Target], threads: usize, dir: &Path) {
+/// them, so a report run doubles as a full-suite run. Returns the host
+/// wall-clock record per target (suite order) for the WALLCLOCK.md
+/// table; the deterministic artifacts never see these numbers.
+pub fn run_suite(targets: &[&'static Target], threads: usize, dir: &Path) -> Vec<TargetWall> {
     hawkeye_trace::set_forced(true);
+    let mut walls = Vec::with_capacity(targets.len());
     for t in targets {
+        let t0 = std::time::Instant::now();
         let report = (t.build)(threads);
         print!("{}", report.text());
         hawkeye_bench::write_json_in(dir, t.name, &report.json());
+        let total_secs = t0.elapsed().as_secs_f64();
+        let (phases, quanta_total, quanta_skipped) =
+            read_wallclock(dir, t.name).unwrap_or_default();
+        walls.push(TargetWall { name: t.name, total_secs, phases, quanta_total, quanta_skipped });
     }
     hawkeye_trace::set_forced(false);
+    walls
+}
+
+/// Renders the suite wall-clock table (WALLCLOCK.md): per-target totals,
+/// the sidecar phase breakdown, and event-skip efficiency, slowest
+/// first, with a suite-total row. Host timing lives only here — never in
+/// REPORT.md — so the table can change run to run while the report stays
+/// byte-identical.
+pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str("# Suite wall-clock\n\n");
+    out.push_str(&format!(
+        "Host wall-clock per suite target on {threads} worker thread(s), \
+         from a monotonic clock kept out of every deterministic artifact \
+         (see EXPERIMENTS.md \"Suite wall-clock\"). Phases: `engine` is \
+         the scenario-engine run, `summary` and `trace` are the artifact \
+         dumps; the remainder is table formatting and load-back. \
+         `skip%` is the fraction of scheduler quanta the event-skip \
+         scheduler charged in closed form instead of executing.\n\n",
+    ));
+    out.push_str(
+        "| Target | total (s) | engine (s) | summary (s) | trace (s) | quanta | skip% |\n\
+         |---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    let mut order: Vec<&TargetWall> = walls.iter().collect();
+    order.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
+    for w in order {
+        let skip_pct = if w.quanta_total == 0 {
+            "—".to_string()
+        } else {
+            format!("{:.1}%", w.quanta_skipped as f64 / w.quanta_total as f64 * 100.0)
+        };
+        out.push_str(&format!(
+            "| `{}` | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} |\n",
+            w.name,
+            w.total_secs,
+            w.phase_secs("engine"),
+            w.phase_secs("summary_write"),
+            w.phase_secs("trace_write"),
+            w.quanta_total,
+            skip_pct,
+        ));
+    }
+    let total: f64 = walls.iter().map(|w| w.total_secs).sum();
+    let qt: u64 = walls.iter().map(|w| w.quanta_total).sum();
+    let qs: u64 = walls.iter().map(|w| w.quanta_skipped).sum();
+    let skip_pct = if qt == 0 {
+        "—".to_string()
+    } else {
+        format!("{:.1}%", qs as f64 / qt as f64 * 100.0)
+    };
+    out.push_str(&format!(
+        "| **suite total** | **{:.2}** | {:.2} | {:.2} | {:.2} | {} | {} |\n",
+        total,
+        walls.iter().map(|w| w.phase_secs("engine")).sum::<f64>(),
+        walls.iter().map(|w| w.phase_secs("summary_write")).sum::<f64>(),
+        walls.iter().map(|w| w.phase_secs("trace_write")).sum::<f64>(),
+        qt,
+        skip_pct,
+    ));
+    out
 }
 
 /// Loads the selected targets' artifacts back from `dir` through the

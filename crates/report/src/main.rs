@@ -112,7 +112,19 @@ fn main() -> ExitCode {
             "[hawkeye-report] running {} suite target(s) on {threads} worker(s)",
             targets.len()
         );
-        hawkeye_report::run_suite(&targets, threads, &data_dir);
+        let walls = hawkeye_report::run_suite(&targets, threads, &data_dir);
+        let table = hawkeye_report::wallclock_table(&walls, threads);
+        let wall_path = dir.join("WALLCLOCK.md");
+        match std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&wall_path, &table))
+        {
+            Ok(()) => eprintln!("[hawkeye-report] wrote {}", wall_path.display()),
+            Err(e) => {
+                eprintln!("[hawkeye-report] could not write {}: {e}", wall_path.display())
+            }
+        }
+        let total: f64 = walls.iter().map(|w| w.total_secs).sum();
+        eprintln!("[hawkeye-report] suite wall-clock: {total:.2}s — see WALLCLOCK.md");
     }
 
     let data = match hawkeye_report::load(&targets, &data_dir) {

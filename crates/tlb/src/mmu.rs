@@ -110,7 +110,8 @@ impl Mmu {
         }
         let l2_cost = Cycles::new(self.l2_lookup_cycles);
         if self.l2.lookup(pid, Self::l2_key(key, size)) {
-            l1.insert(pid, key);
+            // The L1 lookup above just missed and nothing touched L1 since.
+            l1.insert_absent(pid, key);
             return AccessOutcome { cycles: l2_cost, tlb_miss: false, walk_cycles: Cycles::ZERO };
         }
         let walk = self.walker.walk(pid, vpn, size, self.nested);
@@ -119,8 +120,9 @@ impl Mmu {
             PageSize::Base => &mut self.l1_4k,
             PageSize::Huge => &mut self.l1_2m,
         };
-        l1.insert(pid, key);
-        self.l2.insert(pid, Self::l2_key(key, size));
+        // Both lookups above missed; the walk touches only the PWCs.
+        l1.insert_absent(pid, key);
+        self.l2.insert_absent(pid, Self::l2_key(key, size));
         AccessOutcome { cycles: l2_cost + walk, tlb_miss: true, walk_cycles: walk }
     }
 
@@ -151,6 +153,12 @@ impl Mmu {
     /// of the Table 4 overhead formula.
     pub fn record_unhalted(&mut self, pid: u32, cycles: Cycles) {
         self.pmu.record_unhalted(pid, cycles);
+    }
+
+    /// Flushes walk durations batched since the last call into the
+    /// registry's `walk_cycles` histogram (see [`Pmu::flush_metrics`]).
+    pub fn flush_metrics(&mut self) {
+        self.pmu.flush_metrics();
     }
 
     /// Lifetime counters for `pid`.

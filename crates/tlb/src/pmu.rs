@@ -9,9 +9,8 @@
 //! HawkEye-PMU samples a *window* (recent overhead) rather than lifetime
 //! totals, so counters support snapshot-and-reset windows.
 
-use hawkeye_metrics::{Cycles, MetricsSink};
+use hawkeye_metrics::{Cycles, LogHistogram, MetricsSink};
 use hawkeye_trace::{TraceEvent, TraceSink};
-use std::collections::BTreeMap;
 
 /// One process's counter set.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,12 +60,44 @@ impl PmuWindow {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Pmu {
-    lifetime: BTreeMap<u32, Counters>,
-    window: BTreeMap<u32, Counters>,
+    /// Per-pid counter files, sorted by pid. A handful of processes run
+    /// per machine, so an inline sorted Vec beats a tree: the per-walk
+    /// charge path is a short scan over one cache line.
+    lifetime: Vec<(u32, Counters)>,
+    window: Vec<(u32, Counters)>,
     /// Event journal handle; disabled (no-op) unless a trace scope attaches.
     trace: TraceSink,
     /// Cycle-attribution handle; feeds the per-walk duration histogram.
     metrics: MetricsSink,
+    /// Walk durations accumulated since the last [`Pmu::flush_metrics`].
+    /// Observing into the shared registry costs a lock and two map
+    /// lookups per walk — far too much for the per-touch path — so walks
+    /// land here and merge into `walk_cycles` once per quantum. Merging
+    /// is exactly equivalent to per-walk observation (all histogram state
+    /// is additive), so registry readers see identical values.
+    pending_walks: LogHistogram,
+}
+
+/// `table[pid]`, inserting zeroed counters at the sorted position when
+/// absent.
+#[inline]
+fn entry(table: &mut Vec<(u32, Counters)>, pid: u32) -> &mut Counters {
+    match table.iter().position(|(p, _)| *p >= pid) {
+        Some(i) if table[i].0 == pid => &mut table[i].1,
+        Some(i) => {
+            table.insert(i, (pid, Counters::default()));
+            &mut table[i].1
+        }
+        None => {
+            table.push((pid, Counters::default()));
+            &mut table.last_mut().expect("just pushed").1
+        }
+    }
+}
+
+#[inline]
+fn get(table: &[(u32, Counters)], pid: u32) -> Option<&Counters> {
+    table.iter().find(|(p, _)| *p == pid).map(|(_, c)| c)
 }
 
 impl Pmu {
@@ -89,7 +120,7 @@ impl Pmu {
     /// Charges a page-walk duration to `pid` (`store` selects the store
     /// counter, mirroring the two Table 4 events).
     pub fn record_walk(&mut self, pid: u32, duration: Cycles, store: bool) {
-        for c in [self.lifetime.entry(pid).or_default(), self.window.entry(pid).or_default()] {
+        for c in [entry(&mut self.lifetime, pid), entry(&mut self.window, pid)] {
             if store {
                 c.store_walk += duration;
             } else {
@@ -97,30 +128,42 @@ impl Pmu {
             }
             c.walks += 1;
         }
-        self.metrics.observe("walk_cycles", duration.get());
+        self.pending_walks.observe(duration.get());
+    }
+
+    /// Merges the walk durations accumulated since the last flush into
+    /// the registry's `walk_cycles` histogram. The simulator calls this
+    /// once per quantum (and at run-loop exit); anything reading the
+    /// registry afterwards sees exactly what per-walk observation would
+    /// have produced.
+    pub fn flush_metrics(&mut self) {
+        if self.pending_walks.count() > 0 {
+            self.metrics.merge_hist("walk_cycles", &self.pending_walks);
+            self.pending_walks = LogHistogram::new();
+        }
     }
 
     /// Charges executed cycles (`CPU_CLK_UNHALTED`) to `pid`.
     pub fn record_unhalted(&mut self, pid: u32, cycles: Cycles) {
-        self.lifetime.entry(pid).or_default().unhalted += cycles;
-        self.window.entry(pid).or_default().unhalted += cycles;
+        entry(&mut self.lifetime, pid).unhalted += cycles;
+        entry(&mut self.window, pid).unhalted += cycles;
     }
 
     /// Lifetime counters for `pid` (zeroes if never seen).
     pub fn lifetime(&self, pid: u32) -> PmuWindow {
-        Self::to_window(self.lifetime.get(&pid))
+        Self::to_window(get(&self.lifetime, pid))
     }
 
     /// Current-window counters for `pid` without resetting.
     pub fn window(&self, pid: u32) -> PmuWindow {
-        Self::to_window(self.window.get(&pid))
+        Self::to_window(get(&self.window, pid))
     }
 
     /// Returns the current window for `pid` and starts a new one —
     /// HawkEye-PMU's periodic sampling.
     pub fn sample_window(&mut self, pid: u32) -> PmuWindow {
-        let w = Self::to_window(self.window.get(&pid));
-        self.window.remove(&pid);
+        let w = Self::to_window(get(&self.window, pid));
+        self.window.retain(|(p, _)| *p != pid);
         self.trace.emit(
             pid,
             TraceEvent::QuantumEnd {
@@ -135,13 +178,13 @@ impl Pmu {
 
     /// Drops all state for an exited process.
     pub fn remove(&mut self, pid: u32) {
-        self.lifetime.remove(&pid);
-        self.window.remove(&pid);
+        self.lifetime.retain(|(p, _)| *p != pid);
+        self.window.retain(|(p, _)| *p != pid);
     }
 
-    /// All pids with lifetime counters.
+    /// All pids with lifetime counters, ascending.
     pub fn pids(&self) -> Vec<u32> {
-        self.lifetime.keys().copied().collect()
+        self.lifetime.iter().map(|(p, _)| *p).collect()
     }
 
     fn to_window(c: Option<&Counters>) -> PmuWindow {

@@ -20,18 +20,37 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocTlb {
-    sets: Vec<Vec<Entry>>,
+    /// Flat set storage: set `i` occupies `entries[i*assoc..i*assoc+lens[i]]`.
+    /// One contiguous allocation — the lookup hot path does a single
+    /// indexed scan with no per-set pointer chase. Within-set order is
+    /// unobservable: `(pid, key)` pairs are unique per set and LRU stamps
+    /// are globally unique, so scans and eviction are order-independent.
+    entries: Vec<Entry>,
+    lens: Vec<u8>,
     assoc: usize,
     stamp: u64,
     hits: u64,
     misses: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Entry {
-    pid: u32,
-    key: u64,
+    /// `pid << KEY_BITS | key` — one 16-byte entry, one compare per way.
+    tag: u64,
     stamp: u64,
+}
+
+/// Key bits reserved in an entry tag; keys are page or region numbers
+/// (≤ 2^47 even after the L2's size-bit shift) and pids are small spawn
+/// counters, so the packing is lossless.
+const KEY_BITS: u32 = 48;
+const KEY_MASK: u64 = (1 << KEY_BITS) - 1;
+
+#[inline]
+fn tag(pid: u32, key: u64) -> u64 {
+    debug_assert!(key <= KEY_MASK, "tlb key exceeds {KEY_BITS} bits");
+    debug_assert!((pid as u64) < (1 << (64 - KEY_BITS)), "pid exceeds tag bits");
+    ((pid as u64) << KEY_BITS) | key
 }
 
 impl SetAssocTlb {
@@ -44,9 +63,11 @@ impl SetAssocTlb {
     pub fn new(entries: usize, assoc: usize) -> Self {
         assert!(entries > 0 && assoc > 0, "empty tlb");
         assert_eq!(entries % assoc, 0, "associativity must divide entry count");
+        assert!(assoc <= u8::MAX as usize, "associativity exceeds set length counter");
         let nsets = entries / assoc;
         SetAssocTlb {
-            sets: vec![Vec::with_capacity(assoc); nsets],
+            entries: vec![Entry::default(); entries],
+            lens: vec![0; nsets],
             assoc,
             stamp: 0,
             hits: 0,
@@ -56,22 +77,39 @@ impl SetAssocTlb {
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.assoc
+        self.lens.len() * self.assoc
     }
 
     #[inline]
     fn set_index(&self, key: u64) -> usize {
-        (key as usize) % self.sets.len()
+        // Same mapping as `key % nsets`, but real geometries have
+        // power-of-two set counts and a masked AND avoids a hardware
+        // divide on every probe.
+        let n = self.lens.len();
+        if n.is_power_of_two() {
+            (key as usize) & (n - 1)
+        } else {
+            (key as usize) % n
+        }
+    }
+
+    /// The live entries of the set holding `key`, with the set's base
+    /// offset and length.
+    #[inline]
+    fn set(&mut self, key: u64) -> (usize, usize) {
+        let idx = self.set_index(key);
+        (idx * self.assoc, self.lens[idx] as usize)
     }
 
     /// Looks up `(pid, key)`, refreshing LRU on hit. Returns whether it
     /// hit. Statistics are updated.
+    #[inline]
     pub fn lookup(&mut self, pid: u32, key: u64) -> bool {
         self.stamp += 1;
         let stamp = self.stamp;
-        let idx = self.set_index(key);
-        let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.pid == pid && e.key == key) {
+        let t = tag(pid, key);
+        let (base, len) = self.set(key);
+        if let Some(e) = self.entries[base..base + len].iter_mut().find(|e| e.tag == t) {
             e.stamp = stamp;
             self.hits += 1;
             true
@@ -92,10 +130,10 @@ impl SetAssocTlb {
         if n == 0 {
             return true;
         }
-        let idx = self.set_index(key);
         let stamp = self.stamp + n;
-        let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.pid == pid && e.key == key) {
+        let t = tag(pid, key);
+        let (base, len) = self.set(key);
+        if let Some(e) = self.entries[base..base + len].iter_mut().find(|e| e.tag == t) {
             e.stamp = stamp;
             self.stamp = stamp;
             self.hits += n;
@@ -108,7 +146,10 @@ impl SetAssocTlb {
     /// Checks presence without updating LRU or statistics.
     pub fn probe(&self, pid: u32, key: u64) -> bool {
         let idx = self.set_index(key);
-        self.sets[idx].iter().any(|e| e.pid == pid && e.key == key)
+        let base = idx * self.assoc;
+        let len = self.lens[idx] as usize;
+        let t = tag(pid, key);
+        self.entries[base..base + len].iter().any(|e| e.tag == t)
     }
 
     /// Inserts `(pid, key)`, evicting the set's LRU entry if full.
@@ -117,42 +158,89 @@ impl SetAssocTlb {
         self.stamp += 1;
         let stamp = self.stamp;
         let assoc = self.assoc;
+        let t = tag(pid, key);
         let idx = self.set_index(key);
-        let set = &mut self.sets[idx];
-        if let Some(e) = set.iter_mut().find(|e| e.pid == pid && e.key == key) {
+        let base = idx * assoc;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.entries[base..base + len];
+        if let Some(e) = set.iter_mut().find(|e| e.tag == t) {
             e.stamp = stamp;
             return;
         }
-        if set.len() < assoc {
-            set.push(Entry { pid, key, stamp });
+        if len < assoc {
+            self.entries[base + len] = Entry { tag: t, stamp };
+            self.lens[idx] += 1;
             return;
         }
         let lru = set
             .iter_mut()
             .min_by_key(|e| e.stamp)
             .expect("set is full, hence non-empty");
-        *lru = Entry { pid, key, stamp };
+        *lru = Entry { tag: t, stamp };
+    }
+
+    /// [`SetAssocTlb::insert`] for a key the caller has just proven absent
+    /// (its `lookup` missed with no intervening mutation of this
+    /// structure): skips the redundant presence scan. Exactly equivalent
+    /// to `insert` under that precondition — same stamp, same eviction.
+    pub(crate) fn insert_absent(&mut self, pid: u32, key: u64) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let assoc = self.assoc;
+        let t = tag(pid, key);
+        let idx = self.set_index(key);
+        let base = idx * assoc;
+        let len = self.lens[idx] as usize;
+        debug_assert!(!self.entries[base..base + len].iter().any(|e| e.tag == t));
+        if len < assoc {
+            self.entries[base + len] = Entry { tag: t, stamp };
+            self.lens[idx] += 1;
+            return;
+        }
+        let lru = self.entries[base..base + len]
+            .iter_mut()
+            .min_by_key(|e| e.stamp)
+            .expect("set is full, hence non-empty");
+        *lru = Entry { tag: t, stamp };
+    }
+
+    /// Drops from set `idx` every entry matching `gone` (compacting the
+    /// set in place).
+    fn evict_from_set(&mut self, idx: usize, mut gone: impl FnMut(&Entry) -> bool) {
+        let base = idx * self.assoc;
+        let len = self.lens[idx] as usize;
+        let mut keep = 0usize;
+        for i in 0..len {
+            if !gone(&self.entries[base + i]) {
+                self.entries[base + keep] = self.entries[base + i];
+                keep += 1;
+            }
+        }
+        self.lens[idx] = keep as u8;
     }
 
     /// Drops one entry if present.
     pub fn invalidate(&mut self, pid: u32, key: u64) {
         let idx = self.set_index(key);
-        self.sets[idx].retain(|e| !(e.pid == pid && e.key == key));
+        let t = tag(pid, key);
+        self.evict_from_set(idx, |e| e.tag == t);
     }
 
     /// Drops all entries of a process (context switch with ASID reuse,
     /// or process exit).
     pub fn invalidate_pid(&mut self, pid: u32) {
-        for set in &mut self.sets {
-            set.retain(|e| e.pid != pid);
+        let owner = (pid as u64) << KEY_BITS;
+        for idx in 0..self.lens.len() {
+            self.evict_from_set(idx, |e| e.tag & !KEY_MASK == owner);
         }
     }
 
     /// Drops every entry whose key satisfies the predicate for `pid`
     /// (range shootdowns).
     pub fn invalidate_if(&mut self, pid: u32, mut pred: impl FnMut(u64) -> bool) {
-        for set in &mut self.sets {
-            set.retain(|e| e.pid != pid || !pred(e.key));
+        let owner = (pid as u64) << KEY_BITS;
+        for idx in 0..self.lens.len() {
+            self.evict_from_set(idx, |e| e.tag & !KEY_MASK == owner && pred(e.tag & KEY_MASK));
         }
     }
 
@@ -168,7 +256,7 @@ impl SetAssocTlb {
 
     /// Current number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|l| *l as usize).sum()
     }
 }
 

@@ -75,12 +75,12 @@ impl PageWalker {
                 // PML4E + PDPTE fetches; upper levels cover huge spans and
                 // are essentially always cache-resident.
                 fetches_hot += 2;
-                self.pwc_pdpte.insert(pid, pdpte_key);
+                self.pwc_pdpte.insert_absent(pid, pdpte_key);
             }
             // PDE fetch: cold when this 2 MB neighbourhood has not been
             // walked recently.
             fetches_cold += 1;
-            self.pwc_pde.insert(pid, pde_key);
+            self.pwc_pde.insert_absent(pid, pde_key);
             if size == PageSize::Base {
                 // Leaf PTE fetch shares the PT page's cache line locality
                 // with the PDE: a cold PDE implies a cold leaf.

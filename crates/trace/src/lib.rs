@@ -210,9 +210,10 @@ impl TraceEvent {
     /// the inverse of [`TraceEvent::kind`] + [`TraceEvent::fields`], used
     /// by the `hawkeye-analyze` journal parser. Field lookup is by name so
     /// readers tolerate reordered keys; returns `None` for an unknown kind
-    /// or a missing field.
-    pub fn from_fields(kind: &str, fields: &[(String, u64)]) -> Option<TraceEvent> {
-        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+    /// or a missing field. Keys may be any string-like type, so streaming
+    /// parsers can pass borrowed keys without building owned `String`s.
+    pub fn from_fields<K: AsRef<str>>(kind: &str, fields: &[(K, u64)]) -> Option<TraceEvent> {
+        let get = |name: &str| fields.iter().find(|(k, _)| k.as_ref() == name).map(|(_, v)| *v);
         Some(match kind {
             "fault" => TraceEvent::Fault {
                 vpn: get("vpn")?,
@@ -631,8 +632,9 @@ mod tests {
             let back = TraceEvent::from_fields(ev.kind(), &fields).expect("round-trip");
             assert_eq!(back, ev);
         }
-        assert!(TraceEvent::from_fields("nonsense", &[]).is_none());
-        assert!(TraceEvent::from_fields("fault", &[]).is_none(), "missing fields reject");
+        let none: &[(&str, u64)] = &[];
+        assert!(TraceEvent::from_fields("nonsense", none).is_none());
+        assert!(TraceEvent::from_fields("fault", none).is_none(), "missing fields reject");
     }
 
     #[test]

@@ -14,14 +14,23 @@
 //! huge entry plus 512 frame slots and mapped/accessed/dirty/zero-COW
 //! bitmaps. Intra-region operations are O(1) array/bit work and region
 //! coverage sampling is a popcount, instead of per-page tree lookups.
-//! A chunk exists iff the region has at least one mapping, so the
-//! promotion scan list is simply the chunk keys.
+//!
+//! Chunks live in an **arena** (`Vec<RegionChunk>` with a free list)
+//! behind a dense `Hvpn`-indexed slot map, so the translation hot path
+//! does one bounds-checked array load instead of a tree descent. Virtual
+//! address space in the simulator is footprint-bounded (workloads map at
+//! low VAs), so the dense index stays small — a few KiB per GiB of VA.
+//! A region has a chunk iff it has at least one mapping; VA-ordered
+//! iteration scans the index, so region scans remain deterministic.
 //!
 //! # Translation cache
 //!
-//! The table embeds a small direct-mapped software translation cache on
-//! the [`PageTable::access`] hot path. A cached entry may satisfy an
-//! access without touching the chunk only when doing so is invisible:
+//! The table embeds a small set-associative software translation cache on
+//! the [`PageTable::access`] hot path, with an LRU clock per entry. Base
+//! pages are cached per-VPN; huge mappings are cached **per region** (one
+//! entry satisfies all 512 constituent pages), which keeps the cache
+//! effective for large promoted working sets. A cached entry may satisfy
+//! an access without touching the chunk only when doing so is invisible:
 //! the entry's accessed bit is known set, and (for writes) its dirty bit
 //! too, so the access would not change any table state. Every mutation
 //! (map/unmap/split/collapse/remap) and every accessed-bit clear bumps a
@@ -34,14 +43,16 @@
 use crate::error::MapError;
 use crate::types::{Hvpn, PageSize, Vpn};
 use hawkeye_mem::Pfn;
-use std::collections::BTreeMap;
 
 /// Pages per huge region.
 const REGION_PAGES: usize = 512;
 /// Bitmap words per region.
 const WORDS: usize = REGION_PAGES / 64;
-/// Translation-cache slots (power of two; direct-mapped by VPN).
-const TC_SLOTS: usize = 2048;
+/// Translation-cache geometry: `TC_SETS` sets of `TC_WAYS` ways, indexed
+/// by the low bits of the page (base) or region (huge) number.
+const TC_SETS: usize = 512;
+/// Ways per translation-cache set (victims chosen by LRU clock).
+const TC_WAYS: usize = 4;
 
 /// A 4 KB page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,7 +106,7 @@ pub struct AccessSample {
 }
 
 /// Per-region storage: an optional huge entry, or up to 512 base entries
-/// as parallel frame slots + bitmaps. ~4.5 KB, boxed in the region map.
+/// as parallel frame slots + bitmaps. ~4.5 KB, arena-allocated.
 #[derive(Debug, Clone)]
 struct RegionChunk {
     huge: Option<HugeEntry>,
@@ -108,8 +119,8 @@ struct RegionChunk {
 }
 
 impl RegionChunk {
-    fn new() -> Box<Self> {
-        Box::new(RegionChunk {
+    fn new() -> Self {
+        RegionChunk {
             huge: None,
             mapped: [0; WORDS],
             accessed: [0; WORDS],
@@ -117,7 +128,18 @@ impl RegionChunk {
             zero_cow: [0; WORDS],
             mapped_count: 0,
             pfns: [Pfn(0); REGION_PAGES],
-        })
+        }
+    }
+
+    /// Returns a recycled chunk to its pristine state (`pfns` may keep
+    /// stale values: they are only read under a set `mapped` bit).
+    fn reset(&mut self) {
+        self.huge = None;
+        self.mapped = [0; WORDS];
+        self.accessed = [0; WORDS];
+        self.dirty = [0; WORDS];
+        self.zero_cow = [0; WORDS];
+        self.mapped_count = 0;
     }
 
     #[inline]
@@ -162,19 +184,26 @@ impl RegionChunk {
     }
 }
 
-/// One translation-cache slot; valid iff `epoch` matches the table's
-/// current generation and `vpn` matches the lookup.
+/// One translation-cache entry. Valid iff `epoch` matches the table's
+/// current generation and `key` matches the lookup: base pages are keyed
+/// `vpn << 1`, huge regions `hvpn << 1 | 1` (one region entry serves all
+/// 512 constituent pages). `stamp` is the LRU clock value of the entry's
+/// last use; the lowest stamp in a set is the eviction victim.
 #[derive(Debug, Clone, Copy)]
 struct TcEntry {
-    vpn: Vpn,
+    key: u64,
+    /// Base frame (huge entries store the region's first frame).
     pfn: Pfn,
-    size: PageSize,
     zero_cow: bool,
     /// The underlying entry's dirty bit at insertion time (its accessed
     /// bit is always set — insertion happens right after an access).
     dirty: bool,
     epoch: u64,
+    stamp: u64,
 }
+
+const TC_INVALID: TcEntry =
+    TcEntry { key: 0, pfn: Pfn(0), zero_cow: false, dirty: false, epoch: 0, stamp: 0 };
 
 /// Mixed 4 KB / 2 MB page table.
 ///
@@ -195,7 +224,12 @@ struct TcEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    chunks: BTreeMap<Hvpn, Box<RegionChunk>>,
+    /// Chunk arena; slots are recycled through `free`.
+    arena: Vec<RegionChunk>,
+    /// Recycled arena slots.
+    free: Vec<u32>,
+    /// Dense `Hvpn -> arena slot + 1` map (0 = no chunk), grown on demand.
+    index: Vec<u32>,
     base_total: u64,
     huge_total: u64,
     /// Translation generation; bumped on any mutation or accessed-bit
@@ -203,27 +237,22 @@ pub struct PageTable {
     epoch: u64,
     cache_enabled: bool,
     cache: Vec<TcEntry>,
+    /// LRU clock for the translation cache (monotonic per table).
+    tc_clock: u64,
 }
 
 impl Default for PageTable {
     fn default() -> Self {
         PageTable {
-            chunks: BTreeMap::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            index: Vec::new(),
             base_total: 0,
             huge_total: 0,
             epoch: 1,
             cache_enabled: true,
-            cache: vec![
-                TcEntry {
-                    vpn: Vpn(0),
-                    pfn: Pfn(0),
-                    size: PageSize::Base,
-                    zero_cow: false,
-                    dirty: false,
-                    epoch: 0,
-                };
-                TC_SLOTS
-            ],
+            cache: vec![TC_INVALID; TC_SETS * TC_WAYS],
+            tc_clock: 0,
         }
     }
 }
@@ -251,6 +280,68 @@ impl PageTable {
         self.epoch += 1;
     }
 
+    /// Arena chunk for `hvpn`, if the region has any mapping.
+    #[inline]
+    fn chunk(&self, hvpn: Hvpn) -> Option<&RegionChunk> {
+        match self.index.get(hvpn.0 as usize) {
+            Some(&slot) if slot != 0 => Some(&self.arena[slot as usize - 1]),
+            _ => None,
+        }
+    }
+
+    /// Mutable arena chunk for `hvpn`, if the region has any mapping.
+    #[inline]
+    fn chunk_mut(&mut self, hvpn: Hvpn) -> Option<&mut RegionChunk> {
+        match self.index.get(hvpn.0 as usize) {
+            Some(&slot) if slot != 0 => Some(&mut self.arena[slot as usize - 1]),
+            _ => None,
+        }
+    }
+
+    /// Chunk for `hvpn`, allocating (or recycling) an arena slot if the
+    /// region has none yet.
+    fn chunk_or_insert(&mut self, hvpn: Hvpn) -> &mut RegionChunk {
+        let h = hvpn.0 as usize;
+        if h >= self.index.len() {
+            self.index.resize(h + 1, 0);
+        }
+        if self.index[h] == 0 {
+            let slot = match self.free.pop() {
+                Some(s) => {
+                    self.arena[s as usize].reset();
+                    s
+                }
+                None => {
+                    self.arena.push(RegionChunk::new());
+                    (self.arena.len() - 1) as u32
+                }
+            };
+            self.index[h] = slot + 1;
+        }
+        &mut self.arena[self.index[h] as usize - 1]
+    }
+
+    /// Releases `hvpn`'s chunk back to the arena if it became empty.
+    fn release_if_empty(&mut self, hvpn: Hvpn) {
+        let h = hvpn.0 as usize;
+        if let Some(&slot) = self.index.get(h) {
+            if slot != 0 && self.arena[slot as usize - 1].is_empty() {
+                self.index[h] = 0;
+                self.free.push(slot - 1);
+            }
+        }
+    }
+
+    /// Live `(Hvpn, chunk)` pairs in VA order.
+    #[inline]
+    fn regions(&self) -> impl Iterator<Item = (Hvpn, &RegionChunk)> {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot != 0)
+            .map(|(h, &slot)| (Hvpn(h as u64), &self.arena[slot as usize - 1]))
+    }
+
     /// Number of base-page mappings.
     pub fn base_count(&self) -> u64 {
         self.base_total
@@ -271,7 +362,7 @@ impl PageTable {
 
     /// Translates a base page, without touching accessed bits.
     pub fn translate(&self, vpn: Vpn) -> Option<Translation> {
-        let c = self.chunks.get(&vpn.hvpn())?;
+        let c = self.chunk(vpn.hvpn())?;
         if let Some(h) = &c.huge {
             return Some(Translation {
                 pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
@@ -290,6 +381,40 @@ impl PageTable {
         })
     }
 
+    /// Probes one translation-cache set for `key`; on hit, refreshes the
+    /// entry's LRU stamp and returns its (pfn, zero_cow, dirty).
+    #[inline]
+    fn tc_lookup(&mut self, key: u64) -> Option<(Pfn, bool, bool)> {
+        let set = (key >> 1) as usize % TC_SETS * TC_WAYS;
+        let epoch = self.epoch;
+        self.tc_clock += 1;
+        let stamp = self.tc_clock;
+        for e in &mut self.cache[set..set + TC_WAYS] {
+            if e.epoch == epoch && e.key == key {
+                e.stamp = stamp;
+                return Some((e.pfn, e.zero_cow, e.dirty));
+            }
+        }
+        None
+    }
+
+    /// Fills `key`'s set, evicting the stale or least-recently-used way.
+    #[inline]
+    fn tc_fill(&mut self, key: u64, pfn: Pfn, zero_cow: bool, dirty: bool) {
+        let set = (key >> 1) as usize % TC_SETS * TC_WAYS;
+        let epoch = self.epoch;
+        self.tc_clock += 1;
+        let stamp = self.tc_clock;
+        let ways = &mut self.cache[set..set + TC_WAYS];
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.epoch != epoch { 0 } else { e.stamp + 1 })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        ways[victim] = TcEntry { key, pfn, zero_cow, dirty, epoch, stamp };
+    }
+
     /// Translates and records an access (sets accessed, and dirty on
     /// writes). Returns `None` when unmapped — the caller takes a fault.
     ///
@@ -298,70 +423,73 @@ impl PageTable {
     #[inline]
     pub fn access(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
         if self.cache_enabled {
-            let e = &self.cache[vpn.0 as usize % TC_SLOTS];
             // A hit may bypass the chunk only when the access would be a
             // no-op on table state: accessed already set (invariant of
             // cached entries), dirty already set for writes, and not a
-            // zero-COW write (which must fault).
-            if e.epoch == self.epoch && e.vpn == vpn && (!write || (e.dirty && !e.zero_cow)) {
-                return Some(Translation { pfn: e.pfn, size: e.size, zero_cow: e.zero_cow });
+            // zero-COW write (which must fault). Huge regions are probed
+            // first: one region entry covers all 512 pages.
+            if let Some((pfn, _, dirty)) = self.tc_lookup(vpn.hvpn().0 << 1 | 1) {
+                if !write || dirty {
+                    return Some(Translation {
+                        pfn: Pfn(pfn.0 + vpn.huge_offset()),
+                        size: PageSize::Huge,
+                        zero_cow: false,
+                    });
+                }
+            } else if let Some((pfn, zero_cow, dirty)) = self.tc_lookup(vpn.0 << 1) {
+                if !write || (dirty && !zero_cow) {
+                    return Some(Translation { pfn, size: PageSize::Base, zero_cow });
+                }
             }
         }
         self.access_slow(vpn, write)
     }
 
     fn access_slow(&mut self, vpn: Vpn, write: bool) -> Option<Translation> {
-        let c = self.chunks.get_mut(&vpn.hvpn())?;
-        let (t, dirty) = if let Some(h) = &mut c.huge {
+        let cache_enabled = self.cache_enabled;
+        let c = self.chunk_mut(vpn.hvpn())?;
+        if let Some(h) = &mut c.huge {
             h.accessed = true;
             h.dirty |= write;
-            (
-                Translation {
-                    pfn: Pfn(h.pfn.0 + vpn.huge_offset()),
-                    size: PageSize::Huge,
-                    zero_cow: false,
-                },
-                h.dirty,
-            )
-        } else {
-            let i = vpn.huge_offset() as usize;
-            if !RegionChunk::bit(&c.mapped, i) {
-                return None;
-            }
-            let zero_cow = RegionChunk::bit(&c.zero_cow, i);
-            if write && zero_cow {
-                return None;
-            }
-            RegionChunk::set(&mut c.accessed, i, true);
-            if write {
-                RegionChunk::set(&mut c.dirty, i, true);
-            }
-            (
-                Translation { pfn: c.pfns[i], size: PageSize::Base, zero_cow },
-                RegionChunk::bit(&c.dirty, i),
-            )
-        };
-        if self.cache_enabled {
-            self.cache[vpn.0 as usize % TC_SLOTS] = TcEntry {
-                vpn,
-                pfn: t.pfn,
-                size: t.size,
-                zero_cow: t.zero_cow,
-                dirty,
-                epoch: self.epoch,
+            let (pfn, dirty) = (h.pfn, h.dirty);
+            let t = Translation {
+                pfn: Pfn(pfn.0 + vpn.huge_offset()),
+                size: PageSize::Huge,
+                zero_cow: false,
             };
+            if cache_enabled {
+                self.tc_fill(vpn.hvpn().0 << 1 | 1, pfn, false, dirty);
+            }
+            return Some(t);
+        }
+        let i = vpn.huge_offset() as usize;
+        if !RegionChunk::bit(&c.mapped, i) {
+            return None;
+        }
+        let zero_cow = RegionChunk::bit(&c.zero_cow, i);
+        if write && zero_cow {
+            return None;
+        }
+        RegionChunk::set(&mut c.accessed, i, true);
+        if write {
+            RegionChunk::set(&mut c.dirty, i, true);
+        }
+        let t = Translation { pfn: c.pfns[i], size: PageSize::Base, zero_cow };
+        let dirty = RegionChunk::bit(&c.dirty, i);
+        if cache_enabled {
+            self.tc_fill(vpn.0 << 1, t.pfn, zero_cow, dirty);
         }
         Some(t)
     }
 
     /// Looks up the base entry for `vpn`, if any.
     pub fn base_entry(&self, vpn: Vpn) -> Option<BaseEntry> {
-        self.chunks.get(&vpn.hvpn())?.base_entry(vpn.huge_offset() as usize)
+        self.chunk(vpn.hvpn())?.base_entry(vpn.huge_offset() as usize)
     }
 
     /// Looks up the huge entry for `hvpn`, if any.
     pub fn huge_entry(&self, hvpn: Hvpn) -> Option<&HugeEntry> {
-        self.chunks.get(&hvpn)?.huge.as_ref()
+        self.chunk(hvpn)?.huge.as_ref()
     }
 
     /// Maps a base page.
@@ -371,13 +499,11 @@ impl PageTable {
     /// [`MapError::AlreadyMapped`] if the page is mapped (by a base or
     /// huge entry).
     pub fn map_base(&mut self, vpn: Vpn, pfn: Pfn, zero_cow: bool) -> Result<(), MapError> {
-        let c = self.chunks.entry(vpn.hvpn()).or_insert_with(RegionChunk::new);
+        let c = self.chunk_or_insert(vpn.hvpn());
         let i = vpn.huge_offset() as usize;
         if c.huge.is_some() || RegionChunk::bit(&c.mapped, i) {
             // Roll back a chunk this call created.
-            if c.is_empty() {
-                self.chunks.remove(&vpn.hvpn());
-            }
+            self.release_if_empty(vpn.hvpn());
             return Err(MapError::AlreadyMapped { vpn });
         }
         RegionChunk::set(&mut c.mapped, i, true);
@@ -399,7 +525,7 @@ impl PageTable {
     /// [`MapError::AlreadyMapped`] if any base page in the region is
     /// mapped (the caller must collapse/unmap those first).
     pub fn map_huge(&mut self, hvpn: Hvpn, pfn: Pfn) -> Result<(), MapError> {
-        if let Some(c) = self.chunks.get(&hvpn) {
+        if let Some(c) = self.chunk(hvpn) {
             if c.huge.is_some() {
                 return Err(MapError::HugeAlreadyMapped { hvpn });
             }
@@ -407,7 +533,7 @@ impl PageTable {
                 return Err(MapError::AlreadyMapped { vpn: hvpn.vpn_at(i as u64) });
             }
         }
-        let c = self.chunks.entry(hvpn).or_insert_with(RegionChunk::new);
+        let c = self.chunk_or_insert(hvpn);
         c.huge = Some(HugeEntry { pfn, accessed: false, dirty: false });
         self.huge_total += 1;
         self.invalidate_cache();
@@ -421,7 +547,7 @@ impl PageTable {
     /// [`MapError::NotMapped`] if no base entry exists for `vpn`.
     pub fn unmap_base(&mut self, vpn: Vpn) -> Result<BaseEntry, MapError> {
         let hvpn = vpn.hvpn();
-        let c = self.chunks.get_mut(&hvpn).ok_or(MapError::NotMapped { vpn })?;
+        let c = self.chunk_mut(hvpn).ok_or(MapError::NotMapped { vpn })?;
         let i = vpn.huge_offset() as usize;
         let e = c.base_entry(i).ok_or(MapError::NotMapped { vpn })?;
         RegionChunk::set(&mut c.mapped, i, false);
@@ -429,9 +555,7 @@ impl PageTable {
         RegionChunk::set(&mut c.dirty, i, false);
         RegionChunk::set(&mut c.zero_cow, i, false);
         c.mapped_count -= 1;
-        if c.is_empty() {
-            self.chunks.remove(&hvpn);
-        }
+        self.release_if_empty(hvpn);
         self.base_total -= 1;
         self.invalidate_cache();
         Ok(e)
@@ -443,14 +567,9 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if no huge entry exists for `hvpn`.
     pub fn unmap_huge(&mut self, hvpn: Hvpn) -> Result<HugeEntry, MapError> {
-        let c = self
-            .chunks
-            .get_mut(&hvpn)
-            .ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
+        let c = self.chunk_mut(hvpn).ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
         let e = c.huge.take().ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
-        if c.is_empty() {
-            self.chunks.remove(&hvpn);
-        }
+        self.release_if_empty(hvpn);
         self.huge_total -= 1;
         self.invalidate_cache();
         Ok(e)
@@ -464,10 +583,7 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if the region has no huge mapping.
     pub fn split_huge(&mut self, hvpn: Hvpn) -> Result<HugeEntry, MapError> {
-        let c = self
-            .chunks
-            .get_mut(&hvpn)
-            .ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
+        let c = self.chunk_mut(hvpn).ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
         let entry = c.huge.take().ok_or(MapError::NotMapped { vpn: hvpn.base_vpn() })?;
         c.mapped = [u64::MAX; WORDS];
         c.accessed = if entry.accessed { [u64::MAX; WORDS] } else { [0; WORDS] };
@@ -483,34 +599,82 @@ impl PageTable {
         Ok(entry)
     }
 
-    /// Removes and returns every base entry inside a huge region
-    /// (promotion collapse: the caller copies the pages into a huge frame
-    /// and then maps it with [`PageTable::map_huge`]).
-    pub fn take_base_entries_in_region(&mut self, hvpn: Hvpn) -> Vec<(Vpn, BaseEntry)> {
-        let Some(c) = self.chunks.get_mut(&hvpn) else { return Vec::new() };
-        let mut out = Vec::with_capacity(c.mapped_count as usize);
-        for i in 0..REGION_PAGES {
+    /// Removes every base entry inside a huge region, feeding each to `f`
+    /// in VA order (promotion collapse: the caller copies the pages into
+    /// a huge frame and then maps it with [`PageTable::map_huge`]).
+    pub fn take_base_entries_in_region(
+        &mut self,
+        hvpn: Hvpn,
+        mut f: impl FnMut(Vpn, BaseEntry),
+    ) {
+        let Some(c) = self.chunk_mut(hvpn) else { return };
+        let count = c.mapped_count;
+        let mut remaining = count;
+        let mut i = 0;
+        while remaining > 0 && i < REGION_PAGES {
             if let Some(e) = c.base_entry(i) {
-                out.push((hvpn.vpn_at(i as u64), e));
+                remaining -= 1;
+                f(hvpn.vpn_at(i as u64), e);
             }
+            i += 1;
         }
-        self.base_total -= c.mapped_count as u64;
         c.mapped = [0; WORDS];
         c.accessed = [0; WORDS];
         c.dirty = [0; WORDS];
         c.zero_cow = [0; WORDS];
         c.mapped_count = 0;
-        if c.is_empty() {
-            self.chunks.remove(&hvpn);
-        }
+        self.base_total -= count as u64;
+        self.release_if_empty(hvpn);
         self.invalidate_cache();
-        out
+    }
+
+    /// Removes every base entry with `start <= vpn < end`, feeding each
+    /// to `f` in VA order (range unmap support; only regions intersecting
+    /// the range are visited, and nothing is allocated).
+    pub fn take_base_entries_in_range(
+        &mut self,
+        start: Vpn,
+        end: Vpn,
+        mut f: impl FnMut(Vpn, BaseEntry),
+    ) {
+        if end.0 <= start.0 {
+            return;
+        }
+        let hstart = start.hvpn().0;
+        let hend = Vpn(end.0 - 1).hvpn().0;
+        let mut removed_any = false;
+        for h in hstart..=hend {
+            let hvpn = Hvpn(h);
+            let Some(c) = self.chunk_mut(hvpn) else { continue };
+            if c.huge.is_some() {
+                continue;
+            }
+            let lo = start.0.saturating_sub(hvpn.base_vpn().0).min(REGION_PAGES as u64) as usize;
+            let hi = (end.0 - hvpn.base_vpn().0).min(REGION_PAGES as u64) as usize;
+            let mut removed = 0u64;
+            for i in lo..hi {
+                let Some(e) = c.base_entry(i) else { continue };
+                RegionChunk::set(&mut c.mapped, i, false);
+                RegionChunk::set(&mut c.accessed, i, false);
+                RegionChunk::set(&mut c.dirty, i, false);
+                RegionChunk::set(&mut c.zero_cow, i, false);
+                c.mapped_count -= 1;
+                removed += 1;
+                f(hvpn.vpn_at(i as u64), e);
+            }
+            self.base_total -= removed;
+            removed_any |= removed > 0;
+            self.release_if_empty(hvpn);
+        }
+        if removed_any {
+            self.invalidate_cache();
+        }
     }
 
     /// Number of base pages mapped in a region (512 for huge mappings) —
     /// Ingens' *utilization* metric.
     pub fn region_mapped_count(&self, hvpn: Hvpn) -> u32 {
-        match self.chunks.get(&hvpn) {
+        match self.chunk(hvpn) {
             None => 0,
             Some(c) if c.huge.is_some() => 512,
             Some(c) => c.mapped_count,
@@ -521,7 +685,7 @@ impl PageTable {
     /// HawkEye's access-coverage measurement. Coverage is a popcount over
     /// the region's accessed bitmap.
     pub fn sample_and_clear_access(&mut self, hvpn: Hvpn) -> AccessSample {
-        let Some(c) = self.chunks.get_mut(&hvpn) else { return AccessSample::default() };
+        let Some(c) = self.chunk_mut(hvpn) else { return AccessSample::default() };
         let s = if let Some(h) = &mut c.huge {
             let accessed = if h.accessed { 512 } else { 0 };
             h.accessed = false;
@@ -539,7 +703,7 @@ impl PageTable {
     /// Clears a region's accessed bits without computing the sample (the
     /// "arm" phase of two-phase sampling).
     pub fn clear_region_access(&mut self, hvpn: Hvpn) {
-        let Some(c) = self.chunks.get_mut(&hvpn) else { return };
+        let Some(c) = self.chunk_mut(hvpn) else { return };
         if let Some(h) = &mut c.huge {
             h.accessed = false;
         } else {
@@ -550,47 +714,56 @@ impl PageTable {
 
     /// Iterates all huge mappings in VA order.
     pub fn huge_mappings(&self) -> impl Iterator<Item = (Hvpn, &HugeEntry)> {
-        self.chunks.iter().filter_map(|(k, c)| c.huge.as_ref().map(|h| (*k, h)))
+        self.regions().filter_map(|(h, c)| c.huge.as_ref().map(|e| (h, e)))
     }
 
     /// Iterates all base mappings in VA order.
     pub fn base_mappings(&self) -> impl Iterator<Item = (Vpn, BaseEntry)> + '_ {
-        self.chunks.iter().flat_map(|(h, c)| {
-            let h = *h;
+        self.regions().flat_map(|(h, c)| {
             (0..REGION_PAGES).filter_map(move |i| c.base_entry(i).map(|e| (h.vpn_at(i as u64), e)))
         })
     }
 
-    /// The VPNs of base mappings in `[start, end)` (range unmap support;
-    /// only regions intersecting the range are visited).
-    pub fn base_vpns_in_range(&self, start: Vpn, end: Vpn) -> Vec<Vpn> {
-        if end.0 <= start.0 {
-            return Vec::new();
-        }
-        let mut out = Vec::new();
-        let hend = Vpn(end.0 - 1).hvpn();
-        for (h, c) in self.chunks.range(start.hvpn()..=hend) {
-            for i in 0..REGION_PAGES {
-                let vpn = h.vpn_at(i as u64);
-                if vpn >= start && vpn < end && RegionChunk::bit(&c.mapped, i) {
-                    out.push(vpn);
-                }
-            }
-        }
-        out
+    /// The base mappings of one region in VA order (per-region scans
+    /// without walking the whole table).
+    pub fn base_mappings_in_region(
+        &self,
+        hvpn: Hvpn,
+    ) -> impl Iterator<Item = (Vpn, BaseEntry)> + '_ {
+        self.chunk(hvpn)
+            .into_iter()
+            .flat_map(move |c| {
+                (0..REGION_PAGES)
+                    .filter_map(move |i| c.base_entry(i).map(|e| (hvpn.vpn_at(i as u64), e)))
+            })
+    }
+
+    /// The VPNs of base mappings in `[start, end)`, in VA order (only
+    /// regions intersecting the range are visited).
+    pub fn base_vpns_in_range(&self, start: Vpn, end: Vpn) -> impl Iterator<Item = Vpn> + '_ {
+        let hstart = start.hvpn().0;
+        let hend = if end.0 <= start.0 { 0 } else { Vpn(end.0 - 1).hvpn().0 + 1 };
+        (hstart..hend)
+            .filter_map(|h| self.chunk(Hvpn(h)).map(|c| (Hvpn(h), c)))
+            .flat_map(move |(h, c)| {
+                (0..REGION_PAGES).filter_map(move |i| {
+                    let vpn = h.vpn_at(i as u64);
+                    (vpn >= start && vpn < end && RegionChunk::bit(&c.mapped, i)).then_some(vpn)
+                })
+            })
     }
 
     /// The distinct huge regions that currently have any mapping, in VA
     /// order (the scan list used by promotion policies).
-    pub fn mapped_regions(&self) -> Vec<Hvpn> {
-        self.chunks.keys().copied().collect()
+    pub fn mapped_regions(&self) -> impl Iterator<Item = Hvpn> + '_ {
+        self.regions().map(|(h, _)| h)
     }
 
     /// The regions mapped only by base pages, in VA order — promotion
     /// candidates, without the allocation-and-filter dance over
     /// [`PageTable::mapped_regions`].
     pub fn base_only_regions(&self) -> impl Iterator<Item = Hvpn> + '_ {
-        self.chunks.iter().filter(|(_, c)| c.huge.is_none()).map(|(k, _)| *k)
+        self.regions().filter(|(_, c)| c.huge.is_none()).map(|(h, _)| h)
     }
 
     /// Rewrites the frame of the base mapping at `vpn` (page migration).
@@ -599,7 +772,7 @@ impl PageTable {
     ///
     /// [`MapError::NotMapped`] if no base entry exists.
     pub fn remap_base(&mut self, vpn: Vpn, new_pfn: Pfn) -> Result<(), MapError> {
-        let c = self.chunks.get_mut(&vpn.hvpn()).ok_or(MapError::NotMapped { vpn })?;
+        let c = self.chunk_mut(vpn.hvpn()).ok_or(MapError::NotMapped { vpn })?;
         let i = vpn.huge_offset() as usize;
         if c.huge.is_some() || !RegionChunk::bit(&c.mapped, i) {
             return Err(MapError::NotMapped { vpn });
@@ -613,6 +786,14 @@ impl PageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Collects [`PageTable::take_base_entries_in_region`]'s callback
+    /// stream (the old `Vec` return, for assertions).
+    fn take_region(pt: &mut PageTable, hvpn: Hvpn) -> Vec<(Vpn, BaseEntry)> {
+        let mut out = Vec::new();
+        pt.take_base_entries_in_region(hvpn, |v, e| out.push((v, e)));
+        out
+    }
 
     #[test]
     fn base_and_huge_coexist_in_different_regions() {
@@ -718,7 +899,7 @@ mod tests {
         for i in 0..50 {
             pt.map_base(Vpn(i * 2), Pfn(i), false).unwrap();
         }
-        let taken = pt.take_base_entries_in_region(Hvpn(0));
+        let taken = take_region(&mut pt, Hvpn(0));
         assert_eq!(taken.len(), 50);
         assert_eq!(pt.base_count(), 0);
         pt.map_huge(Hvpn(0), Pfn(512)).unwrap();
@@ -732,7 +913,7 @@ mod tests {
         pt.map_base(Vpn(1031), Pfn(2), false).unwrap();
         pt.map_huge(Hvpn(0), Pfn(0)).unwrap();
         pt.map_base(Vpn(5000), Pfn(3), false).unwrap();
-        assert_eq!(pt.mapped_regions(), vec![Hvpn(0), Hvpn(2), Hvpn(9)]);
+        assert_eq!(pt.mapped_regions().collect::<Vec<_>>(), vec![Hvpn(0), Hvpn(2), Hvpn(9)]);
         assert_eq!(pt.base_only_regions().collect::<Vec<_>>(), vec![Hvpn(2), Hvpn(9)]);
     }
 
@@ -760,11 +941,33 @@ mod tests {
         let mut pt = PageTable::new();
         pt.map_base(Vpn(5), Pfn(1), false).unwrap();
         pt.unmap_base(Vpn(5)).unwrap();
-        assert!(pt.mapped_regions().is_empty());
+        assert_eq!(pt.mapped_regions().count(), 0);
         pt.map_huge(Hvpn(3), Pfn(512)).unwrap();
         pt.unmap_huge(Hvpn(3)).unwrap();
-        assert!(pt.mapped_regions().is_empty());
+        assert_eq!(pt.mapped_regions().count(), 0);
         assert_eq!(pt.rss_pages(), 0);
+    }
+
+    #[test]
+    fn arena_recycles_released_chunks() {
+        let mut pt = PageTable::new();
+        // Map and fully release a run of regions, twice: the second pass
+        // must reuse the first pass's arena slots rather than grow.
+        for round in 0..2 {
+            for h in 0..8u64 {
+                pt.map_huge(Hvpn(h), Pfn(h * 512)).unwrap();
+            }
+            assert_eq!(pt.huge_count(), 8, "round {round}");
+            for h in 0..8u64 {
+                pt.unmap_huge(Hvpn(h)).unwrap();
+            }
+            assert_eq!(pt.rss_pages(), 0, "round {round}");
+        }
+        assert!(pt.arena.len() <= 8, "arena grew past peak: {}", pt.arena.len());
+        // Recycled chunks must come back pristine.
+        pt.map_base(Vpn(3), Pfn(7), false).unwrap();
+        assert_eq!(pt.region_mapped_count(Hvpn(0)), 1);
+        assert!(pt.base_entry(Vpn(4)).is_none());
     }
 
     #[test]
@@ -822,13 +1025,77 @@ mod tests {
     }
 
     #[test]
+    fn cached_huge_region_entry_serves_sibling_pages() {
+        // One access to a huge region caches a region-grained entry; a
+        // different page of the same region must still set no bits twice
+        // and translate with the right per-page frame.
+        let mut pt = PageTable::new();
+        pt.map_huge(Hvpn(4), Pfn(2048)).unwrap();
+        pt.access(Vpn(4 * 512), true).unwrap();
+        let t = pt.access(Vpn(4 * 512 + 99), false).unwrap();
+        assert_eq!(t.pfn, Pfn(2048 + 99));
+        assert_eq!(t.size, PageSize::Huge);
+        // A write through the cached region entry (dirty already set).
+        let t = pt.access(Vpn(4 * 512 + 7), true).unwrap();
+        assert_eq!(t.pfn, Pfn(2048 + 7));
+    }
+
+    #[test]
+    fn cache_set_survives_conflict_churn() {
+        // More conflicting pages than one direct-mapped slot could hold:
+        // with TC_WAYS ways + LRU, a small working set of conflicting
+        // VPNs keeps hitting (correctness is unchanged either way; this
+        // pins the set-associative shape).
+        let mut pt = PageTable::new();
+        let stride = TC_SETS as u64; // same set index every time
+        for k in 0..3u64 {
+            pt.map_base(Vpn(k * stride), Pfn(100 + k), false).unwrap();
+        }
+        for _ in 0..4 {
+            for k in 0..3u64 {
+                let t = pt.access(Vpn(k * stride), false).unwrap();
+                assert_eq!(t.pfn, Pfn(100 + k));
+            }
+        }
+    }
+
+    #[test]
     fn base_vpns_in_range_spans_regions() {
         let mut pt = PageTable::new();
         pt.map_base(Vpn(10), Pfn(1), false).unwrap();
         pt.map_base(Vpn(600), Pfn(2), false).unwrap();
         pt.map_base(Vpn(1200), Pfn(3), false).unwrap();
-        assert_eq!(pt.base_vpns_in_range(Vpn(0), Vpn(1024)), vec![Vpn(10), Vpn(600)]);
-        assert_eq!(pt.base_vpns_in_range(Vpn(11), Vpn(601)), vec![Vpn(600)]);
-        assert!(pt.base_vpns_in_range(Vpn(0), Vpn(0)).is_empty());
+        assert_eq!(
+            pt.base_vpns_in_range(Vpn(0), Vpn(1024)).collect::<Vec<_>>(),
+            vec![Vpn(10), Vpn(600)]
+        );
+        assert_eq!(pt.base_vpns_in_range(Vpn(11), Vpn(601)).collect::<Vec<_>>(), vec![Vpn(600)]);
+        assert_eq!(pt.base_vpns_in_range(Vpn(0), Vpn(0)).count(), 0);
+    }
+
+    #[test]
+    fn take_base_entries_in_range_matches_unmap_loop() {
+        let mut a = PageTable::new();
+        let mut b = PageTable::new();
+        for pt in [&mut a, &mut b] {
+            for v in [10u64, 600, 601, 1200] {
+                pt.map_base(Vpn(v), Pfn(v), false).unwrap();
+            }
+        }
+        // Reference: collect then unmap one by one.
+        let vpns: Vec<Vpn> = a.base_vpns_in_range(Vpn(11), Vpn(1201)).collect();
+        let mut ref_freed = Vec::new();
+        for vpn in vpns {
+            ref_freed.push((vpn, a.unmap_base(vpn).unwrap()));
+        }
+        // Drain form.
+        let mut freed = Vec::new();
+        b.take_base_entries_in_range(Vpn(11), Vpn(1201), |v, e| freed.push((v, e)));
+        assert_eq!(freed, ref_freed);
+        assert_eq!(a.base_count(), b.base_count());
+        assert_eq!(
+            a.mapped_regions().collect::<Vec<_>>(),
+            b.mapped_regions().collect::<Vec<_>>()
+        );
     }
 }

@@ -245,13 +245,11 @@ impl AddressSpace {
                 self.pt.split_huge(hvpn).expect("checked above");
             }
         }
-        // Base mappings inside the range (only intersecting regions are
-        // scanned).
-        let vpns: Vec<Vpn> = self.pt.base_vpns_in_range(start, end);
-        for vpn in vpns {
-            let e = self.pt.unmap_base(vpn).expect("key just seen");
+        // Base mappings inside the range, drained in one allocation-free
+        // pass (only intersecting regions are scanned).
+        self.pt.take_base_entries_in_range(start, end, |vpn, e| {
             freed.push(FreedMapping { vpn, pfn: e.pfn, size: PageSize::Base, zero_cow: e.zero_cow });
-        }
+        });
         freed
     }
 }

@@ -20,6 +20,16 @@ cargo test --workspace -q
 echo "==> scenario-engine determinism test"
 cargo test -p hawkeye-bench --test determinism -q
 
+# Event-skip efficiency gate: on a representative compute/stream
+# workload, a minimum fraction of scheduler quanta must be charged in
+# closed form (quanta-skipped / quanta-total from sched_stats). The
+# simulator is deterministic, so the ratio is an exact counter — this
+# gate cannot flake on a slow host, unlike a wall-clock bound. The
+# differential tests (diff_fast_path) pin that skipping changes no
+# simulated observable; this pins that it actually engages.
+echo "==> event-skip efficiency gate (counter-based)"
+cargo test --release -p hawkeye-kernel --test skip_efficiency -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
