@@ -369,6 +369,61 @@ pub fn mmu_overhead_series(s: &ScenarioTrace) -> TimeSeries {
         .unwrap_or_else(|| TimeSeries::new("mmu_overhead_pct"))
 }
 
+/// One simulated core's accumulated contention, reconstructed from the
+/// `contention` records a multi-core run journals at each drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ContentionRow {
+    /// Simulated core id.
+    pub core: u64,
+    /// Core role tag: 0 = app, 1 = khugepaged, 2 = pre-zero daemon.
+    pub role: u64,
+    /// Page-state lock + allocator-shard acquisitions.
+    pub acquisitions: u64,
+    /// Modeled CAS retries while the resource was held elsewhere.
+    pub cas_retries: u64,
+    /// Virtual cycles stalled waiting on holders.
+    pub stall_cycles: u64,
+}
+
+impl ContentionRow {
+    /// Human-readable role name.
+    pub fn role_label(&self) -> &'static str {
+        match self.role {
+            0 => "app",
+            1 => "khugepaged",
+            2 => "prezero",
+            _ => "?",
+        }
+    }
+}
+
+/// Per-core contention totals for one scenario, in core order. Multiple
+/// drains (chunked runs) accumulate; scenarios without `contention`
+/// records (every `cores = 1` run) return an empty table.
+pub fn contention(s: &ScenarioTrace) -> Vec<ContentionRow> {
+    let mut rows: Vec<ContentionRow> = Vec::new();
+    for r in &s.records {
+        let TraceEvent::Contention { core, role, acquisitions, cas_retries, stall_cycles } =
+            r.event
+        else {
+            continue;
+        };
+        let row = match rows.iter_mut().find(|c| c.core == core) {
+            Some(row) => row,
+            None => {
+                rows.push(ContentionRow { core, role, ..Default::default() });
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.role = role;
+        row.acquisitions += acquisitions;
+        row.cas_retries += cas_retries;
+        row.stall_cycles += stall_cycles;
+    }
+    rows.sort_by_key(|c| c.core);
+    rows
+}
+
 /// Residue audit over *every* `cycle_sample` in a document (not just the
 /// final one per machine): samples with `unhalted == 0` are skipped (the
 /// virtualization host machine is driven outside the scheduler and never
@@ -441,6 +496,32 @@ pub fn report(doc: &TraceDoc) -> String {
             let l = latency(s, kind);
             hist_line(&mut out, &format!("{kind} service"), &l.service);
             hist_line(&mut out, &format!("{kind} gap"), &l.interarrival);
+        }
+        let cont = contention(s);
+        if !cont.is_empty() {
+            out.push_str("  contention (deterministic multi-core replay):\n");
+            let (mut stall_all, mut stall_daemon) = (0u64, 0u64);
+            for c in &cont {
+                stall_all += c.stall_cycles;
+                if c.role != 0 {
+                    stall_daemon += c.stall_cycles;
+                }
+                out.push_str(&format!(
+                    "    core {} {:<10} acq={:>9} cas_retries={:>8} stall={:>12}cyc\n",
+                    c.core,
+                    c.role_label(),
+                    c.acquisitions,
+                    c.cas_retries,
+                    c.stall_cycles,
+                ));
+            }
+            if stall_all > 0 {
+                out.push_str(&format!(
+                    "    daemon stall: {}cyc ({:.1}% of all stall)\n",
+                    stall_daemon,
+                    100.0 * stall_daemon as f64 / stall_all as f64,
+                ));
+            }
         }
         let series = mmu_overhead_series(s);
         if series.is_empty() {

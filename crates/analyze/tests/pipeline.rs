@@ -4,8 +4,9 @@
 //! must be byte-identical regardless of how many workers produced the
 //! journal (the bench determinism rule extends through the reader).
 
-use hawkeye_analyze::{parse_trace, report, residues};
+use hawkeye_analyze::{contention, parse_trace, report, residues};
 use hawkeye_bench::{run_one, run_scenarios_capturing, trace_json, PolicyKind, Scenario};
+use hawkeye_kernel::Simulator;
 use hawkeye_metrics::Cycles;
 use hawkeye_trace::{Journal, TraceEvent, TraceRecord};
 use hawkeye_workloads::AllocTouch;
@@ -21,6 +22,13 @@ fn every_event_variant_round_trips_through_the_writer() {
         TraceEvent::PreZero { pages: 512 },
         TraceEvent::Dedup { hvpn: 1, zero_pages: 400, demoted: true, cycles: 77 },
         TraceEvent::Oom,
+        TraceEvent::Contention {
+            core: 6,
+            role: 2,
+            acquisitions: 9001,
+            cas_retries: 321,
+            stall_cycles: 1_234_567,
+        },
         TraceEvent::QuantumEnd { load_walk: 1, store_walk: 2, unhalted: 3, walks: 4 },
         TraceEvent::CycleSample {
             walk: 1,
@@ -62,7 +70,7 @@ fn every_event_variant_round_trips_through_the_writer() {
 /// drains per-pid PMU windows, journaling the `quantum_end` events the
 /// MMU-overhead reconstruction reads.
 fn matrix() -> Vec<Scenario<u64>> {
-    [PolicyKind::Linux2m, PolicyKind::HawkEyePmu]
+    let mut scenarios: Vec<Scenario<u64>> = [PolicyKind::Linux2m, PolicyKind::HawkEyePmu]
         .into_iter()
         .map(|kind| {
             Scenario::new(kind.label(), move || {
@@ -70,7 +78,23 @@ fn matrix() -> Vec<Scenario<u64>> {
                     .faults()
             })
         })
-        .collect()
+        .collect();
+    // A 4-core run: its journal carries `contention` records from the
+    // deterministic replay, so the report grows the contention table —
+    // which must be just as worker-count-independent as the rest.
+    scenarios.push(Scenario::sim(
+        "HawkEye-G@4c",
+        || {
+            let mut cfg = PolicyKind::HawkEyeG.config(64);
+            cfg.max_time = Cycles::from_secs(10.0);
+            cfg.cores = 4;
+            let mut sim = Simulator::new(cfg, PolicyKind::HawkEyeG.build());
+            let pid = sim.spawn(Box::new(AllocTouch::new(4096, 30, 5000)));
+            (sim, pid)
+        },
+        |out| out.faults(),
+    ));
+    scenarios
 }
 
 #[test]
@@ -84,10 +108,28 @@ fn analyzer_report_is_byte_identical_across_worker_counts() {
     let out1 = report(&doc);
     let out8 = report(&parse_trace(&text8).expect("parse"));
     assert_eq!(out1, out8, "analyzer report must not depend on worker count");
-    // The report carries all three sections for a real run.
-    for needle in ["machine 0", "residue=0", "fault service", "mmu overhead over time"] {
+    // The report carries all sections for a real run — including the
+    // contention table the 4-core scenario's journal feeds.
+    for needle in [
+        "machine 0",
+        "residue=0",
+        "fault service",
+        "mmu overhead over time",
+        "contention (deterministic multi-core replay):",
+        "prezero",
+    ] {
         assert!(out1.contains(needle), "missing {needle:?} in report:\n{out1}");
     }
+    // Serial scenarios contribute no contention rows; the 4-core one does,
+    // and its per-core totals accumulate every drain's records.
+    assert!(contention(&doc.scenarios[0]).is_empty(), "serial run grew contention rows");
+    let rows = contention(&doc.scenarios[2]);
+    assert!(!rows.is_empty(), "4-core run journaled no contention");
+    assert!(rows.iter().any(|r| r.role != 0), "daemon cores missing from table");
+    assert!(
+        rows.iter().map(|r| r.acquisitions).sum::<u64>() > 0,
+        "contention table lost the acquisition counts"
+    );
     // And the residue audit that `--check` runs is clean and non-trivial.
     let audit = residues(&doc);
     assert!(audit.samples > 0, "no cycle samples in a 280 ms run");

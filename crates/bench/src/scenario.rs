@@ -400,6 +400,11 @@ impl Report {
         self.footers.push(line.into());
     }
 
+    /// The collected rows, in insertion order (tests assert on cells).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
     /// Renders the full stdout text: free-text blocks, table, footers.
     pub fn text(&self) -> String {
         let mut out = String::new();
@@ -549,6 +554,13 @@ mod tests {
                 idle: 8,
                 unhalted: 36,
                 daemon: 9,
+            },
+            TraceEvent::Contention {
+                core: 3,
+                role: 1,
+                acquisitions: 250,
+                cas_retries: 17,
+                stall_cycles: 42_000,
             },
         ];
         let records = events

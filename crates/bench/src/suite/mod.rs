@@ -21,6 +21,7 @@ pub mod fig6_promotion_timeline;
 pub mod fig7_table5_identical_workloads;
 pub mod fig8_heterogeneous;
 pub mod fig9_virtualized;
+pub mod multicore_contention;
 pub mod table1_fault_latency;
 pub mod table2_tlb_sensitivity;
 pub mod table3_npb_characteristics;
@@ -129,6 +130,11 @@ pub const TARGETS: &[Target] = &[
         name: "fig11_overcommit",
         paper: "Fig 11",
         build: fig11_overcommit::report,
+    },
+    Target {
+        name: "multicore_contention",
+        paper: "§4 multi-core",
+        build: multicore_contention::report,
     },
 ];
 

@@ -112,6 +112,16 @@ pub struct KernelConfig {
     /// `HAWKEYE_NO_EVENT_SKIP` environment variable (checked at
     /// [`crate::Simulator::new`]) forces it off.
     pub event_skip: bool,
+    /// Simulated cores (1–8). At 1 (the default) the machine is the
+    /// classic serial engine, bit-identical with every pre-multicore
+    /// artifact. Above 1 the last two cores host khugepaged and the
+    /// pre-zeroing daemon while app processes spread over the rest, and
+    /// the machine records a per-core lock/allocator access plan replayed
+    /// by [`crate::multicore`] into `lock.*` contention metrics (the only
+    /// counters allowed to differ across core counts — aggregate work
+    /// counters stay pinned exactly). The `HAWKEYE_CORES` environment
+    /// variable (checked at [`crate::Simulator::new`]) overrides this.
+    pub cores: u32,
 }
 
 impl KernelConfig {
@@ -129,6 +139,7 @@ impl KernelConfig {
             costs: CostModel::paper(),
             fast_path: true,
             event_skip: true,
+            cores: 1,
         }
     }
 

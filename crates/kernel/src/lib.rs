@@ -33,7 +33,9 @@
 //! ```
 
 pub mod config;
+pub mod core_stats;
 pub mod machine;
+pub mod multicore;
 pub mod policy;
 pub mod process;
 pub use hawkeye_mem::rng;

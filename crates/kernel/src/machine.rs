@@ -13,6 +13,7 @@
 //! * `madvise(MADV_DONTNEED)` with THP splitting and TLB shootdowns.
 
 use crate::config::KernelConfig;
+use crate::multicore::{page_key, ConcRecorder};
 use crate::process::Process;
 use crate::rng::SplitMix64;
 use crate::stats::KernelStats;
@@ -117,6 +118,9 @@ pub struct Machine {
     recorder: Recorder,
     trace: TraceSink,
     metrics: MetricsSink,
+    /// Multi-core access-plan recorder; `None` at `cores = 1`, where the
+    /// machine is exactly the serial engine (no recording, no overhead).
+    conc: Option<ConcRecorder>,
 }
 
 impl Machine {
@@ -143,6 +147,7 @@ impl Machine {
         // Reserve the canonical zero page.
         let z = pm.alloc(Order(0), AllocPref::Zeroed).expect("boot memory");
         pm.frame_mut(z.pfn).set_kind(FrameKind::Pinned);
+        let conc = (config.cores > 1).then(|| ConcRecorder::new(config.cores));
         Machine {
             config,
             pm,
@@ -156,6 +161,7 @@ impl Machine {
             recorder: Recorder::new(),
             trace,
             metrics,
+            conc,
         }
     }
 
@@ -335,6 +341,7 @@ impl Machine {
             self.metrics.charge_cpu(Subsystem::Zero, self.config.costs.zero_4k);
         }
         self.finish_map_base(pid, vpn, a.pfn);
+        self.conc_app(pid, vpn.hvpn(), cost, Some(Order(0)));
         Ok(cost)
     }
 
@@ -349,6 +356,7 @@ impl Machine {
             self.metrics.charge_cpu(Subsystem::Zero, self.config.costs.zero_4k);
         }
         self.finish_map_base(pid, vpn, pfn);
+        self.conc_app(pid, vpn.hvpn(), cost, None);
         cost
     }
 
@@ -403,6 +411,7 @@ impl Machine {
         self.install_huge_frames(pid, hvpn, a.pfn);
         let p = self.processes.get_mut(&pid).expect("faulting process exists");
         p.space_mut().map_huge(hvpn, a.pfn).expect("region checked promotable and empty");
+        self.conc_app(pid, hvpn, cost, Some(HUGE_ORDER));
         Ok((cost, true))
     }
 
@@ -444,6 +453,7 @@ impl Machine {
         self.mmu.invalidate_page(pid, vpn);
         let p = self.processes.get_mut(&pid).expect("exists");
         p.stats_mut().cow_faults += 1;
+        self.conc_app(pid, vpn.hvpn(), cost, Some(Order(0)));
         Ok(cost)
     }
 
@@ -532,6 +542,7 @@ impl Machine {
             pid,
             TraceEvent::Promote { hvpn: hvpn.0, copied, filled, cycles: cost.get() },
         );
+        self.conc_khugepaged(pid, hvpn, cost, Some(HUGE_ORDER));
         Ok(Promoted { copied_pages: copied, filled_pages: filled, cycles: cost })
     }
 
@@ -592,6 +603,7 @@ impl Machine {
             pid,
             TraceEvent::Promote { hvpn: hvpn.0, copied: 0, filled: 0, cycles: cost.get() },
         );
+        self.conc_khugepaged(pid, hvpn, cost, None);
         Ok(())
     }
 
@@ -614,6 +626,7 @@ impl Machine {
         let cost = self.config.costs.fault_base_4k; // split bookkeeping
         self.charge_daemon(Subsystem::Fault, cost);
         self.trace.emit(pid, TraceEvent::Demote { hvpn: hvpn.0, cycles: cost.get() });
+        self.conc_khugepaged(pid, hvpn, cost, None);
         Some(cost)
     }
 
@@ -644,10 +657,12 @@ impl Machine {
                 pid,
                 TraceEvent::Dedup { hvpn: hvpn.0, zero_pages, demoted: false, cycles: cost.get() },
             );
+            self.conc_khugepaged(pid, hvpn, cost, None);
             return Some(DedupOutcome::Kept { zero_pages, cycles: cost });
         }
         // Demote, then replace zero pages with canonical-zero COW entries.
-        cost += self.demote(pid, hvpn).expect("huge entry present");
+        let demote_cost = self.demote(pid, hvpn).expect("huge entry present");
+        cost += demote_cost;
         let zero_pfn = self.zero_pfn;
         let p = self.processes.get_mut(&pid).expect("exists");
         let space = p.space_mut();
@@ -667,16 +682,20 @@ impl Machine {
             cost += self.config.costs.cow_extra; // remap bookkeeping
         }
         self.stats.deduped_zero_pages += zero_pages as u64;
-        // The scan portion goes under `scan`; the demote + remap remainder
-        // under `dedup`. (The demotion inside `cost` was *also* charged by
-        // `demote` itself — the historical double count in daemon_cycles —
-        // so totals stay bit-identical with the pre-registry ledger.)
+        // The scan portion goes under `scan`, the remap remainder under
+        // `dedup`; the demotion was already charged (to `fault`) by
+        // `demote` itself, so it is *excluded* here. Historically it was
+        // charged twice — once inside `demote`, once again in the `dedup`
+        // remainder — inflating daemon_cycles by one split cost per
+        // recovery. The regression test `demote_not_double_counted` pins
+        // the fixed ledger: the daemon delta equals the reported cycles.
         self.charge_daemon(Subsystem::Scan, scan_cost);
-        self.charge_daemon(Subsystem::Dedup, cost - scan_cost);
+        self.charge_daemon(Subsystem::Dedup, cost - scan_cost - demote_cost);
         self.trace.emit(
             pid,
             TraceEvent::Dedup { hvpn: hvpn.0, zero_pages, demoted: true, cycles: cost.get() },
         );
+        self.conc_khugepaged(pid, hvpn, cost - demote_cost, None);
         Some(DedupOutcome::Deduped { zero_pages, cycles: cost })
     }
 
@@ -688,6 +707,12 @@ impl Machine {
         let z = self.pm.prezero_step(pages);
         self.stats.prezeroed_pages += z;
         self.charge_daemon(Subsystem::Zero, self.config.costs.zero_4k * z);
+        if z > 0 {
+            if let Some(rec) = self.conc.as_mut() {
+                // One arena-lock trip per huge-sized block zeroed.
+                rec.prezero(z.div_ceil(512));
+            }
+        }
         z
     }
 
@@ -702,7 +727,14 @@ impl Machine {
         });
         self.stats.compaction_runs += 1;
         self.stats.compaction_migrated += stats.migrated_pages;
-        self.charge_daemon(Subsystem::Compact, self.config.costs.copy_4k * stats.migrated_pages);
+        let cost = self.config.costs.copy_4k * stats.migrated_pages;
+        self.charge_daemon(Subsystem::Compact, cost);
+        if stats.migrated_pages > 0 {
+            if let Some(rec) = self.conc.as_mut() {
+                // Compaction serializes on one machine-wide resource.
+                rec.khugepaged(crate::multicore::COMPACT_KEY, cost, None);
+            }
+        }
         stats
     }
 
@@ -804,6 +836,9 @@ impl Machine {
         // faulting process's quantum; attribute it here so the CPU ledger
         // stays exact.
         self.metrics.charge_cpu(Subsystem::Fault, cost);
+        if pages > 0 {
+            self.conc_app(pid, start.hvpn(), cost, None);
+        }
         cost
     }
 
@@ -833,6 +868,43 @@ impl Machine {
     fn charge_daemon(&mut self, sub: Subsystem, c: Cycles) {
         self.stats.daemon_cycles += c;
         self.metrics.charge_daemon(sub, c);
+    }
+
+    // ---- multi-core access plan ------------------------------------------
+    //
+    // Every page-state transition the real kernel takes under a page lock
+    // lands in the recorder as (core, resource, hold) so the replay can
+    // interleave cores. The hooks are no-ops at `cores = 1` — the serial
+    // engine's counters, journal and timings are untouched.
+
+    /// Records an app-core page operation on `pid`'s region of `vpn`.
+    fn conc_app(&mut self, pid: u32, hvpn: Hvpn, hold: Cycles, alloc: Option<Order>) {
+        if let Some(rec) = self.conc.as_mut() {
+            rec.app(pid, page_key(pid, hvpn.0), hold, alloc);
+        }
+    }
+
+    /// Records a khugepaged-core operation on `pid`'s region of `hvpn`.
+    fn conc_khugepaged(&mut self, pid: u32, hvpn: Hvpn, hold: Cycles, alloc: Option<Order>) {
+        if let Some(rec) = self.conc.as_mut() {
+            rec.khugepaged(page_key(pid, hvpn.0), hold, alloc);
+        }
+    }
+
+    /// Replays the recorded per-core plan (no-op at `cores = 1`): the
+    /// deterministic interleaving publishes `lock.*` counters and
+    /// [`TraceEvent::Contention`] events; the real-thread replay feeds
+    /// [`crate::core_stats`]. The simulator calls this at run-loop exit.
+    pub fn drain_concurrency(&mut self) {
+        if let Some(rec) = self.conc.as_mut() {
+            rec.drain(&self.metrics, &self.trace);
+        }
+    }
+
+    /// The multi-core recorder, when `cores > 1` (differential tests
+    /// inspect its cumulative totals).
+    pub fn concurrency(&self) -> Option<&ConcRecorder> {
+        self.conc.as_ref()
     }
 
     pub(crate) fn stats_oom(&mut self, pid: u32) {
@@ -1090,6 +1162,69 @@ mod tests {
         let out = m.dedup_zero_pages(pid, Hvpn(0), 256).unwrap();
         assert!(matches!(out, DedupOutcome::Kept { zero_pages: 112, .. }));
         assert_eq!(m.process(pid).unwrap().space().huge_pages(), 1);
+    }
+
+    #[test]
+    fn demote_not_double_counted() {
+        // Regression: dedup recovery used to fold the demotion cycles into
+        // its `dedup` daemon charge even though `demote` had already
+        // charged them under `fault`, so `daemon_cycles` grew by one extra
+        // split cost per recovered huge page. The ledger must advance by
+        // exactly the cycles the outcome reports.
+        let mut m = machine();
+        let pid = spawn_with_vma(&mut m, 1024);
+        m.fault_map_huge(pid, Vpn(0)).unwrap();
+        let base_pfn = m.process(pid).unwrap().space().translate(Vpn(0)).unwrap().pfn;
+        for i in 0..100u64 {
+            m.pm_mut().frame_mut(Pfn(base_pfn.0 + i)).set_content(PageContent::non_zero(9));
+        }
+        let before = m.stats().daemon_cycles;
+        let out = m.dedup_zero_pages(pid, Hvpn(0), 256).unwrap();
+        let DedupOutcome::Deduped { cycles, .. } = out else { panic!("expected dedup: {out:?}") };
+        assert_eq!(m.stats().daemon_cycles - before, cycles, "daemon ledger == reported cycles");
+        // A plain demotion also charges exactly what it reports.
+        m.fault_map_huge(pid, Vpn(512)).unwrap();
+        let before = m.stats().daemon_cycles;
+        let c = m.demote(pid, Hvpn(1)).unwrap();
+        assert_eq!(m.stats().daemon_cycles - before, c);
+    }
+
+    #[test]
+    fn multicore_recording_leaves_serial_state_identical() {
+        // The recorder observes the serial engine; it must never perturb
+        // it. Identical op sequences at 1 and 4 cores leave identical
+        // machine state (the differential test pins whole policies).
+        let run = |cores: u32| {
+            let mut cfg = KernelConfig::small();
+            cfg.cores = cores;
+            let mut m = Machine::new(cfg);
+            let pid = spawn_with_vma(&mut m, 2048);
+            for i in 0..512u64 {
+                m.fault_map_base(pid, Vpn(i)).unwrap();
+            }
+            m.promote(pid, Hvpn(0)).unwrap();
+            m.demote(pid, Hvpn(0));
+            m.fault_map_huge(pid, Vpn(512)).unwrap();
+            m.dedup_zero_pages(pid, Hvpn(1), 1).unwrap();
+            m.prezero(64);
+            m.run_compaction(128);
+            (format!("{:?}", m.stats()), m.pm().allocated_pages(), m.pm().zeroed_free_pages())
+        };
+        assert_eq!(run(1), run(4));
+        // ...and at 4 cores a contention plan was actually recorded.
+        let mut cfg = KernelConfig::small();
+        cfg.cores = 4;
+        let mut m = Machine::new(cfg);
+        let pid = spawn_with_vma(&mut m, 1024);
+        for i in 0..512u64 {
+            m.fault_map_base(pid, Vpn(i)).unwrap();
+        }
+        m.promote(pid, Hvpn(0)).unwrap();
+        assert!(m.concurrency().is_some());
+        m.drain_concurrency();
+        let rec = m.concurrency().unwrap();
+        let acq: u64 = rec.totals().iter().map(|c| c.acquisitions).sum();
+        assert!(acq >= 513, "512 faults + 1 promotion recorded, got {acq}");
     }
 
     #[test]

@@ -116,11 +116,18 @@ enum StreakShape<'a> {
 
 impl Simulator {
     /// Boots a machine and installs a policy.
-    pub fn new(config: KernelConfig, policy: Box<dyn HugePagePolicy>) -> Self {
+    pub fn new(mut config: KernelConfig, policy: Box<dyn HugePagePolicy>) -> Self {
         let next_tick = config.tick_period;
         let next_sample = config.sample_period;
         let event_skip =
             config.event_skip && std::env::var_os("HAWKEYE_NO_EVENT_SKIP").is_none();
+        // `HAWKEYE_CORES=<n>` overrides the configured core count, so any
+        // existing binary can run multi-core without a config change.
+        if let Some(v) = std::env::var_os("HAWKEYE_CORES") {
+            if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<u32>().ok()) {
+                config.cores = n.clamp(1, crate::core_stats::MAX_CORES as u32);
+            }
+        }
         Simulator {
             machine: Machine::new(config),
             policy: Some(policy),
@@ -214,6 +221,7 @@ impl Simulator {
             }
         }
         self.machine.mmu_mut().flush_metrics();
+        self.machine.drain_concurrency();
         crate::sched_stats::flush(total, skipped);
         self.machine.now()
     }

@@ -194,6 +194,26 @@ pub struct TargetWall {
     pub quanta_total: u64,
     /// Quanta the event-skip scheduler charged in closed form.
     pub quanta_skipped: u64,
+    /// Simulated cores of the target's widest multi-core window (0 when
+    /// every run was serial — the sidecar then omits core fields).
+    pub cores: u64,
+    /// Per-core busy/stall host-nanoseconds from the real-thread replay.
+    pub core_busy: Vec<CoreWall>,
+}
+
+/// One replay core's utilization from the `core_busy` sidecar array:
+/// host time the OS thread re-executing that core's op plan spent
+/// holding locks vs. spinning on them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoreWall {
+    /// Simulated core id.
+    pub core: u64,
+    /// Host nanoseconds holding page-state locks / allocator shards.
+    pub busy_ns: u64,
+    /// Host nanoseconds spinning while another thread held them.
+    pub stall_ns: u64,
+    /// Real CAS retries observed by the replay threads.
+    pub cas_retries: u64,
 }
 
 impl TargetWall {
@@ -203,8 +223,9 @@ impl TargetWall {
     }
 }
 
-/// `(phases, quanta_total, quanta_skipped)` from a timing sidecar.
-type WallSidecar = (Vec<(String, f64)>, u64, u64);
+/// `(phases, quanta_total, quanta_skipped, cores, core_busy)` from a
+/// timing sidecar.
+type WallSidecar = (Vec<(String, f64)>, u64, u64, u64, Vec<CoreWall>);
 
 /// Reads `<dir>/<name>.wallclock.json` back.
 fn read_wallclock(dir: &Path, name: &str) -> Option<WallSidecar> {
@@ -222,7 +243,26 @@ fn read_wallclock(dir: &Path, name: &str) -> Option<WallSidecar> {
         })
         .collect();
     let int = |k: &str| get(k).and_then(|v| v.as_u64()).unwrap_or(0);
-    Some((phases, int("quanta_total"), int("quanta_skipped")))
+    let core_busy = get("core_busy")
+        .and_then(|v| v.as_arr())
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|p| {
+                    let o = p.as_obj()?;
+                    let field = |k: &str| {
+                        o.iter().find(|(key, _)| key == k).and_then(|(_, v)| v.as_u64())
+                    };
+                    Some(CoreWall {
+                        core: field("core")?,
+                        busy_ns: field("busy_ns")?,
+                        stall_ns: field("stall_ns")?,
+                        cas_retries: field("cas_retries")?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Some((phases, int("quanta_total"), int("quanta_skipped"), int("cores"), core_busy))
 }
 
 /// Runs the selected targets in-process with tracing forced on, writing
@@ -240,9 +280,17 @@ pub fn run_suite(targets: &[&'static Target], threads: usize, dir: &Path) -> Vec
         print!("{}", report.text());
         hawkeye_bench::write_json_in(dir, t.name, &report.json());
         let total_secs = t0.elapsed().as_secs_f64();
-        let (phases, quanta_total, quanta_skipped) =
+        let (phases, quanta_total, quanta_skipped, cores, core_busy) =
             read_wallclock(dir, t.name).unwrap_or_default();
-        walls.push(TargetWall { name: t.name, total_secs, phases, quanta_total, quanta_skipped });
+        walls.push(TargetWall {
+            name: t.name,
+            total_secs,
+            phases,
+            quanta_total,
+            quanta_skipped,
+            cores,
+            core_busy,
+        });
     }
     hawkeye_trace::set_forced(false);
     walls
@@ -263,11 +311,13 @@ pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
          the scenario-engine run, `summary` and `trace` are the artifact \
          dumps; the remainder is table formatting and load-back. \
          `skip%` is the fraction of scheduler quanta the event-skip \
-         scheduler charged in closed form instead of executing.\n\n",
+         scheduler charged in closed form instead of executing. `cores` \
+         is the widest simulated multi-core window the target ran (— \
+         when every run was serial).\n\n",
     ));
     out.push_str(
-        "| Target | total (s) | engine (s) | summary (s) | trace (s) | quanta | skip% |\n\
-         |---|---:|---:|---:|---:|---:|---:|\n",
+        "| Target | total (s) | engine (s) | summary (s) | trace (s) | quanta | skip% | cores |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|\n",
     );
     let mut order: Vec<&TargetWall> = walls.iter().collect();
     order.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
@@ -278,7 +328,7 @@ pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
             format!("{:.1}%", w.quanta_skipped as f64 / w.quanta_total as f64 * 100.0)
         };
         out.push_str(&format!(
-            "| `{}` | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} |\n",
+            "| `{}` | {:.2} | {:.2} | {:.2} | {:.2} | {} | {} | {} |\n",
             w.name,
             w.total_secs,
             w.phase_secs("engine"),
@@ -286,6 +336,7 @@ pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
             w.phase_secs("trace_write"),
             w.quanta_total,
             skip_pct,
+            if w.cores == 0 { "—".to_string() } else { w.cores.to_string() },
         ));
     }
     let total: f64 = walls.iter().map(|w| w.total_secs).sum();
@@ -297,7 +348,7 @@ pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
         format!("{:.1}%", qs as f64 / qt as f64 * 100.0)
     };
     out.push_str(&format!(
-        "| **suite total** | **{:.2}** | {:.2} | {:.2} | {:.2} | {} | {} |\n",
+        "| **suite total** | **{:.2}** | {:.2} | {:.2} | {:.2} | {} | {} | |\n",
         total,
         walls.iter().map(|w| w.phase_secs("engine")).sum::<f64>(),
         walls.iter().map(|w| w.phase_secs("summary_write")).sum::<f64>(),
@@ -305,6 +356,29 @@ pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
         qt,
         skip_pct,
     ));
+    let multicore: Vec<&TargetWall> = walls.iter().filter(|w| !w.core_busy.is_empty()).collect();
+    if !multicore.is_empty() {
+        out.push_str(
+            "\n## Replay core utilization\n\n\
+             Real-thread replay of the recorded multi-core op plans: host \
+             time each core's OS thread spent holding page-state locks / \
+             allocator shards (`busy`) vs. spinning on them (`stall`), and \
+             the CAS retries it actually took. Host-speed dependent, so it \
+             lives here and not in REPORT.md.\n\n",
+        );
+        for w in multicore {
+            out.push_str(&format!("- `{}`:\n", w.name));
+            for c in &w.core_busy {
+                out.push_str(&format!(
+                    "  - core {}: busy {:.2} ms, stall {:.2} ms, {} CAS retries\n",
+                    c.core,
+                    c.busy_ns as f64 / 1e6,
+                    c.stall_ns as f64 / 1e6,
+                    c.cas_retries,
+                ));
+            }
+        }
+    }
     out
 }
 

@@ -43,6 +43,19 @@ impl PmuWindow {
         }
         (self.load_walk + self.store_walk).get() as f64 / self.unhalted.get() as f64
     }
+
+    /// Folds another counter set into this one. Every PMU counter is
+    /// additive, so merging per-core (or per-pid) windows is exactly the
+    /// counter file a single shared PMU would have recorded — this is
+    /// how multi-core machines assemble per-core views from per-process
+    /// counters (and how they would fold per-core files back into a
+    /// machine-wide one).
+    pub fn merge(&mut self, other: &PmuWindow) {
+        self.load_walk += other.load_walk;
+        self.store_walk += other.store_walk;
+        self.unhalted += other.unhalted;
+        self.walks += other.walks;
+    }
 }
 
 /// Per-process performance counters.
@@ -229,6 +242,36 @@ mod tests {
         assert!((w2.mmu_overhead() - 0.9).abs() < 1e-12);
         // Lifetime saw everything.
         assert!((pmu.lifetime(1).mmu_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_additive_and_partition_independent() {
+        let mut pmu = Pmu::new();
+        pmu.record_walk(1, Cycles::new(100), false);
+        pmu.record_unhalted(1, Cycles::new(1000));
+        pmu.record_walk(2, Cycles::new(50), true);
+        pmu.record_unhalted(2, Cycles::new(500));
+        pmu.record_walk(3, Cycles::new(25), false);
+        pmu.record_unhalted(3, Cycles::new(250));
+        // Merge per-pid counters in two different groupings (cores
+        // {1,2}+{3} vs {1}+{2,3}); the machine-wide fold must agree.
+        let fold = |groups: &[&[u32]]| {
+            let mut total = PmuWindow::default();
+            for g in groups {
+                let mut core = PmuWindow::default();
+                for pid in *g {
+                    core.merge(&pmu.lifetime(*pid));
+                }
+                total.merge(&core);
+            }
+            total
+        };
+        let a = fold(&[&[1, 2], &[3]]);
+        let b = fold(&[&[1], &[2, 3]]);
+        assert_eq!(a, b);
+        assert_eq!(a.walks, 3);
+        assert_eq!(a.unhalted, Cycles::new(1750));
+        assert!((a.mmu_overhead() - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -127,6 +127,23 @@ pub enum TraceEvent {
         /// Cumulative daemon-ledger cycles (all subsystems).
         daemon: u64,
     },
+    /// Per-core lock-contention summary from the multi-core replay
+    /// (`cores > 1` runs only). One record per simulated core, emitted at
+    /// run end. Values come from the *seeded deterministic* replay, so
+    /// journals stay byte-identical for a given seed/core count even
+    /// though they describe contention.
+    Contention {
+        /// Simulated core id.
+        core: u64,
+        /// Core role: 0 = application, 1 = khugepaged, 2 = pre-zero.
+        role: u64,
+        /// Page-state lock acquisitions performed by this core.
+        acquisitions: u64,
+        /// Failed CAS attempts while acquiring page-state locks.
+        cas_retries: u64,
+        /// Simulated cycles this core stalled waiting for locks/arenas.
+        stall_cycles: u64,
+    },
 }
 
 impl TraceEvent {
@@ -142,6 +159,7 @@ impl TraceEvent {
             TraceEvent::Oom => "oom",
             TraceEvent::QuantumEnd { .. } => "quantum_end",
             TraceEvent::CycleSample { .. } => "cycle_sample",
+            TraceEvent::Contention { .. } => "contention",
         }
     }
 
@@ -203,6 +221,13 @@ impl TraceEvent {
                 ("unhalted", unhalted),
                 ("daemon", daemon),
             ],
+            TraceEvent::Contention { core, role, acquisitions, cas_retries, stall_cycles } => vec![
+                ("core", core),
+                ("role", role),
+                ("acquisitions", acquisitions),
+                ("cas_retries", cas_retries),
+                ("stall_cycles", stall_cycles),
+            ],
         }
     }
 
@@ -257,6 +282,13 @@ impl TraceEvent {
                 idle: get("idle")?,
                 unhalted: get("unhalted")?,
                 daemon: get("daemon")?,
+            },
+            "contention" => TraceEvent::Contention {
+                core: get("core")?,
+                role: get("role")?,
+                acquisitions: get("acquisitions")?,
+                cas_retries: get("cas_retries")?,
+                stall_cycles: get("stall_cycles")?,
             },
             _ => return None,
         })
@@ -624,6 +656,13 @@ mod tests {
                 idle: 8,
                 unhalted: 36,
                 daemon: 9,
+            },
+            TraceEvent::Contention {
+                core: 3,
+                role: 1,
+                acquisitions: 250,
+                cas_retries: 17,
+                stall_cycles: 42_000,
             },
         ];
         for ev in events {

@@ -1,0 +1,362 @@
+//! Packed per-page state + version word for multi-core machines.
+//!
+//! One [`AtomicU64`] per page packs the lock state into the top byte and
+//! a 56-bit version below it (the vmcache buffer-manager layout):
+//!
+//! ```text
+//!   63        56 55                                            0
+//!  +------------+-----------------------------------------------+
+//!  | state byte |                 56-bit version                |
+//!  +------------+-----------------------------------------------+
+//!   state: 0 = unlocked, 1..=252 = shared(n), 253 = locked,
+//!          254 = marked (second-chance eviction hint)
+//! ```
+//!
+//! Translation fast paths take **optimistic reads**: snapshot the word,
+//! do the walk, and re-validate that the version is unchanged and no
+//! writer holds the lock. State transitions (map, promote, demote,
+//! collapse, dedup) CAS the word to `locked`, mutate, and release with a
+//! version bump so every concurrent optimist restarts. Shared locks
+//! count readers in the state byte and never bump the version.
+//!
+//! The simulator's multi-core replay (`hawkeye-kernel`'s `multicore`
+//! module) drives these words both from a seeded deterministic
+//! interleaver (producing the `lock.*` registry counters) and from real
+//! OS threads (producing wall-clock contention for the timing sidecar).
+//!
+//! # Examples
+//!
+//! ```
+//! use hawkeye_vm::PageStateWord;
+//!
+//! let w = PageStateWord::new();
+//! let snap = w.optimistic_begin().expect("unlocked");
+//! assert!(w.optimistic_validate(snap), "no writer intervened");
+//!
+//! let before = w.load();
+//! assert!(w.try_lock_exclusive(before));
+//! assert!(w.optimistic_begin().is_none(), "readers back off");
+//! w.unlock_exclusive();
+//! assert!(!w.optimistic_validate(snap), "version bumped");
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// State byte: no holders.
+pub const UNLOCKED: u8 = 0;
+/// State byte values `1..=MAX_SHARED` count shared holders.
+pub const MAX_SHARED: u8 = 252;
+/// State byte: one exclusive holder.
+pub const LOCKED: u8 = 253;
+/// State byte: unlocked but marked (second-chance hint).
+pub const MARKED: u8 = 254;
+
+const STATE_SHIFT: u32 = 56;
+const VERSION_MASK: u64 = (1u64 << STATE_SHIFT) - 1;
+
+/// Packs `state` over the version bits of `word`.
+#[inline]
+fn same_version(word: u64, state: u8) -> u64 {
+    (word & VERSION_MASK) | ((state as u64) << STATE_SHIFT)
+}
+
+/// Packs `state` over a bumped version (wrapping in 56 bits).
+#[inline]
+fn next_version(word: u64, state: u8) -> u64 {
+    ((word.wrapping_add(1)) & VERSION_MASK) | ((state as u64) << STATE_SHIFT)
+}
+
+/// A page's packed lock-state + version word. See the module docs for
+/// the layout and protocol.
+#[derive(Debug, Default)]
+pub struct PageStateWord {
+    word: AtomicU64,
+}
+
+impl PageStateWord {
+    /// A fresh word: unlocked, version 0.
+    pub fn new() -> Self {
+        PageStateWord { word: AtomicU64::new(0) }
+    }
+
+    /// Raw word snapshot (acquire).
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// The state byte of a raw word.
+    #[inline]
+    pub fn state_of(word: u64) -> u8 {
+        (word >> STATE_SHIFT) as u8
+    }
+
+    /// The 56-bit version of a raw word.
+    #[inline]
+    pub fn version_of(word: u64) -> u64 {
+        word & VERSION_MASK
+    }
+
+    /// Starts an optimistic read: returns a snapshot to validate against,
+    /// or `None` while a writer holds the word (the reader should spin or
+    /// fall back to a shared lock).
+    #[inline]
+    pub fn optimistic_begin(&self) -> Option<u64> {
+        let w = self.load();
+        if Self::state_of(w) == LOCKED {
+            None
+        } else {
+            Some(w)
+        }
+    }
+
+    /// Ends an optimistic read: true iff no exclusive writer released
+    /// since `snapshot` (shared locks taken/released in between are
+    /// harmless and intentionally ignored — they never mutate).
+    #[inline]
+    pub fn optimistic_validate(&self, snapshot: u64) -> bool {
+        let w = self.load();
+        Self::version_of(w) == Self::version_of(snapshot) && Self::state_of(w) != LOCKED
+    }
+
+    /// One CAS attempt at the exclusive lock from snapshot `old`. Fails
+    /// if the word changed or a holder is present (`old` itself must show
+    /// `UNLOCKED` or `MARKED`).
+    #[inline]
+    pub fn try_lock_exclusive(&self, old: u64) -> bool {
+        let s = Self::state_of(old);
+        if s != UNLOCKED && s != MARKED {
+            return false;
+        }
+        self.word
+            .compare_exchange(old, same_version(old, LOCKED), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Spins until the exclusive lock is held; returns the number of
+    /// failed CAS/occupied-word attempts (0 on the uncontended path).
+    pub fn lock_exclusive(&self) -> u64 {
+        let mut retries = 0u64;
+        loop {
+            let old = self.load();
+            if self.try_lock_exclusive(old) {
+                return retries;
+            }
+            retries += 1;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Releases the exclusive lock with a version bump, so every
+    /// optimistic reader that overlapped the critical section restarts.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the word is not exclusively locked.
+    pub fn unlock_exclusive(&self) {
+        let w = self.load();
+        debug_assert_eq!(Self::state_of(w), LOCKED, "unlock_exclusive of unheld word");
+        self.word.store(next_version(w, UNLOCKED), Ordering::Release);
+    }
+
+    /// Releases the exclusive lock, leaving the page marked.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the word is not exclusively locked.
+    pub fn unlock_exclusive_marked(&self) {
+        let w = self.load();
+        debug_assert_eq!(Self::state_of(w), LOCKED, "unlock of unheld word");
+        self.word.store(next_version(w, MARKED), Ordering::Release);
+    }
+
+    /// One CAS attempt at a shared lock from snapshot `old`: increments
+    /// the holder count (a `MARKED` word becomes shared-1, clearing the
+    /// mark). Fails on an exclusive holder, a full count, or a changed
+    /// word.
+    #[inline]
+    pub fn try_lock_shared(&self, old: u64) -> bool {
+        let s = Self::state_of(old);
+        let new_state = match s {
+            MARKED => 1,
+            s if s < MAX_SHARED => s + 1,
+            _ => return false,
+        };
+        self.word
+            .compare_exchange(
+                old,
+                same_version(old, new_state),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Spins until a shared lock is held; returns failed attempts.
+    pub fn lock_shared(&self) -> u64 {
+        let mut retries = 0u64;
+        loop {
+            let old = self.load();
+            if self.try_lock_shared(old) {
+                return retries;
+            }
+            retries += 1;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Drops one shared holder. No version bump — shared critical
+    /// sections never mutate.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if no shared holder is present.
+    pub fn unlock_shared(&self) {
+        loop {
+            let w = self.load();
+            let s = Self::state_of(w);
+            debug_assert!((1..=MAX_SHARED).contains(&s), "unlock_shared of unheld word");
+            if self
+                .word
+                .compare_exchange_weak(
+                    w,
+                    same_version(w, s - 1),
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Upgrades a sole shared holder to the exclusive lock (one CAS
+    /// attempt; fails if other readers arrived or the word changed).
+    #[inline]
+    pub fn try_upgrade(&self, old: u64) -> bool {
+        if Self::state_of(old) != 1 {
+            return false;
+        }
+        self.word
+            .compare_exchange(old, same_version(old, LOCKED), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Best-effort second-chance mark: CASes an unlocked word to
+    /// `MARKED` (same version). Held or already-marked words are left
+    /// alone. Returns whether the mark landed.
+    pub fn mark(&self) -> bool {
+        let old = self.load();
+        if Self::state_of(old) != UNLOCKED {
+            return false;
+        }
+        self.word
+            .compare_exchange(old, same_version(old, MARKED), Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Whether the current word carries the second-chance mark.
+    pub fn is_marked(&self) -> bool {
+        Self::state_of(self.load()) == MARKED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_packs_state_and_version_independently() {
+        assert_eq!(PageStateWord::state_of(same_version(7, LOCKED)), LOCKED);
+        assert_eq!(PageStateWord::version_of(same_version(7, LOCKED)), 7);
+        // Version bump wraps inside 56 bits and never leaks into state.
+        let top = VERSION_MASK;
+        assert_eq!(PageStateWord::version_of(next_version(top, UNLOCKED)), 0);
+        assert_eq!(PageStateWord::state_of(next_version(top, MARKED)), MARKED);
+    }
+
+    #[test]
+    fn exclusive_round_trip_bumps_version_once() {
+        let w = PageStateWord::new();
+        let v0 = PageStateWord::version_of(w.load());
+        assert_eq!(w.lock_exclusive(), 0, "uncontended");
+        w.unlock_exclusive();
+        assert_eq!(PageStateWord::version_of(w.load()), v0 + 1);
+        assert_eq!(PageStateWord::state_of(w.load()), UNLOCKED);
+    }
+
+    #[test]
+    fn optimistic_read_fails_across_a_write() {
+        let w = PageStateWord::new();
+        let snap = w.optimistic_begin().expect("unlocked");
+        assert!(w.optimistic_validate(snap));
+        w.lock_exclusive();
+        assert!(!w.optimistic_validate(snap), "in-flight writer invalidates");
+        assert!(w.optimistic_begin().is_none());
+        w.unlock_exclusive();
+        assert!(!w.optimistic_validate(snap), "version moved on");
+        let snap2 = w.optimistic_begin().expect("unlocked again");
+        assert!(w.optimistic_validate(snap2));
+    }
+
+    #[test]
+    fn shared_locks_count_holders_and_block_writers() {
+        let w = PageStateWord::new();
+        assert_eq!(w.lock_shared(), 0);
+        assert_eq!(w.lock_shared(), 0);
+        assert_eq!(PageStateWord::state_of(w.load()), 2);
+        assert!(!w.try_lock_exclusive(w.load()), "readers hold off writers");
+        // Shared readers never bump the version.
+        let v = PageStateWord::version_of(w.load());
+        w.unlock_shared();
+        w.unlock_shared();
+        assert_eq!(PageStateWord::version_of(w.load()), v);
+        assert!(w.try_lock_exclusive(w.load()));
+        w.unlock_exclusive();
+    }
+
+    #[test]
+    fn upgrade_succeeds_only_for_the_sole_reader() {
+        let w = PageStateWord::new();
+        w.lock_shared();
+        assert!(w.try_upgrade(w.load()));
+        w.unlock_exclusive();
+        w.lock_shared();
+        w.lock_shared();
+        assert!(!w.try_upgrade(w.load()), "two readers can't upgrade");
+        w.unlock_shared();
+        w.unlock_shared();
+    }
+
+    #[test]
+    fn mark_is_cleared_by_the_next_holder() {
+        let w = PageStateWord::new();
+        assert!(w.mark());
+        assert!(!w.mark(), "already marked");
+        assert!(w.is_marked());
+        // A shared lock clears the mark (second chance consumed).
+        assert!(w.try_lock_shared(w.load()));
+        assert!(!w.is_marked());
+        w.unlock_shared();
+        // An exclusive lock on a marked word also clears it on release.
+        assert!(w.mark());
+        assert!(w.try_lock_exclusive(w.load()));
+        w.unlock_exclusive();
+        assert!(!w.is_marked());
+    }
+
+    #[test]
+    fn shared_count_saturates_at_max_shared() {
+        let w = PageStateWord::new();
+        for _ in 0..MAX_SHARED {
+            assert!(w.try_lock_shared(w.load()));
+        }
+        assert!(!w.try_lock_shared(w.load()), "count full");
+        for _ in 0..MAX_SHARED {
+            w.unlock_shared();
+        }
+        assert_eq!(PageStateWord::state_of(w.load()), UNLOCKED);
+    }
+}

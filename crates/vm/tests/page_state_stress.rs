@@ -1,0 +1,281 @@
+//! Seeded-interleaving stress test for [`PageStateWord`].
+//!
+//! A std-only deterministic scheduler drives a set of *virtual threads*
+//! through randomized lock/unlock/upgrade/optimistic-read transitions on
+//! a small array of shared words. One SplitMix64 stream picks which
+//! virtual thread steps next, so every interleaving is replayable from
+//! its seed — no timing, no dev-deps, runs offline.
+//!
+//! Invariants asserted at every step and at drain:
+//!
+//! * **no lost updates** — a plain (non-atomic-in-the-model) counter per
+//!   word is incremented once per exclusive critical section; its final
+//!   value must equal the number of successful exclusive acquisitions;
+//! * **state coherence** — the word's state byte always equals the
+//!   model's holder census (shared count, exclusive flag);
+//! * **version discipline** — the version bumps exactly on exclusive
+//!   release and never otherwise, so an optimistic snapshot taken before
+//!   a write never validates after it;
+//! * **no stuck states** — after every virtual thread drains, every word
+//!   is unlocked (or cleanly marked) with zero holders.
+//!
+//! A final real-thread smoke hammers one word from OS threads: the
+//! outcome (total increments) is exact even though the interleaving is
+//! not, so the assertion is host-speed-independent.
+
+use hawkeye_mem::rng::SplitMix64;
+use hawkeye_vm::page_state::{LOCKED, MARKED, UNLOCKED};
+use hawkeye_vm::PageStateWord;
+
+const WORDS: usize = 8;
+const VTHREADS: usize = 12;
+const STEPS: usize = 60_000;
+
+/// What one virtual thread is doing between scheduler steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Vt {
+    Idle,
+    /// Holding a shared lock on word `w` for `left` more steps.
+    Shared { w: usize, left: u32 },
+    /// Holding the exclusive lock on word `w` for `left` more steps.
+    Exclusive { w: usize, left: u32 },
+    /// Mid optimistic read of word `w` with `snap`; validates after
+    /// `left` steps and checks the verdict against `writes_seen`.
+    Optimistic { w: usize, snap: u64, left: u32, writes_seen: u64 },
+}
+
+/// Reference model for one word.
+#[derive(Debug, Default)]
+struct Model {
+    shared: u32,
+    exclusive: bool,
+    marked: bool,
+    /// Exclusive critical sections completed (version bumps).
+    writes: u64,
+    /// The plain counter mutated under the exclusive lock.
+    value: u64,
+}
+
+fn check_coherence(words: &[PageStateWord], model: &[Model]) {
+    for (i, (word, m)) in words.iter().zip(model.iter()).enumerate() {
+        let s = PageStateWord::state_of(word.load());
+        let expect = if m.exclusive {
+            LOCKED
+        } else if m.shared > 0 {
+            m.shared as u8
+        } else if m.marked {
+            MARKED
+        } else {
+            UNLOCKED
+        };
+        assert_eq!(s, expect, "word {i} state byte vs model {m:?}");
+        assert_eq!(
+            PageStateWord::version_of(word.load()),
+            m.writes & ((1u64 << 56) - 1),
+            "word {i}: version must count exclusive releases exactly"
+        );
+    }
+}
+
+fn stress(seed: u64) {
+    let words: Vec<PageStateWord> = (0..WORDS).map(|_| PageStateWord::new()).collect();
+    let mut model: Vec<Model> = (0..WORDS).map(|_| Model::default()).collect();
+    let mut vts = vec![Vt::Idle; VTHREADS];
+    let mut rng = SplitMix64::new(seed);
+    let mut exclusive_acquires = vec![0u64; WORDS];
+
+    let step = |vt: &mut Vt,
+                    model: &mut Vec<Model>,
+                    exclusive_acquires: &mut Vec<u64>,
+                    rng: &mut SplitMix64| {
+        match *vt {
+            Vt::Idle => {
+                let w = rng.below(WORDS as u64) as usize;
+                let word = &words[w];
+                match rng.below(10) {
+                    // Try the exclusive lock (single CAS, like the
+                    // machine's state-transition paths).
+                    0..=2 => {
+                        let old = word.load();
+                        let ok = word.try_lock_exclusive(old);
+                        let free = !model[w].exclusive && model[w].shared == 0;
+                        assert_eq!(ok, free, "exclusive CAS vs model for word {w}");
+                        if ok {
+                            model[w].exclusive = true;
+                            model[w].marked = false;
+                            exclusive_acquires[w] += 1;
+                            // The protected mutation: not atomic — the
+                            // lock is what makes this safe.
+                            model[w].value += 1;
+                            *vt = Vt::Exclusive { w, left: rng.below(4) as u32 };
+                        }
+                    }
+                    // Take a shared lock.
+                    3..=5 => {
+                        let old = word.load();
+                        let ok = word.try_lock_shared(old);
+                        let can = !model[w].exclusive && model[w].shared < 252;
+                        assert_eq!(ok, can, "shared CAS vs model for word {w}");
+                        if ok {
+                            model[w].shared += 1;
+                            model[w].marked = false;
+                            *vt = Vt::Shared { w, left: rng.below(6) as u32 };
+                        }
+                    }
+                    // Optimistic read spanning a few steps.
+                    6..=8 => {
+                        if let Some(snap) = word.optimistic_begin() {
+                            assert!(!model[w].exclusive, "optimists back off from writers");
+                            *vt = Vt::Optimistic {
+                                w,
+                                snap,
+                                left: 1 + rng.below(5) as u32,
+                                writes_seen: model[w].writes,
+                            };
+                        } else {
+                            assert!(model[w].exclusive, "begin only fails under a writer");
+                        }
+                    }
+                    // Second-chance mark.
+                    _ => {
+                        let landed = word.mark();
+                        let free = !model[w].exclusive && model[w].shared == 0 && !model[w].marked;
+                        assert_eq!(landed, free, "mark vs model for word {w}");
+                        if landed {
+                            model[w].marked = true;
+                        }
+                    }
+                }
+            }
+            Vt::Shared { w, left } => {
+                if left > 0 {
+                    // Occasionally attempt the sole-reader upgrade.
+                    if rng.below(8) == 0 {
+                        let old = words[w].load();
+                        let ok = words[w].try_upgrade(old);
+                        assert_eq!(
+                            ok,
+                            model[w].shared == 1 && !model[w].exclusive,
+                            "upgrade vs model for word {w}"
+                        );
+                        if ok {
+                            model[w].shared = 0;
+                            model[w].exclusive = true;
+                            exclusive_acquires[w] += 1;
+                            model[w].value += 1;
+                            *vt = Vt::Exclusive { w, left };
+                            return;
+                        }
+                    }
+                    *vt = Vt::Shared { w, left: left - 1 };
+                } else {
+                    words[w].unlock_shared();
+                    model[w].shared -= 1;
+                    *vt = Vt::Idle;
+                }
+            }
+            Vt::Exclusive { w, left } => {
+                if left > 0 {
+                    *vt = Vt::Exclusive { w, left: left - 1 };
+                } else {
+                    if rng.below(5) == 0 {
+                        words[w].unlock_exclusive_marked();
+                        model[w].marked = true;
+                    } else {
+                        words[w].unlock_exclusive();
+                    }
+                    model[w].exclusive = false;
+                    model[w].writes += 1;
+                    *vt = Vt::Idle;
+                }
+            }
+            Vt::Optimistic { w, snap, left, writes_seen } => {
+                if left > 0 {
+                    *vt = Vt::Optimistic { w, snap, left: left - 1, writes_seen };
+                } else {
+                    let ok = words[w].optimistic_validate(snap);
+                    let clean = model[w].writes == writes_seen && !model[w].exclusive;
+                    assert_eq!(
+                        ok, clean,
+                        "word {w}: optimistic verdict must track intervening writes exactly"
+                    );
+                    *vt = Vt::Idle;
+                }
+            }
+        }
+    };
+
+    for _ in 0..STEPS {
+        let who = rng.below(VTHREADS as u64) as usize;
+        let mut vt = vts[who];
+        step(&mut vt, &mut model, &mut exclusive_acquires, &mut rng);
+        vts[who] = vt;
+        check_coherence(&words, &model);
+    }
+
+    // Drain: every virtual thread releases what it holds; nothing may be
+    // stuck.
+    for (who, slot) in vts.iter_mut().enumerate() {
+        let mut vt = *slot;
+        let mut fuel = 64;
+        while vt != Vt::Idle {
+            step(&mut vt, &mut model, &mut exclusive_acquires, &mut rng);
+            fuel -= 1;
+            assert!(fuel > 0, "virtual thread {who} stuck in {vt:?}");
+        }
+        *slot = vt;
+    }
+    check_coherence(&words, &model);
+    for (i, m) in model.iter().enumerate() {
+        assert_eq!(m.shared, 0, "word {i} leaked shared holders");
+        assert!(!m.exclusive, "word {i} leaked the exclusive lock");
+        assert_eq!(
+            m.value, exclusive_acquires[i],
+            "word {i}: lost update — counter diverged from exclusive acquisitions"
+        );
+    }
+}
+
+#[test]
+fn seeded_interleavings_preserve_lock_invariants() {
+    for seed in [1u64, 7, 0xDEADBEEF] {
+        stress(seed);
+    }
+}
+
+#[test]
+fn real_threads_never_lose_exclusive_updates() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 20_000;
+    let word = Arc::new(PageStateWord::new());
+    // Intentionally a plain cell mutated only under the exclusive lock;
+    // the release store in unlock_exclusive publishes it.
+    let value = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let (word, value, retries) = (word.clone(), value.clone(), retries.clone());
+            std::thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let r = word.lock_exclusive();
+                    retries.fetch_add(r, Ordering::Relaxed);
+                    let v = value.load(Ordering::Relaxed);
+                    value.store(v + 1, Ordering::Relaxed);
+                    word.unlock_exclusive();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    assert_eq!(value.load(Ordering::Relaxed), THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        PageStateWord::version_of(word.load()),
+        THREADS as u64 * PER_THREAD,
+        "one version bump per critical section"
+    );
+}

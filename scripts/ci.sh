@@ -30,6 +30,17 @@ cargo test -p hawkeye-bench --test determinism -q
 echo "==> event-skip efficiency gate (counter-based)"
 cargo test --release -p hawkeye-kernel --test skip_efficiency -q
 
+# Serial-vs-multicore differential gate: at cores=1 every observable
+# (stats, PMU counters, trace journal, metric registry) is byte-identical
+# to the serial engine across all nine policies; at cores∈{2,4,8} the
+# aggregate work counters stay pinned exactly while only lock.*/
+# contention scopes vary, and repeated multi-core runs are byte-equal.
+# Includes the contention smoke: the adversarial scenario must drive the
+# CAS-retry counter above zero at 4 cores. All counter-based — the gate
+# cannot flake on a slow host.
+echo "==> serial-vs-multicore differential gate (counter-based)"
+cargo test --release -p hawkeye-kernel --test multicore_diff -q
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
