@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod json;
 pub mod render;
 pub mod summary;

@@ -1,0 +1,8 @@
+//! Thin wrapper: the experiment lives in `hawkeye_bench::suite::fleet_slo`
+//! so `hawkeye-report` can run the identical code in-process
+//! (DESIGN.md §12). Run it standalone via
+//! `cargo bench -p hawkeye-bench --bench fleet_slo`.
+
+fn main() {
+    hawkeye_bench::suite::run_main("fleet_slo");
+}

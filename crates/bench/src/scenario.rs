@@ -21,10 +21,11 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// Per-scenario journals collected by [`run_scenarios_with`] when
-/// `HAWKEYE_TRACE` is set, drained by [`write_json`] into
-/// `target/bench-results/<target>.trace.json`. Appended on the main thread
-/// in submission order, so trace output is deterministic at any worker
-/// count (same rule as table rows).
+/// `HAWKEYE_TRACE` is set (and by [`queue_trace_journals`] for targets
+/// that collect journals themselves, like `fleet_slo`), drained by
+/// [`write_json`] into `target/bench-results/<target>.trace.json`.
+/// Appended on the main thread in submission order, so trace output is
+/// deterministic at any worker count (same rule as table rows).
 static TRACE_JOURNALS: Mutex<Vec<(String, Journal)>> = Mutex::new(Vec::new());
 
 /// Per-scenario cycle-attribution registries, collected unconditionally
@@ -118,10 +119,35 @@ pub fn run_scenarios_capturing<T: Send + 'static>(
     run_scenarios_inner(scenarios, threads, true)
 }
 
+/// Queues named journals for the next [`write_json`] to dump into the
+/// target's `.trace.json` — the path the fleet orchestrator uses: its
+/// hosts trace into their own detached buffers (not the engine's
+/// thread-local scope), so the `fleet_slo` target hands the sampled host
+/// journals over explicitly. Order is preserved; callers pass journals
+/// in a deterministic order to keep the artifact byte-stable.
+pub fn queue_trace_journals(journals: Vec<(String, Journal)>) {
+    if journals.is_empty() {
+        return;
+    }
+    if let Ok(mut q) = TRACE_JOURNALS.lock() {
+        q.extend(journals);
+    }
+}
+
 /// Drains the cycle-attribution registries queued by [`run_scenarios_with`]
 /// since the last drain ([`write_json`] calls this; tests may too).
 pub fn take_metric_snapshots() -> Vec<(String, Registry)> {
     match METRIC_SNAPSHOTS.lock() {
+        Ok(mut q) => std::mem::take(&mut *q),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Drains the journals queued by traced runs or
+/// [`queue_trace_journals`] since the last drain ([`write_json`] calls
+/// this; tests may too).
+pub fn take_queued_trace_journals() -> Vec<(String, Journal)> {
+    match TRACE_JOURNALS.lock() {
         Ok(mut q) => std::mem::take(&mut *q),
         Err(_) => Vec::new(),
     }
@@ -487,10 +513,7 @@ pub fn write_json_in(dir: &std::path::Path, target: &str, json: &Json) {
 /// `<dir>/<target>.trace.json`. A no-op when tracing was off; stdout is
 /// untouched either way.
 fn write_trace_results(dir: &std::path::Path, target: &str) {
-    let journals = match TRACE_JOURNALS.lock() {
-        Ok(mut q) => std::mem::take(&mut *q),
-        Err(_) => return,
-    };
+    let journals = take_queued_trace_journals();
     if journals.is_empty() {
         return;
     }

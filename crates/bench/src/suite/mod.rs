@@ -21,6 +21,7 @@ pub mod fig6_promotion_timeline;
 pub mod fig7_table5_identical_workloads;
 pub mod fig8_heterogeneous;
 pub mod fig9_virtualized;
+pub mod fleet_slo;
 pub mod multicore_contention;
 pub mod table1_fault_latency;
 pub mod table2_tlb_sensitivity;
@@ -135,6 +136,11 @@ pub const TARGETS: &[Target] = &[
         name: "multicore_contention",
         paper: "§4 multi-core",
         build: multicore_contention::report,
+    },
+    Target {
+        name: "fleet_slo",
+        paper: "§Fleet SLOs",
+        build: fleet_slo::report,
     },
 ];
 

@@ -77,13 +77,30 @@ impl BloatRecovery {
         &mut self,
         m: &mut Machine,
         now: Cycles,
+        overhead_of: impl FnMut(u32) -> f64,
+    ) -> u64 {
+        self.tick_pressed(m, now, 0.0, overhead_of)
+    }
+
+    /// [`BloatRecovery::tick`] under external demotion pressure
+    /// `0.0 ..= 1.0` (the fleet hook API's knob): pressure scales both
+    /// watermarks down by `1 - pressure`, so `0.0` is the paper's
+    /// behaviour and `1.0` keeps the daemon scanning regardless of
+    /// utilization. Returns zero pages recovered this tick.
+    pub fn tick_pressed(
+        &mut self,
+        m: &mut Machine,
+        now: Cycles,
+        pressure: f64,
         mut overhead_of: impl FnMut(u32) -> f64,
     ) -> u64 {
+        let scale = 1.0 - pressure.clamp(0.0, 1.0);
+        let (high, low) = (self.high * scale, self.low * scale);
         let util = m.utilization();
-        if !self.active && util >= self.high {
+        if !self.active && util >= high {
             self.active = true;
         }
-        if self.active && util <= self.low {
+        if self.active && util <= low {
             self.active = false;
             self.cursors.clear();
         }
@@ -107,7 +124,7 @@ impl BloatRecovery {
         'outer: for pid in pids {
             let pass = m.process(pid).map(|p| p.space().huge_pages()).unwrap_or(0);
             for _ in 0..pass {
-                if m.utilization() <= self.low {
+                if m.utilization() <= low {
                     self.active = false;
                     self.cursors.clear();
                     break 'outer;

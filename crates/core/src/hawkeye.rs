@@ -17,7 +17,7 @@ use crate::bloat::BloatRecovery;
 use crate::config::{HawkEyeConfig, Variant};
 use crate::estimator::estimate_overhead;
 use crate::prezero::PrezeroDaemon;
-use hawkeye_kernel::{FaultAction, HugePagePolicy, Machine, PromoteError};
+use hawkeye_kernel::{FaultAction, HugePagePolicy, Machine, PromoteError, Steering};
 use hawkeye_metrics::Cycles;
 use hawkeye_policies::TokenBucket;
 use hawkeye_vm::{Hvpn, Vpn};
@@ -57,6 +57,9 @@ pub struct HawkEye {
     /// Bucket level the rotation is currently serving (rotation restarts
     /// when the global level changes).
     last_bucket: usize,
+    /// Latest external steering decision (fleet hook API); the default is
+    /// hands-off, so unsteered runs are bit-identical to pre-fleet builds.
+    steer: Steering,
 }
 
 impl HawkEye {
@@ -79,6 +82,7 @@ impl HawkEye {
             rr: 0,
             last_pid: 0,
             last_bucket: usize::MAX,
+            steer: Steering::default(),
         }
     }
 
@@ -328,9 +332,17 @@ impl HugePagePolicy for HawkEye {
             }
             _ => {}
         }
-        // 3. Promotion.
+        // 3. Promotion. External steering (fleet hook API) scales the
+        // token cost per promotion — throttle 0.5 halves the effective
+        // khugepaged rate, 0.0 pauses it — and may cap promotions per
+        // tick. The default steering leaves both alone.
         self.promo_budget.refill(now);
-        while self.promo_budget.take(1.0) {
+        let throttle = self.steer.promotion_throttle.clamp(0.0, 1.0);
+        let mut this_tick = 0u64;
+        while throttle > 0.0
+            && self.steer.khugepaged_budget.is_none_or(|cap| this_tick < cap)
+            && self.promo_budget.take(1.0 / throttle)
+        {
             let promoted = match self.cfg.variant {
                 Variant::G => self.promote_g(m),
                 Variant::Pmu => self.promote_pmu(m),
@@ -338,17 +350,26 @@ impl HugePagePolicy for HawkEye {
             if !promoted {
                 break;
             }
+            this_tick += 1;
         }
-        // 4. Bloat recovery, scanning lowest-overhead processes first.
+        // 4. Bloat recovery, scanning lowest-overhead processes first;
+        // steered demotion pressure lowers its watermarks.
         let scores: BTreeMap<u32, f64> =
             m.pids().iter().map(|pid| (*pid, self.overhead_score(m, *pid))).collect();
-        self.bloat.tick(m, now, |pid| scores.get(&pid).copied().unwrap_or(0.0));
+        self.bloat.tick_pressed(m, now, self.steer.demotion_pressure, |pid| {
+            scores.get(&pid).copied().unwrap_or(0.0)
+        });
     }
 
     fn on_exit(&mut self, _m: &mut Machine, pid: u32) {
         self.maps.remove(&pid);
         self.measured.remove(&pid);
         self.bloat.forget(pid);
+    }
+
+    fn on_steer(&mut self, m: &mut Machine, s: &Steering) {
+        self.steer = *s;
+        m.metrics().add("steer.decisions", 1);
     }
 }
 
@@ -490,6 +511,48 @@ mod tests {
         sim.run_for(Cycles::from_secs(3.0));
         let p = sim.machine().process(pid).unwrap();
         assert_eq!(p.space().huge_pages(), 0, "no promotion below the 2% threshold");
+    }
+
+    #[test]
+    fn steering_throttle_zero_pauses_promotion() {
+        // Same workload that promotes under the default policy, but the
+        // fleet hook throttled promotion to 0: khugepaged must stay idle.
+        let mut sim = fragmented_sim(HawkEye::default());
+        let _pid = sim.spawn(hot_tail_n(16, 2, 200));
+        sim.steer(&Steering { promotion_throttle: 0.0, ..Steering::default() });
+        sim.run_for(Cycles::from_secs(2.0));
+        assert_eq!(sim.machine().stats().promotions, 0, "{:?}", sim.machine().stats());
+    }
+
+    #[test]
+    fn steered_demotion_pressure_recovers_below_watermark() {
+        // Sparse huge mappings at ~42% utilization: far below the 85%
+        // bloat watermark, so unsteered HawkEye leaves them alone — but a
+        // hook applying full demotion pressure recovers the zero pages.
+        let mk = || {
+            let mut cfg = KernelConfig::small();
+            cfg.frames = 24 * 1024; // 96 MiB
+            let mut ops =
+                vec![MemOp::Mmap { start: Vpn(0), pages: 20 * 512, kind: VmaKind::Anon }];
+            for r in 0..20 {
+                ops.push(MemOp::Touch { vpn: Vpn(r * 512), write: true, repeats: 1, think: 0 });
+            }
+            ops.push(MemOp::Compute { cycles: 5_000_000_000 });
+            let mut sim = Simulator::new(cfg, Box::new(HawkEye::default()));
+            sim.spawn(script("sparse", ops));
+            sim
+        };
+        let mut unsteered = mk();
+        unsteered.run_for(Cycles::from_secs(2.0));
+        assert_eq!(unsteered.machine().stats().deduped_zero_pages, 0);
+        let mut steered = mk();
+        steered.steer(&Steering { demotion_pressure: 1.0, ..Steering::default() });
+        steered.run_for(Cycles::from_secs(2.0));
+        assert!(
+            steered.machine().stats().deduped_zero_pages > 0,
+            "{:?}",
+            steered.machine().stats()
+        );
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The userspace policy hook API (mirroring eBPF-mm, arXiv 2409.11220).
+//!
+//! A [`FleetHook`] is an external controller: once per epoch, for every
+//! host, it observes that host's trace-event stream since the previous
+//! epoch plus its registry gauges and kernel counters, and may return a
+//! [`Steering`] decision — promotion throttle, khugepaged budget,
+//! demotion pressure — which the orchestrator applies at the next
+//! quantum boundary via [`hawkeye_kernel::Simulator::steer`]. Hooks
+//! never touch a machine directly, so a cohort's kernel policy and its
+//! fleet controller compose freely and can be A/B-tested in one run.
+//!
+//! Determinism contract: hooks run serially, in host order, at the epoch
+//! barrier of their host group. A hook may keep state (keyed by
+//! [`HostObs::host`]) and stays deterministic as long as its decisions
+//! are a pure function of the observations it has been fed.
+
+use hawkeye_kernel::{KernelStats, Steering};
+use hawkeye_metrics::{Cycles, MachineMetrics};
+use hawkeye_trace::{TraceEvent, TraceRecord};
+use std::collections::BTreeSet;
+
+/// Everything a hook gets to see about one host at one epoch boundary.
+#[derive(Debug, Clone)]
+pub struct HostObs {
+    /// Host index within its cohort.
+    pub host: usize,
+    /// Epoch just completed (0-based).
+    pub epoch: u32,
+    /// The host's simulated clock.
+    pub now: Cycles,
+    /// Allocated-frame fraction, `0.0 ..= 1.0`.
+    pub utilization: f64,
+    /// Free-memory fragmentation index.
+    pub fmfi: f64,
+    /// Live tenants on the host.
+    pub tenants: u32,
+    /// Kernel counters (promotions, demotions, OOM kills, ...).
+    pub stats: KernelStats,
+    /// Registry snapshot (counters/gauges/histograms) for the host's
+    /// machine; `None` only if the host was built without a registry.
+    pub metrics: Option<MachineMetrics>,
+    /// Trace records emitted since the previous epoch boundary (newest
+    /// window of the host's bounded ring — overwritten records are gone).
+    pub events: Vec<TraceRecord>,
+}
+
+/// A userspace fleet policy: observes per-host event streams and gauges,
+/// returns steering decisions.
+pub trait FleetHook: Send {
+    /// Hook name, for tables and cohort labels.
+    fn name(&self) -> &str;
+
+    /// Called once per host per epoch, in host order. `None` leaves the
+    /// host's current steering unchanged; `Some(s)` is applied before the
+    /// next epoch runs.
+    fn steer(&mut self, obs: &HostObs) -> Option<Steering>;
+}
+
+/// The hands-off hook: observes everything, steers nothing. The control
+/// cohort in A/B runs.
+#[derive(Debug, Default)]
+pub struct NoopHook;
+
+impl FleetHook for NoopHook {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn steer(&mut self, _obs: &HostObs) -> Option<Steering> {
+        None
+    }
+}
+
+/// A pressure-aware controller: above `low` utilization it linearly
+/// throttles promotion and raises demotion pressure; above `high` (or
+/// after witnessing an OOM in the event stream) it pauses khugepaged
+/// entirely and runs bloat recovery flat-out. Once a host drops back
+/// below `low`, steering is released to the policy default.
+#[derive(Debug)]
+pub struct ThrottleUnderPressure {
+    /// Utilization where throttling starts.
+    pub low: f64,
+    /// Utilization where promotion pauses completely.
+    pub high: f64,
+    /// Hosts currently steered away from the default (so release is
+    /// explicit, not implicit).
+    engaged: BTreeSet<usize>,
+}
+
+impl ThrottleUnderPressure {
+    /// Creates the controller with the given utilization band.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(0.0 < low && low < high, "bad utilization band");
+        ThrottleUnderPressure { low, high, engaged: BTreeSet::new() }
+    }
+}
+
+impl FleetHook for ThrottleUnderPressure {
+    fn name(&self) -> &str {
+        "throttle-under-pressure"
+    }
+
+    fn steer(&mut self, obs: &HostObs) -> Option<Steering> {
+        let oomed = obs.events.iter().any(|r| matches!(r.event, TraceEvent::Oom));
+        if oomed || obs.utilization >= self.high {
+            self.engaged.insert(obs.host);
+            return Some(Steering {
+                promotion_throttle: 0.0,
+                khugepaged_budget: Some(0),
+                demotion_pressure: 1.0,
+            });
+        }
+        if obs.utilization >= self.low {
+            self.engaged.insert(obs.host);
+            let f = (obs.utilization - self.low) / (self.high - self.low);
+            return Some(Steering {
+                promotion_throttle: 1.0 - f,
+                khugepaged_budget: Some(4),
+                demotion_pressure: f,
+            });
+        }
+        if self.engaged.remove(&obs.host) {
+            // Pressure cleared: hand the knobs back to the kernel policy.
+            return Some(Steering::default());
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(host: usize, util: f64, events: Vec<TraceRecord>) -> HostObs {
+        HostObs {
+            host,
+            epoch: 0,
+            now: Cycles::new(0),
+            utilization: util,
+            fmfi: 0.0,
+            tenants: 1,
+            stats: KernelStats::default(),
+            metrics: None,
+            events,
+        }
+    }
+
+    #[test]
+    fn noop_never_steers() {
+        let mut h = NoopHook;
+        assert!(h.steer(&obs(0, 0.99, vec![])).is_none());
+    }
+
+    #[test]
+    fn throttle_band_engages_and_releases() {
+        let mut h = ThrottleUnderPressure::new(0.6, 0.9);
+        assert!(h.steer(&obs(0, 0.3, vec![])).is_none(), "idle host untouched");
+        let mid = h.steer(&obs(0, 0.75, vec![])).expect("band engages");
+        assert!(mid.promotion_throttle > 0.0 && mid.promotion_throttle < 1.0);
+        assert!(mid.demotion_pressure > 0.0);
+        let hi = h.steer(&obs(0, 0.95, vec![])).expect("pause above high");
+        assert_eq!(hi.promotion_throttle, 0.0);
+        assert_eq!(hi.khugepaged_budget, Some(0));
+        let release = h.steer(&obs(0, 0.3, vec![])).expect("explicit release");
+        assert_eq!(release, Steering::default());
+        assert!(h.steer(&obs(0, 0.3, vec![])).is_none(), "released host untouched");
+    }
+
+    #[test]
+    fn oom_in_event_stream_forces_full_pressure() {
+        let mut h = ThrottleUnderPressure::new(0.6, 0.9);
+        let oom = TraceRecord {
+            at: Cycles::new(1),
+            pid: 3,
+            machine: 0,
+            event: TraceEvent::Oom,
+        };
+        let s = h.steer(&obs(1, 0.2, vec![oom])).expect("OOM overrides utilization");
+        assert_eq!(s.demotion_pressure, 1.0);
+    }
+}

@@ -46,7 +46,7 @@ pub mod workload;
 
 pub use config::{CostModel, KernelConfig};
 pub use machine::{DedupOutcome, Machine, PromoteError, Promoted};
-pub use policy::{BasePagesOnly, FaultAction, HugePagePolicy};
+pub use policy::{BasePagesOnly, FaultAction, HugePagePolicy, Steering};
 pub use process::{ProcStats, Process};
 pub use sim::{AccessHook, Simulator};
 pub use stats::KernelStats;

@@ -22,6 +22,29 @@ pub enum FaultAction {
     MapBaseAt(Pfn),
 }
 
+/// A steering decision from an external controller (the fleet layer's
+/// userspace hook API, mirroring eBPF-mm): knobs a policy may honor on
+/// its next ticks. Applied at quantum boundaries via
+/// [`crate::Simulator::steer`], never mid-fault, so a steered run stays
+/// deterministic for a given decision sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Steering {
+    /// Scale factor on promotion spending, `0.0 ..= 1.0`: `1.0` leaves the
+    /// policy's own khugepaged budget untouched, `0.0` pauses promotion.
+    pub promotion_throttle: f64,
+    /// Hard cap on promotions per policy tick (`None` = policy default).
+    pub khugepaged_budget: Option<u64>,
+    /// Extra demotion/bloat-recovery urgency, `0.0 ..= 1.0`: `> 0.0` asks
+    /// the policy to run recovery scans even below its own watermarks.
+    pub demotion_pressure: f64,
+}
+
+impl Default for Steering {
+    fn default() -> Self {
+        Steering { promotion_throttle: 1.0, khugepaged_budget: None, demotion_pressure: 0.0 }
+    }
+}
+
 /// A transparent-huge-page management policy.
 ///
 /// Methods receive the whole [`Machine`], mirroring how these algorithms
@@ -47,6 +70,11 @@ pub trait HugePagePolicy: Send {
 
     /// Notification that a process exited.
     fn on_exit(&mut self, _m: &mut Machine, _pid: u32) {}
+
+    /// An external controller steered this policy (fleet hook API).
+    /// Policies that expose no such knobs ignore it — the default keeps
+    /// every baseline bit-identical whether or not a fleet hook runs.
+    fn on_steer(&mut self, _m: &mut Machine, _s: &Steering) {}
 }
 
 /// The no-THP baseline ("Linux-4KB" in the paper's tables): every fault
@@ -86,5 +114,14 @@ mod tests {
         p.on_tick(&mut m);
         p.on_release(&mut m, 1, Vpn(0), 10);
         p.on_exit(&mut m, 1);
+        p.on_steer(&mut m, &Steering::default());
+    }
+
+    #[test]
+    fn default_steering_is_hands_off() {
+        let s = Steering::default();
+        assert_eq!(s.promotion_throttle, 1.0);
+        assert_eq!(s.khugepaged_budget, None);
+        assert_eq!(s.demotion_pressure, 0.0);
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::config::KernelConfig;
 use crate::machine::{Machine, OutOfMemory};
-use crate::policy::{FaultAction, HugePagePolicy};
+use crate::policy::{FaultAction, HugePagePolicy, Steering};
 use crate::process::OpCursor;
 use crate::workload::{MemOp, Workload};
 use hawkeye_mem::Pfn;
@@ -122,11 +122,10 @@ impl Simulator {
         let event_skip =
             config.event_skip && std::env::var_os("HAWKEYE_NO_EVENT_SKIP").is_none();
         // `HAWKEYE_CORES=<n>` overrides the configured core count, so any
-        // existing binary can run multi-core without a config change.
-        if let Some(v) = std::env::var_os("HAWKEYE_CORES") {
-            if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<u32>().ok()) {
-                config.cores = n.clamp(1, crate::core_stats::MAX_CORES as u32);
-            }
+        // existing binary can run multi-core without a config change. An
+        // unparsable value warns once and keeps the configured count.
+        if let Some(n) = hawkeye_metrics::env::parse::<u32>("HAWKEYE_CORES") {
+            config.cores = n.clamp(1, crate::core_stats::MAX_CORES as u32);
         }
         Simulator {
             machine: Machine::new(config),
@@ -161,6 +160,42 @@ impl Simulator {
     /// Spawns a process running `workload`.
     pub fn spawn(&mut self, workload: Box<dyn Workload>) -> u32 {
         self.machine.spawn(workload)
+    }
+
+    /// Applies an external steering decision to the installed policy
+    /// (fleet hook API). Call at quantum boundaries only — between
+    /// [`Simulator::run_for`] slices — never mid-run.
+    pub fn steer(&mut self, s: &Steering) {
+        let mut policy = self.policy.take().expect("policy installed");
+        policy.on_steer(&mut self.machine, s);
+        self.policy = Some(policy);
+    }
+
+    /// Force-terminates `pid` (fleet migration: the tenant leaves this
+    /// host), freeing its memory and notifying the policy exactly as a
+    /// natural exit would. No-op for unknown or already-finished pids.
+    pub fn kill(&mut self, pid: u32) {
+        let running = self.machine.process(pid).is_some_and(|p| !p.is_finished());
+        if !running {
+            return;
+        }
+        self.machine.exit_process(pid);
+        let at = self.machine.now();
+        self.machine.process_mut(pid).expect("exists").mark_finished(at, false);
+        let mut policy = self.policy.take().expect("policy installed");
+        policy.on_exit(&mut self.machine, pid);
+        self.policy = Some(policy);
+    }
+
+    /// Balloons `pages` pages out of `pid` starting at `start`
+    /// (`madvise(DONTNEED)` driven by the host, not the guest), notifying
+    /// the policy's release hook. Returns the simulated cost charged.
+    pub fn balloon(&mut self, pid: u32, start: Vpn, pages: u64) -> Cycles {
+        let cost = self.machine.madvise_dontneed(pid, start, pages);
+        let mut policy = self.policy.take().expect("policy installed");
+        policy.on_release(&mut self.machine, pid, start, pages);
+        self.policy = Some(policy);
+        cost
     }
 
     /// Runs until every process finishes or `max_time` elapses. Returns

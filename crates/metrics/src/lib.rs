@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod registry;
 pub mod series;
 pub mod stats;

@@ -494,6 +494,16 @@ pub mod scope {
         Some(std::mem::take(&mut *reg))
     }
 
+    /// Detach this thread's scope *without* draining it: the shared
+    /// registry is returned and sinks already attached to it keep
+    /// charging into it. Long-lived owners (the fleet orchestrator) use
+    /// this to keep a machine's registry alive beyond the `begin`/`end`
+    /// bracket of its creating thread; reading happens later through the
+    /// sink's `snapshot` or the returned handle.
+    pub fn detach() -> Option<Arc<Mutex<Registry>>> {
+        CURRENT.with(|c| c.borrow_mut().take())
+    }
+
     /// True when a scope is open on this thread.
     pub fn active() -> bool {
         CURRENT.with(|c| c.borrow().is_some())

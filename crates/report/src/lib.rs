@@ -199,12 +199,17 @@ pub struct TargetWall {
     pub cores: u64,
     /// Per-core busy/stall host-nanoseconds from the real-thread replay.
     pub core_busy: Vec<CoreWall>,
+    /// True when the sidecar existed but could not be read or parsed:
+    /// the phase/quanta fields above are meaningless and WALLCLOCK.md
+    /// renders `n/a` instead of silent zeros. A *missing* sidecar (the
+    /// target recorded nothing) keeps the defaults with `corrupt: false`.
+    pub corrupt: bool,
 }
 
 /// One replay core's utilization from the `core_busy` sidecar array:
 /// host time the OS thread re-executing that core's op plan spent
 /// holding locks vs. spinning on them.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CoreWall {
     /// Simulated core id.
     pub core: u64,
@@ -227,42 +232,91 @@ impl TargetWall {
 /// timing sidecar.
 type WallSidecar = (Vec<(String, f64)>, u64, u64, u64, Vec<CoreWall>);
 
-/// Reads `<dir>/<name>.wallclock.json` back.
-fn read_wallclock(dir: &Path, name: &str) -> Option<WallSidecar> {
-    let text = std::fs::read_to_string(dir.join(format!("{name}.wallclock.json"))).ok()?;
-    let doc = hawkeye_analyze::json::parse(&text).ok()?;
-    let obj = doc.as_obj()?;
+/// Reads `<dir>/<name>.wallclock.json` back. `Ok(None)` means the
+/// sidecar does not exist (the target recorded nothing — legitimate);
+/// `Err` means it exists but is unreadable or malformed, which callers
+/// must surface instead of rendering silent zeros. Required keys that
+/// are absent or mistyped are errors, not zeros: a sidecar the writer
+/// and reader disagree about is corrupt, not empty.
+fn read_wallclock(dir: &Path, name: &str) -> Result<Option<WallSidecar>, String> {
+    let path = dir.join(format!("{name}.wallclock.json"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    let doc = hawkeye_analyze::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let obj = doc.as_obj().ok_or_else(|| format!("{}: not a JSON object", path.display()))?;
     let get = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
-    let phases = get("phases")?
-        .as_arr()?
+    let required = |k: &str| {
+        get(k).ok_or_else(|| format!("{}: missing \"{k}\"", path.display()))
+    };
+    let phases = required("phases")?
+        .as_arr()
+        .ok_or_else(|| format!("{}: \"phases\" is not an array", path.display()))?
         .iter()
-        .filter_map(|p| {
-            let o = p.as_obj()?;
-            let field = |k: &str| o.iter().find(|(key, _)| key == k).map(|(_, v)| v);
-            Some((field("phase")?.as_str()?.to_string(), field("secs")?.as_f64()?))
+        .map(|p| {
+            let o = p
+                .as_obj()
+                .ok_or_else(|| format!("{}: phase entry is not an object", path.display()))?;
+            let field = |k: &str| {
+                o.iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("{}: phase entry missing \"{k}\"", path.display()))
+            };
+            let phase = field("phase")?
+                .as_str()
+                .ok_or_else(|| format!("{}: \"phase\" is not a string", path.display()))?
+                .to_string();
+            let secs = field("secs")?
+                .as_f64()
+                .ok_or_else(|| format!("{}: \"secs\" is not a number", path.display()))?;
+            Ok((phase, secs))
         })
-        .collect();
-    let int = |k: &str| get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        .collect::<Result<Vec<_>, String>>()?;
+    let int = |k: &str| {
+        required(k)?
+            .as_u64()
+            .ok_or_else(|| format!("{}: \"{k}\" is not a u64", path.display()))
+    };
+    // `cores` is written only for multi-core windows; its absence means
+    // "serial", not corruption.
+    let cores = match get("cores") {
+        Some(v) => {
+            v.as_u64().ok_or_else(|| format!("{}: \"cores\" is not a u64", path.display()))?
+        }
+        None => 0,
+    };
     let core_busy = get("core_busy")
-        .and_then(|v| v.as_arr())
-        .map(|arr| {
-            arr.iter()
-                .filter_map(|p| {
-                    let o = p.as_obj()?;
+        .map(|v| {
+            v.as_arr()
+                .ok_or_else(|| format!("{}: \"core_busy\" is not an array", path.display()))?
+                .iter()
+                .map(|p| {
+                    let o = p.as_obj().ok_or_else(|| {
+                        format!("{}: core_busy entry is not an object", path.display())
+                    })?;
                     let field = |k: &str| {
-                        o.iter().find(|(key, _)| key == k).and_then(|(_, v)| v.as_u64())
+                        o.iter()
+                            .find(|(key, _)| key == k)
+                            .and_then(|(_, v)| v.as_u64())
+                            .ok_or_else(|| {
+                                format!("{}: core_busy entry missing \"{k}\"", path.display())
+                            })
                     };
-                    Some(CoreWall {
+                    Ok(CoreWall {
                         core: field("core")?,
                         busy_ns: field("busy_ns")?,
                         stall_ns: field("stall_ns")?,
                         cas_retries: field("cas_retries")?,
                     })
                 })
-                .collect()
+                .collect::<Result<Vec<_>, String>>()
         })
+        .transpose()?
         .unwrap_or_default();
-    Some((phases, int("quanta_total"), int("quanta_skipped"), int("cores"), core_busy))
+    Ok(Some((phases, int("quanta_total")?, int("quanta_skipped")?, cores, core_busy)))
 }
 
 /// Runs the selected targets in-process with tracing forced on, writing
@@ -280,8 +334,17 @@ pub fn run_suite(targets: &[&'static Target], threads: usize, dir: &Path) -> Vec
         print!("{}", report.text());
         hawkeye_bench::write_json_in(dir, t.name, &report.json());
         let total_secs = t0.elapsed().as_secs_f64();
-        let (phases, quanta_total, quanta_skipped, cores, core_busy) =
-            read_wallclock(dir, t.name).unwrap_or_default();
+        let (sidecar, corrupt) = match read_wallclock(dir, t.name) {
+            Ok(s) => (s.unwrap_or_default(), false),
+            Err(e) => {
+                eprintln!(
+                    "[hawkeye-report] warning: unreadable wallclock sidecar ({e}); \
+                     rendering n/a in WALLCLOCK.md"
+                );
+                (WallSidecar::default(), true)
+            }
+        };
+        let (phases, quanta_total, quanta_skipped, cores, core_busy) = sidecar;
         walls.push(TargetWall {
             name: t.name,
             total_secs,
@@ -290,6 +353,7 @@ pub fn run_suite(targets: &[&'static Target], threads: usize, dir: &Path) -> Vec
             quanta_skipped,
             cores,
             core_busy,
+            corrupt,
         });
     }
     hawkeye_trace::set_forced(false);
@@ -322,6 +386,16 @@ pub fn wallclock_table(walls: &[TargetWall], threads: usize) -> String {
     let mut order: Vec<&TargetWall> = walls.iter().collect();
     order.sort_by(|a, b| b.total_secs.total_cmp(&a.total_secs));
     for w in order {
+        if w.corrupt {
+            // The sidecar existed but couldn't be read: everything it
+            // would have provided renders n/a (the end-to-end total comes
+            // from the monotonic clock around the run, not the sidecar).
+            out.push_str(&format!(
+                "| `{}` | {:.2} | n/a | n/a | n/a | n/a | n/a | n/a |\n",
+                w.name, w.total_secs,
+            ));
+            continue;
+        }
         let skip_pct = if w.quanta_total == 0 {
             "—".to_string()
         } else {
@@ -518,6 +592,29 @@ pub fn render(sections: &[Section], slack: f64) -> String {
     out
 }
 
+/// Checks whose reproduced value is missing entirely, as `target:
+/// metric` lines. A `measured: None` check means an expected key was
+/// absent (or renamed) in the summary the section builder read — a
+/// pipeline defect, not an out-of-tolerance value. It must fail loudly
+/// (exit code 4) even without `--check`: zero-filling or skipping such
+/// keys would let a renamed counter sail through as a plausible 0.
+pub fn missing_metrics(sections: &[Section]) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in sections {
+        let missing: Vec<&str> =
+            s.checks.iter().filter(|c| c.measured.is_none()).map(|c| c.metric.as_str()).collect();
+        if !missing.is_empty() {
+            out.push(format!(
+                "{}: {} expected metric(s) missing from the summary: {}",
+                s.target,
+                missing.len(),
+                missing.join("; "),
+            ));
+        }
+    }
+    out
+}
+
 /// All failing checks at a given slack, as `target: metric` lines for
 /// `--check` stderr output.
 pub fn failures(sections: &[Section], slack: f64) -> Vec<String> {
@@ -586,6 +683,95 @@ mod tests {
     #[test]
     fn slug_matches_github_style() {
         assert_eq!(slug("Table 1 · table1_fault_latency"), "table-1--table1_fault_latency");
+    }
+
+    /// A scratch dir under the target dir, unique per test.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hawkeye-report-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn absent_wallclock_sidecar_is_ok_none() {
+        let dir = scratch("absent");
+        assert_eq!(read_wallclock(&dir, "nope").expect("absent is fine"), None);
+    }
+
+    #[test]
+    fn truncated_wallclock_sidecar_is_an_error_not_zeros() {
+        let dir = scratch("truncated");
+        // A real sidecar cut off mid-document (the crash/ENOSPC shape).
+        std::fs::write(
+            dir.join("t.wallclock.json"),
+            "{\"target\":\"t\",\"phases\":[{\"phase\":\"engine\",\"se",
+        )
+        .expect("write");
+        let err = read_wallclock(&dir, "t").expect_err("truncated must error");
+        assert!(err.contains("t.wallclock.json"), "names the file: {err}");
+    }
+
+    #[test]
+    fn wallclock_sidecar_missing_required_key_is_an_error() {
+        let dir = scratch("nokey");
+        // Valid JSON, but `quanta_total` was renamed — must not read as 0.
+        std::fs::write(
+            dir.join("t.wallclock.json"),
+            r#"{"target":"t","phases":[],"total_secs":0,"quanta":9,"quanta_skipped":0}"#,
+        )
+        .expect("write");
+        let err = read_wallclock(&dir, "t").expect_err("missing key must error");
+        assert!(err.contains("quanta_total"), "names the key: {err}");
+    }
+
+    #[test]
+    fn wallclock_table_renders_na_for_corrupt_sidecars() {
+        let wall = |name: &'static str, corrupt: bool| TargetWall {
+            name,
+            total_secs: 1.25,
+            phases: vec![("engine".into(), 1.0)],
+            quanta_total: 10,
+            quanta_skipped: 5,
+            cores: 0,
+            core_busy: Vec::new(),
+            corrupt,
+        };
+        let table = wallclock_table(&[wall("good", false), wall("bad", true)], 1);
+        assert!(table.contains("| `good` | 1.25 | 1.00 |"), "{table}");
+        assert!(
+            table.contains("| `bad` | 1.25 | n/a | n/a | n/a | n/a | n/a | n/a |"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn missing_metrics_lists_offending_keys_per_target() {
+        let sections = vec![
+            Section {
+                target: "a",
+                paper_ref: "Table 1",
+                title: String::new(),
+                checks: vec![
+                    Check::new("present", None, Some(1.0), Band::exact(1.0)),
+                    Check::new("gone (×)", None, None, Band::exact(1.0)),
+                    Check::new("also gone", None, None, Band::exact(1.0)),
+                ],
+                figures: Vec::new(),
+                notes: Vec::new(),
+            },
+            Section {
+                target: "b",
+                paper_ref: "Fig 1",
+                title: String::new(),
+                checks: vec![Check::new("fine", None, Some(2.0), Band::exact(2.0))],
+                figures: Vec::new(),
+                notes: Vec::new(),
+            },
+        ];
+        let missing = missing_metrics(&sections);
+        assert_eq!(missing.len(), 1, "only the broken target is listed");
+        assert!(missing[0].starts_with("a: 2 expected metric(s)"), "{}", missing[0]);
+        assert!(missing[0].contains("gone (×); also gone"), "{}", missing[0]);
     }
 
     #[test]

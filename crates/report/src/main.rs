@@ -31,11 +31,16 @@ fn usage() -> &'static str {
      --only LIST   comma-separated subset of suite targets\n\
      --dir DIR     artifact directory (default: <target>/report)\n\
      \n\
+     When the selection includes fleet_slo, DIR/FLEET.md (per-cohort\n\
+     fleet SLO tables) is written next to REPORT.md.\n\
+     \n\
      exit codes:\n\
      \x20  0   report written; all checks in tolerance (or no --check)\n\
      \x20  1   --check: at least one check out of tolerance\n\
      \x20  2   usage error\n\
-     \x20  3   pipeline error (missing or malformed artifact)\n"
+     \x20  3   pipeline error (missing or malformed artifact)\n\
+     \x20  4   summary error: expected metrics missing from a summary\n\
+     \x20      (renamed/absent keys; REPORT.md is still written)\n"
 }
 
 fn main() -> ExitCode {
@@ -145,6 +150,40 @@ fn main() -> ExitCode {
         return ExitCode::from(3);
     }
     eprintln!("[hawkeye-report] wrote {}", out_path.display());
+
+    // FLEET.md: the per-cohort SLO tables, whenever the fleet target is
+    // in the selection (same deterministic-bytes rule as REPORT.md).
+    for d in &data {
+        if let Some(md) = hawkeye_analyze::fleet::fleet_md(&d.summary) {
+            let fleet_path = dir.join("FLEET.md");
+            match std::fs::write(&fleet_path, &md) {
+                Ok(()) => eprintln!("[hawkeye-report] wrote {}", fleet_path.display()),
+                Err(e) => {
+                    eprintln!(
+                        "hawkeye-report: gate=load: could not write {}: {e}",
+                        fleet_path.display()
+                    );
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    }
+
+    // Missing expected metrics are a pipeline defect, not a tolerance
+    // miss: fail loudly (exit 4) even without --check, after writing the
+    // report so the full context is on disk.
+    let missing = hawkeye_report::missing_metrics(&sections);
+    if !missing.is_empty() {
+        for m in &missing {
+            eprintln!("hawkeye-report: gate=summary: {m}");
+        }
+        eprintln!(
+            "hawkeye-report: {} target(s) with missing summary metrics — see {}",
+            missing.len(),
+            out_path.display()
+        );
+        return ExitCode::from(4);
+    }
 
     if check {
         let failures = hawkeye_report::failures(&sections, slack);

@@ -47,6 +47,7 @@ pub fn section(d: &TargetData) -> Section {
         "fig10_prezero_interference" => fig10(d),
         "fig11_overcommit" => fig11(d),
         "multicore_contention" => multicore(d),
+        "fleet_slo" => fleet_slo(d),
         _ => (Vec::new(), Vec::new(), vec!["no expectations registered".into()]),
     };
     Section {
@@ -868,6 +869,86 @@ fn multicore(d: &TargetData) -> Body {
          deterministic virtual clock, so the contention columns are \
          bit-reproducible while aggregate work stays pinned to the \
          serial engine."
+            .into(),
+    ];
+    (checks, Vec::new(), notes)
+}
+
+fn fleet_slo(d: &TargetData) -> Body {
+    let s = &d.summary;
+    const HG: &str = "HawkEye-G+throttle";
+    const L2: &str = "Linux-2MB+noop";
+    let f = |label: &str, field: &str| num(s, "cohort", label, field);
+    let checks = vec![
+        // Fleet SLOs per cohort. The orchestrator is deterministic, so
+        // these bands gate against drift in the fleet model itself, not
+        // against run-to-run noise.
+        Check::new(
+            "p99 fault latency, HawkEye-G+throttle (µs)",
+            None,
+            f(HG, "p99_fault_us"),
+            Band::around(465.0, 0.15),
+        ),
+        Check::new(
+            "p99 fault latency, Linux-2MB+noop (µs)",
+            None,
+            f(L2, "p99_fault_us"),
+            Band::around(465.0, 0.15),
+        ),
+        Check::new(
+            "aggregate MMU overhead, HawkEye-G+throttle (frac)",
+            None,
+            f(HG, "mmu_overhead"),
+            Band::new(0.0, 0.01),
+        ),
+        Check::new(
+            "RSS headroom, HawkEye-G+throttle (frac)",
+            None,
+            f(HG, "rss_headroom"),
+            Band::around(0.74, 0.12),
+        ),
+        Check::new(
+            "RSS headroom, Linux-2MB+noop (frac)",
+            None,
+            f(L2, "rss_headroom"),
+            Band::around(0.74, 0.12),
+        ),
+        // The hook contract: the throttling cohort steers, the noop
+        // cohort never does. Exact gates — a noop cohort that steers
+        // means the A/B split leaked.
+        Check::new(
+            "steer decisions, HawkEye-G+throttle (count)",
+            None,
+            f(HG, "steer_decisions"),
+            Band::new(1.0, 1e12),
+        ),
+        Check::new(
+            "steer decisions, Linux-2MB+noop (count)",
+            Some(0.0),
+            f(L2, "steer_decisions"),
+            Band::new(0.0, 0.0),
+        ),
+        // Overcommit storms must actually exercise the fleet paths:
+        // ballooning and migrations both fire in every cohort.
+        Check::new(
+            "balloon operations, HawkEye-G+throttle (count)",
+            None,
+            f(HG, "balloons"),
+            Band::new(1.0, 1e12),
+        ),
+        Check::new(
+            "tenant migrations out, HawkEye-G+throttle (count)",
+            None,
+            f(HG, "migrations_out"),
+            Band::new(1.0, 1e12),
+        ),
+    ];
+    let notes = vec![
+        "Cohorts run the same diurnal traffic, tenant churn, and \
+         overcommit storms on disjoint deterministic RNG streams; the \
+         only difference inside a cohort is the kernel policy and the \
+         userspace FleetHook steering it at quantum boundaries (DESIGN.md \
+         §15). Per-cohort tables land in FLEET.md."
             .into(),
     ];
     (checks, Vec::new(), notes)

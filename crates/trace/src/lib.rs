@@ -367,6 +367,28 @@ impl TraceBuffer {
         id
     }
 
+    /// Total records ever pushed (kept + overwritten). Because the ring
+    /// keeps the newest records, the oldest *kept* record has sequence
+    /// number `dropped()`, so `pushed()` is also the sequence number the
+    /// next push will get — a natural cursor for [`TraceBuffer::tail`].
+    pub fn pushed(&self) -> u64 {
+        self.dropped + self.records.len() as u64
+    }
+
+    /// Records with sequence number ≥ `since`, in emission order, without
+    /// consuming the ring. A reader that remembers the `pushed()` value of
+    /// its last read sees each record at most once; records overwritten
+    /// between reads are silently skipped (the reader can detect gaps by
+    /// comparing `since` against [`TraceBuffer::dropped`]).
+    pub fn tail(&self, since: u64) -> Vec<TraceRecord> {
+        let n = self.records.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let start = since.saturating_sub(self.dropped).min(n as u64) as usize;
+        (start..n).map(|i| self.records[(self.head + i) % n].clone()).collect()
+    }
+
     /// Consume the ring, returning records in emission order plus the
     /// overwrite count.
     pub fn drain(mut self) -> (Vec<TraceRecord>, u64) {
@@ -382,6 +404,22 @@ pub struct Journal {
     pub records: Vec<TraceRecord>,
     /// Records overwritten because the ring filled up.
     pub dropped: u64,
+}
+
+impl Journal {
+    /// Drains a shared buffer (e.g. one obtained via [`scope::detach`])
+    /// into a finished journal. Sinks still holding the buffer keep
+    /// writing into a drained 1-slot ring, harmlessly — same contract as
+    /// [`scope::end`].
+    pub fn drain_shared(shared: &Arc<Mutex<TraceBuffer>>) -> Journal {
+        let mut buf = match shared.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let full = std::mem::replace(&mut *buf, TraceBuffer::new(1));
+        let (records, dropped) = full.drain();
+        Journal { records, dropped }
+    }
 }
 
 /// Cheap cloneable emit handle. Disabled sinks (the default) are a no-op:
@@ -491,6 +529,18 @@ pub mod scope {
         Some(Journal { records, dropped })
     }
 
+    /// Detach this thread's scope *without* draining it: the shared buffer
+    /// is returned and sinks already attached to it keep emitting into it.
+    /// This is how long-lived owners (the fleet orchestrator) capture a
+    /// machine's journal beyond the `begin`/`end` bracket of its creating
+    /// thread: begin a scope, build the machine (its sinks attach), detach
+    /// the buffer, and read it later via [`TraceBuffer::tail`] or
+    /// [`super::Journal::drain_shared`] from whatever thread owns the
+    /// machine by then.
+    pub fn detach() -> Option<Arc<Mutex<TraceBuffer>>> {
+        CURRENT.with(|c| c.borrow_mut().take())
+    }
+
     /// True when a scope is open on this thread.
     pub fn active() -> bool {
         CURRENT.with(|c| c.borrow().is_some())
@@ -576,6 +626,45 @@ mod tests {
         assert_eq!(buf.dropped(), 1);
         let (records, _) = buf.drain();
         assert_eq!(records[0].at.get(), 2);
+    }
+
+    #[test]
+    fn tail_cursors_over_a_wrapping_ring() {
+        let mut buf = TraceBuffer::new(4);
+        for i in 0..3 {
+            buf.push(rec(i));
+        }
+        assert_eq!(buf.pushed(), 3);
+        let ats: Vec<u64> = buf.tail(0).iter().map(|r| r.at.get()).collect();
+        assert_eq!(ats, vec![0, 1, 2]);
+        let cursor = buf.pushed();
+        for i in 3..9 {
+            buf.push(rec(i));
+        }
+        // Sequences 3..9 were pushed since the cursor; 3 and 4 were
+        // overwritten (capacity 4 keeps 5..9's newest four).
+        assert_eq!(buf.pushed(), 9);
+        let ats: Vec<u64> = buf.tail(cursor).iter().map(|r| r.at.get()).collect();
+        assert_eq!(ats, vec![5, 6, 7, 8]);
+        assert!(buf.tail(buf.pushed()).is_empty(), "caught-up cursor sees nothing");
+    }
+
+    #[test]
+    fn detach_keeps_sinks_live_and_drain_shared_collects() {
+        scope::begin(16);
+        let sink = TraceSink::attach_current();
+        sink.emit(1, TraceEvent::PreZero { pages: 1 });
+        let shared = scope::detach().expect("buffer");
+        assert!(!scope::active(), "detach closes the thread scope");
+        // The sink keeps emitting into the detached buffer.
+        sink.emit(1, TraceEvent::PreZero { pages: 2 });
+        assert_eq!(shared.lock().expect("buf").pushed(), 2);
+        let journal = Journal::drain_shared(&shared);
+        assert_eq!(journal.records.len(), 2);
+        assert_eq!(journal.dropped, 0);
+        // Post-drain emits land in the 1-slot replacement ring, harmlessly.
+        sink.emit(1, TraceEvent::Oom);
+        assert_eq!(Journal::drain_shared(&shared).records.len(), 1);
     }
 
     #[test]

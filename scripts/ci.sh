@@ -20,6 +20,18 @@ cargo test --workspace -q
 echo "==> scenario-engine determinism test"
 cargo test -p hawkeye-bench --test determinism -q
 
+# Fleet determinism gate: a 256-host fleet's JSON summary, trace
+# journals, and FLEET.md byte-identical at 1 vs 8 workers and across
+# repeated runs (release: three full fleet runs).
+echo "==> fleet determinism gate (256 hosts, 1 vs 8 workers)"
+cargo test --release -p hawkeye-bench --test fleet_determinism -q
+
+# Report-loader error paths: corrupt/truncated wallclock sidecars must
+# warn and render n/a (never zero-fill), and expected-but-missing
+# summary metrics must be listed per target for the exit-4 gate.
+echo "==> report-loader error-path tests"
+cargo test -p hawkeye-report --lib -q
+
 # Event-skip efficiency gate: on a representative compute/stream
 # workload, a minimum fraction of scheduler quanta must be charged in
 # closed form (quanta-skipped / quanta-total from sched_stats). The
@@ -57,8 +69,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # exempt and may unwrap freely.
 echo "==> cargo clippy --lib -- -D clippy::unwrap_used (core crates)"
 cargo clippy -p hawkeye-metrics -p hawkeye-mem -p hawkeye-vm -p hawkeye-tlb \
-    -p hawkeye-trace -p hawkeye-kernel -p hawkeye-virt -p hawkeye-bench \
-    -p hawkeye-analyze -p hawkeye-report \
+    -p hawkeye-trace -p hawkeye-kernel -p hawkeye-virt -p hawkeye-fleet \
+    -p hawkeye-bench -p hawkeye-analyze -p hawkeye-report \
     --lib -- -D clippy::unwrap_used
 
 # Cycle-attribution gate: run one real traced scenario and pipe the
