@@ -35,6 +35,23 @@ fn pct(row: &Value, key: &str) -> String {
     }
 }
 
+/// Whether the cohort row has no completed epochs: its latency/overhead
+/// fields are vacuous zeros, not measurements (mirrors the wall-clock
+/// sidecar's `n/a` convention for never-sampled sections).
+fn idle_cohort(row: &Value) -> bool {
+    row.get("faults").and_then(Value::as_u64) == Some(0)
+}
+
+/// Like `float`, but `n/a` when the cohort never ran an epoch.
+fn measured_float(row: &Value, key: &str, decimals: usize) -> String {
+    if idle_cohort(row) { "n/a".to_string() } else { float(row, key, decimals) }
+}
+
+/// Like `pct`, but `n/a` when the cohort never ran an epoch.
+fn measured_pct(row: &Value, key: &str) -> String {
+    if idle_cohort(row) { "n/a".to_string() } else { pct(row, key) }
+}
+
 fn table(out: &mut String, headers: &[&str], rows: &[Vec<String>]) {
     out.push_str(&format!("| {} |\n", headers.join(" | ")));
     out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
@@ -69,10 +86,10 @@ pub fn fleet_md(doc: &SummaryDoc) -> Option<String> {
                 s(r, "hook"),
                 int(r, "hosts"),
                 int(r, "faults"),
-                float(r, "p50_fault_us", 2),
-                float(r, "p99_fault_us", 2),
-                pct(r, "mmu_overhead"),
-                pct(r, "rss_headroom"),
+                measured_float(r, "p50_fault_us", 2),
+                measured_float(r, "p99_fault_us", 2),
+                measured_pct(r, "mmu_overhead"),
+                measured_pct(r, "rss_headroom"),
             ]
         })
         .collect();
@@ -183,6 +200,31 @@ mod tests {
         let empty = parse_summary(r#"{"target":"fleet_slo","title":"t","rows":[]}"#)
             .expect("parse");
         assert!(fleet_md(&empty).is_none());
+    }
+
+    #[test]
+    fn empty_cohorts_render_na_not_vacuous_zeros() {
+        // A cohort with zero completed epochs reports faults=0 and all
+        // derived SLOs as 0.0 — those are absences, not measurements.
+        let doc = parse_summary(
+            r#"{"target":"fleet_slo","title":"t","rows":[
+                {"cohort":"empty","hook":"noop","hosts":8,"faults":0,
+                 "p50_fault_us":0.0,"p99_fault_us":0.0,
+                 "mmu_overhead":0.0,"rss_headroom":0.0,
+                 "promotions":0,"demotions":0,"deduped_pages":0,"ooms":0,
+                 "spawned":0,"finished":0,"balloons":0,"cascade_balloons":0,
+                 "migrations_out":0,"migrations_in":0,"steer_decisions":0}
+            ]}"#,
+        )
+        .expect("parse");
+        let md = fleet_md(&doc).expect("renders");
+        assert!(
+            md.contains("| empty | noop | 8 | 0 | n/a | n/a | n/a | n/a |"),
+            "idle cohort must render n/a, got:\n{md}"
+        );
+        // A cohort that did fault keeps its real numbers.
+        let md = fleet_md(&fleet_doc()).expect("renders");
+        assert!(md.contains("| 1000 | 1.50 | 9.25 | 1.20% | 45.00% |"), "{md}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod fleet;
 pub mod json;
+pub mod obs;
 pub mod render;
 pub mod summary;
 

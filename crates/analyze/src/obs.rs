@@ -1,0 +1,218 @@
+//! Parsers for the telemetry pipeline's JSON artifacts: the evaluated
+//! `<target>.obs.json` document `hawkeye-bench` writes and the
+//! `BENCH_<n>.json` perf-trajectory ledger entries `hawkeye-report`
+//! appends.
+//!
+//! Both are read through the generic [`crate::json`] tree — these
+//! documents are kilobytes, not the multi-megabyte journals that justify
+//! the streaming trace path. Field names mirror the writers exactly;
+//! a missing required field is an error, because writer and parser
+//! evolve together (same contract as [`crate::parse_trace`]).
+
+use crate::json::{parse, Value};
+use hawkeye_obs::{
+    Alert, AlertKind, Anomaly, CohortObs, CohortSeries, EpochPoint, LedgerRun, LedgerTarget,
+    ObsDoc, RuleDoc,
+};
+
+fn req<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing \"{key}\""))
+}
+
+fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
+    req(v, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}: \"{key}\" is not a string"))
+}
+
+fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    req(v, key, ctx)?.as_u64().ok_or_else(|| format!("{ctx}: \"{key}\" is not a u64"))
+}
+
+fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    req(v, key, ctx)?.as_f64().ok_or_else(|| format!("{ctx}: \"{key}\" is not a number"))
+}
+
+fn arr_field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a [Value], String> {
+    req(v, key, ctx)?.as_arr().ok_or_else(|| format!("{ctx}: \"{key}\" is not an array"))
+}
+
+fn parse_rule(v: &Value, i: usize) -> Result<RuleDoc, String> {
+    let ctx = format!("rule {i}");
+    Ok(RuleDoc {
+        name: str_field(v, "name", &ctx)?,
+        series: str_field(v, "series", &ctx)?,
+        threshold: f64_field(v, "threshold", &ctx)?,
+        fast_window: u64_field(v, "fast_window", &ctx)?,
+        slow_window: u64_field(v, "slow_window", &ctx)?,
+        fast_burn: f64_field(v, "fast_burn", &ctx)?,
+        slow_burn: f64_field(v, "slow_burn", &ctx)?,
+        direction: str_field(v, "direction", &ctx)?,
+    })
+}
+
+fn parse_point(v: &Value, ctx: &str) -> Result<EpochPoint, String> {
+    Ok(EpochPoint {
+        epoch: u64_field(v, "epoch", ctx)? as u32,
+        faults: u64_field(v, "faults", ctx)?,
+        p50_us: f64_field(v, "p50_us", ctx)?,
+        p90_us: f64_field(v, "p90_us", ctx)?,
+        p99_us: f64_field(v, "p99_us", ctx)?,
+        p999_us: f64_field(v, "p999_us", ctx)?,
+        mmu_overhead: f64_field(v, "mmu_overhead", ctx)?,
+        rss_headroom: f64_field(v, "rss_headroom", ctx)?,
+        fmfi: f64_field(v, "fmfi", ctx)?,
+    })
+}
+
+fn parse_alert(v: &Value, ctx: &str) -> Result<Alert, String> {
+    let kind = str_field(v, "kind", ctx)?;
+    Ok(Alert {
+        rule: u64_field(v, "rule", ctx)?,
+        name: str_field(v, "name", ctx)?,
+        epoch: u64_field(v, "epoch", ctx)? as u32,
+        kind: AlertKind::from_name(&kind)
+            .ok_or_else(|| format!("{ctx}: unknown alert kind \"{kind}\""))?,
+        fast: f64_field(v, "fast", ctx)?,
+        slow: f64_field(v, "slow", ctx)?,
+    })
+}
+
+fn parse_anomaly(v: &Value, ctx: &str) -> Result<Anomaly, String> {
+    Ok(Anomaly {
+        series: str_field(v, "series", ctx)?,
+        epoch: u64_field(v, "epoch", ctx)? as u32,
+        value: f64_field(v, "value", ctx)?,
+        z: f64_field(v, "z", ctx)?,
+    })
+}
+
+fn parse_cohort(v: &Value, i: usize) -> Result<CohortObs, String> {
+    let ctx = format!("cohort {i}");
+    let cohort = str_field(v, "cohort", &ctx)?;
+    let points = arr_field(v, "points", &ctx)?
+        .iter()
+        .enumerate()
+        .map(|(j, p)| parse_point(p, &format!("{ctx} point {j}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let alerts = arr_field(v, "alerts", &ctx)?
+        .iter()
+        .enumerate()
+        .map(|(j, a)| parse_alert(a, &format!("{ctx} alert {j}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let anomalies = arr_field(v, "anomalies", &ctx)?
+        .iter()
+        .enumerate()
+        .map(|(j, a)| parse_anomaly(a, &format!("{ctx} anomaly {j}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CohortObs { series: CohortSeries { cohort, points }, alerts, anomalies })
+}
+
+/// Parses a `<target>.obs.json` document back into the typed
+/// [`ObsDoc`] — the exact inverse of the `hawkeye-bench` writer, so
+/// `ALERTS.md` can be re-rendered from the artifact alone.
+pub fn parse_obs(text: &str) -> Result<ObsDoc, String> {
+    let v = parse(text)?;
+    let ctx = "obs doc";
+    let rules = arr_field(&v, "rules", ctx)?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| parse_rule(r, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    let cohorts = arr_field(&v, "cohorts", ctx)?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| parse_cohort(c, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ObsDoc {
+        target: str_field(&v, "target", ctx)?,
+        schema_version: u64_field(&v, "schema_version", ctx)?,
+        rules,
+        cohorts,
+    })
+}
+
+/// Parses one `BENCH_<n>.json` perf-trajectory ledger entry.
+pub fn parse_ledger(text: &str) -> Result<LedgerRun, String> {
+    let v = parse(text)?;
+    let ctx = "ledger run";
+    let targets = arr_field(&v, "targets", ctx)?
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let tctx = format!("ledger target {i}");
+            Ok(LedgerTarget {
+                name: str_field(t, "name", &tctx)?,
+                quanta_total: u64_field(t, "quanta_total", &tctx)?,
+                quanta_skipped: u64_field(t, "quanta_skipped", &tctx)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(LedgerRun {
+        schema_version: u64_field(&v, "schema_version", ctx)?,
+        run: u64_field(&v, "run", ctx)?,
+        checks_passed: u64_field(&v, "checks_passed", ctx)?,
+        checks_total: u64_field(&v, "checks_total", ctx)?,
+        targets,
+        wall_total_secs: f64_field(&v, "wall_total_secs", ctx)?,
+        wall_digest: str_field(&v, "wall_digest", ctx)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBS_TEXT: &str = r#"{"target":"fleet_slo","schema_version":1,
+        "rules":[{"name":"fault-p99-latency","series":"p99_fault_us","threshold":500,
+                  "fast_window":2,"slow_window":6,"fast_burn":1,"slow_burn":0.8,
+                  "direction":"above"}],
+        "cohorts":[{"cohort":"A",
+            "points":[{"epoch":0,"faults":12,"p50_us":1.5,"p90_us":2,"p99_us":9.25,
+                       "p999_us":11,"mmu_overhead":0.01,"rss_headroom":0.4,"fmfi":0.2}],
+            "alerts":[{"rule":0,"name":"fault-p99-latency","epoch":0,"kind":"breach",
+                       "fast":600,"slow":410}],
+            "anomalies":[{"series":"p99_fault_us","epoch":0,"value":9.25,"z":3.5}]}]}"#;
+
+    #[test]
+    fn parses_a_full_obs_document() {
+        let d = parse_obs(OBS_TEXT).expect("parse");
+        assert_eq!(d.target, "fleet_slo");
+        assert_eq!(d.schema_version, 1);
+        assert_eq!(d.rules[0].name, "fault-p99-latency");
+        assert_eq!(d.rules[0].slow_burn, 0.8);
+        let c = &d.cohorts[0];
+        assert_eq!(c.series.cohort, "A");
+        assert_eq!(c.series.points[0].p99_us, 9.25);
+        assert_eq!(c.alerts[0].kind, AlertKind::Breach);
+        assert_eq!(c.anomalies[0].z, 3.5);
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unknown_kinds() {
+        let err = parse_obs(r#"{"target":"t","schema_version":1,"rules":[],"cohorts":[
+            {"cohort":"A","points":[],"alerts":[{"rule":0,"name":"r","epoch":0,
+             "kind":"explode","fast":1,"slow":1}],"anomalies":[]}]}"#)
+            .expect_err("unknown kind");
+        assert!(err.contains("explode"), "{err}");
+        let err = parse_obs(r#"{"target":"t","rules":[],"cohorts":[]}"#).expect_err("no version");
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn parses_a_ledger_entry() {
+        let r = parse_ledger(
+            r#"{"schema_version":1,"run":9,"checks_passed":67,"checks_total":67,
+                "targets":[{"name":"fleet_slo","quanta_total":1000,"quanta_skipped":100}],
+                "wall_total_secs":12.5,"wall_digest":"deadbeef"}"#,
+        )
+        .expect("parse");
+        assert_eq!(r.run, 9);
+        assert_eq!(r.targets[0].quanta_total, 1000);
+        assert_eq!(r.skip_ratio(), 0.1);
+        assert_eq!(r.wall_digest, "deadbeef");
+        let err = parse_ledger(r#"{"schema_version":1}"#).expect_err("missing fields");
+        assert!(err.contains("targets"), "{err}");
+    }
+}

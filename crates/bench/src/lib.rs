@@ -23,9 +23,9 @@ pub mod wallclock;
 
 pub use json::Json;
 pub use scenario::{
-    cycles_json, queue_trace_journals, run_scenarios, run_scenarios_capturing,
-    run_scenarios_with, take_metric_snapshots, take_queued_trace_journals, trace_json,
-    write_json, write_json_in, Report, Row, Scenario,
+    cycles_json, queue_obs_doc, queue_trace_journals, run_scenarios, run_scenarios_capturing,
+    run_scenarios_with, take_metric_snapshots, take_queued_obs_docs, take_queued_trace_journals,
+    trace_json, write_json, write_json_in, Report, Row, Scenario,
 };
 
 use hawkeye_core::{HawkEye, HawkEyeConfig};

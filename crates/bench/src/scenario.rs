@@ -34,6 +34,12 @@ static TRACE_JOURNALS: Mutex<Vec<(String, Journal)>> = Mutex::new(Vec::new());
 /// section. Same submission-order rule as [`TRACE_JOURNALS`].
 static METRIC_SNAPSHOTS: Mutex<Vec<(String, Registry)>> = Mutex::new(Vec::new());
 
+/// Serialized telemetry documents queued by obs-enabled targets
+/// (`fleet_slo` evaluates its SLO rules and queues the result here),
+/// drained by [`write_json`] into `<dir>/<target>.obs.json`. At most one
+/// document is expected per target; the last queued wins.
+static OBS_DOCS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
 /// One independent unit of a bench target: a named closure producing a
 /// result on a worker thread.
 pub struct Scenario<T> {
@@ -134,6 +140,24 @@ pub fn queue_trace_journals(journals: Vec<(String, Journal)>) {
     }
 }
 
+/// Queues a serialized telemetry document (the `<target>.obs.json`
+/// contents) for the next [`write_json`] to dump. Obs-enabled targets
+/// call this after evaluating their SLO rules.
+pub fn queue_obs_doc(doc: String) {
+    if let Ok(mut q) = OBS_DOCS.lock() {
+        q.push(doc);
+    }
+}
+
+/// Drains the telemetry documents queued by [`queue_obs_doc`] since the
+/// last drain ([`write_json`] calls this; tests may too).
+pub fn take_queued_obs_docs() -> Vec<String> {
+    match OBS_DOCS.lock() {
+        Ok(mut q) => std::mem::take(&mut *q),
+        Err(_) => Vec::new(),
+    }
+}
+
 /// Drains the cycle-attribution registries queued by [`run_scenarios_with`]
 /// since the last drain ([`write_json`] calls this; tests may too).
 pub fn take_metric_snapshots() -> Vec<(String, Registry)> {
@@ -180,7 +204,17 @@ fn run_scenarios_inner<T: Send + 'static>(
                 }
                 let result = job();
                 let journal = if tracing { scope::end() } else { None };
-                (result, journal, registry::scope::end())
+                let mut reg = registry::scope::end();
+                // Ring-buffer overflow must not stay silent: surface the
+                // drop count as a registry counter (machine 0 = the
+                // scenario's first machine) so it reaches the summary's
+                // `cycles` section and REPORT.md can warn loudly.
+                if let (Some(j), Some(r)) = (journal.as_ref(), reg.as_mut()) {
+                    if j.dropped > 0 {
+                        r.machine_entry(0).add("trace.dropped_events", j.dropped);
+                    }
+                }
+                (result, journal, reg)
             }) as Job<Instrumented<T>>
         })
         .collect();
@@ -503,6 +537,7 @@ pub fn write_json_in(dir: &std::path::Path, target: &str, json: &Json) {
     }
     crate::wallclock::record("summary_write", t0.elapsed().as_secs_f64());
     write_trace_results(dir, target);
+    write_obs_results(dir, target);
     // Dump the host-side timing sidecar last: it collects the phases the
     // lines above just recorded (plus the engine phase) without ever
     // touching the deterministic artifacts.
@@ -532,6 +567,28 @@ fn write_trace_results(dir: &std::path::Path, target: &str) {
         Err(e) => eprintln!("[scenario-engine] could not write {stem}.json: {e}"),
     }
     crate::wallclock::record("trace_write", t0.elapsed().as_secs_f64());
+}
+
+/// Dumps the telemetry document queued by [`queue_obs_doc`] (if any) to
+/// `<dir>/<target>.obs.json`. A no-op when telemetry was off.
+fn write_obs_results(dir: &std::path::Path, target: &str) {
+    let Some(mut doc) = take_queued_obs_docs().pop() else {
+        return;
+    };
+    if !doc.ends_with('\n') {
+        doc.push('\n');
+    }
+    let stem = format!("{target}.obs");
+    let write = || -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{stem}.json"));
+        std::fs::write(&path, doc)?;
+        Ok(path)
+    };
+    match write() {
+        Ok(path) => eprintln!("[scenario-engine] wrote {}", path.display()),
+        Err(e) => eprintln!("[scenario-engine] could not write {stem}.json: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -585,6 +642,8 @@ mod tests {
                 cas_retries: 17,
                 stall_cycles: 42_000,
             },
+            TraceEvent::SloBreach { rule: 0, epoch: 3, cohort: 1 },
+            TraceEvent::SloRecover { rule: 0, epoch: 6, cohort: 1 },
         ];
         let records = events
             .into_iter()

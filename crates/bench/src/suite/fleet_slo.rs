@@ -11,8 +11,10 @@
 //! scenario engine's artifact queue.
 
 use crate::{pct, Json, PolicyKind, Report, Row};
-use hawkeye_fleet::{run, CohortSpec, FleetConfig, NoopHook, ThrottleUnderPressure};
+use hawkeye_fleet::{run_observed, CohortSpec, FleetConfig, NoopHook, ThrottleUnderPressure};
 use hawkeye_kernel::{HugePagePolicy, KernelConfig};
+use hawkeye_obs::ObsDoc;
+use hawkeye_trace::Journal;
 use std::time::Instant;
 
 fn hawkeye_policy() -> Box<dyn HugePagePolicy> {
@@ -62,11 +64,38 @@ pub fn cohorts() -> Vec<CohortSpec> {
 
 /// Runs the fleet at an explicit shape — the determinism test and the CI
 /// smoke gate use small fleets; [`report`] uses [`FleetConfig::slo`].
+/// Telemetry collection follows the process-global [`hawkeye_obs::enabled`]
+/// gate; tests pin it through [`report_with_obs`].
 pub fn report_with(cfg: &FleetConfig, threads: usize) -> Report {
+    report_with_obs(cfg, threads, hawkeye_obs::enabled())
+}
+
+/// [`report_with`] with telemetry pinned by `observe`. When on, the
+/// fleet's per-cohort accumulators are finalized into time series,
+/// evaluated against the default burn-rate rules, queued as the
+/// `fleet_slo.obs.json` document, and the SLO transitions ride into the
+/// trace doc as a synthetic `obs/slo` journal of typed
+/// `slo_breach`/`slo_recover` events. When off, nothing here runs and
+/// every artifact is bit-identical to the pre-telemetry pipeline.
+pub fn report_with_obs(cfg: &FleetConfig, threads: usize, observe: bool) -> Report {
     let t0 = Instant::now();
-    let result = run(cfg, &cohorts(), threads);
+    let mut result = run_observed(cfg, &cohorts(), threads, observe);
     crate::wallclock::record("engine", t0.elapsed().as_secs_f64());
-    crate::scenario::queue_trace_journals(result.journals);
+    if let Some(obs) = &result.obs {
+        let series = result
+            .cohorts
+            .iter()
+            .zip(obs.iter())
+            .map(|(slo, acc)| hawkeye_obs::finalize(&slo.cohort, acc))
+            .collect();
+        let doc = hawkeye_obs::evaluate("fleet_slo", series, &hawkeye_obs::default_rules());
+        let records = hawkeye_obs::slo_trace_records(&doc, cfg.epoch_ms);
+        if !records.is_empty() {
+            result.journals.push(("obs/slo".to_string(), Journal { records, dropped: 0 }));
+        }
+        crate::scenario::queue_obs_doc(obs_doc_json(&doc).to_string());
+    }
+    crate::scenario::queue_trace_journals(std::mem::take(&mut result.journals));
 
     let mut report = Report::new(
         "fleet_slo",
@@ -130,12 +159,138 @@ pub fn report(threads: usize) -> Report {
     report_with(&FleetConfig::slo(), threads)
 }
 
+/// Serializes an [`ObsDoc`] with the key order `hawkeye-analyze`'s
+/// `parse_obs` mirrors: target, schema_version, rules, cohorts (each
+/// cohort: cohort, points, alerts, anomalies).
+fn obs_doc_json(doc: &ObsDoc) -> Json {
+    let rules = doc
+        .rules
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", Json::str(r.name.clone())),
+                ("series", Json::str(r.series.clone())),
+                ("threshold", Json::num(r.threshold)),
+                ("fast_window", Json::int(r.fast_window)),
+                ("slow_window", Json::int(r.slow_window)),
+                ("fast_burn", Json::num(r.fast_burn)),
+                ("slow_burn", Json::num(r.slow_burn)),
+                ("direction", Json::str(r.direction.clone())),
+            ])
+        })
+        .collect();
+    let cohorts = doc
+        .cohorts
+        .iter()
+        .map(|c| {
+            let points = c
+                .series
+                .points
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("epoch", Json::int(p.epoch as u64)),
+                        ("faults", Json::int(p.faults)),
+                        ("p50_us", Json::num(p.p50_us)),
+                        ("p90_us", Json::num(p.p90_us)),
+                        ("p99_us", Json::num(p.p99_us)),
+                        ("p999_us", Json::num(p.p999_us)),
+                        ("mmu_overhead", Json::num(p.mmu_overhead)),
+                        ("rss_headroom", Json::num(p.rss_headroom)),
+                        ("fmfi", Json::num(p.fmfi)),
+                    ])
+                })
+                .collect();
+            let alerts = c
+                .alerts
+                .iter()
+                .map(|a| {
+                    Json::obj(vec![
+                        ("rule", Json::int(a.rule)),
+                        ("name", Json::str(a.name.clone())),
+                        ("epoch", Json::int(a.epoch as u64)),
+                        ("kind", Json::str(a.kind.name())),
+                        ("fast", Json::num(a.fast)),
+                        ("slow", Json::num(a.slow)),
+                    ])
+                })
+                .collect();
+            let anomalies = c
+                .anomalies
+                .iter()
+                .map(|a| {
+                    Json::obj(vec![
+                        ("series", Json::str(a.series.clone())),
+                        ("epoch", Json::int(a.epoch as u64)),
+                        ("value", Json::num(a.value)),
+                        ("z", Json::num(a.z)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("cohort", Json::str(c.series.cohort.clone())),
+                ("points", Json::Arr(points)),
+                ("alerts", Json::Arr(alerts)),
+                ("anomalies", Json::Arr(anomalies)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("target", Json::str(doc.target.clone())),
+        ("schema_version", Json::int(doc.schema_version)),
+        ("rules", Json::Arr(rules)),
+        ("cohorts", Json::Arr(cohorts)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Both tests drain the process-global artifact queues; serialize
+    /// them so parallel test runs don't steal each other's journals.
+    static QUEUES: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn observed_report_queues_doc_and_matches_unobserved_rows() {
+        let _q = QUEUES.lock().unwrap_or_else(|e| e.into_inner());
+        let mut cfg = FleetConfig::sized(8);
+        cfg.epochs = 4;
+        let plain = report_with_obs(&cfg, 2, false);
+        let plain_journals = crate::scenario::take_queued_trace_journals();
+        assert!(crate::scenario::take_queued_obs_docs().is_empty());
+
+        let observed = report_with_obs(&cfg, 2, true);
+        let observed_journals = crate::scenario::take_queued_trace_journals();
+        let docs = crate::scenario::take_queued_obs_docs();
+
+        // Zero drift: the report table is bit-identical with obs on.
+        assert_eq!(plain.json().to_string(), observed.json().to_string());
+        // Host journals are untouched; obs may append one synthetic
+        // `obs/slo` journal at the end.
+        assert_eq!(&observed_journals[..plain_journals.len()], &plain_journals[..]);
+        for (name, _) in &observed_journals[plain_journals.len()..] {
+            assert_eq!(name, "obs/slo");
+        }
+
+        // The queued doc has both cohorts with one point per epoch.
+        assert_eq!(docs.len(), 1);
+        let doc = &docs[0];
+        assert!(doc.starts_with(r#"{"target":"fleet_slo","schema_version":"#));
+        assert!(doc.contains(r#""cohort":"HawkEye-G+throttle""#));
+        assert!(doc.contains(r#""cohort":"Linux-2MB+noop""#));
+        assert_eq!(doc.matches(r#"{"epoch":"#).count(), 2 * cfg.epochs as usize);
+
+        // Determinism: 8 workers and a rerun produce the same bytes.
+        let _ = report_with_obs(&cfg, 8, true);
+        let _ = crate::scenario::take_queued_trace_journals();
+        let redocs = crate::scenario::take_queued_obs_docs();
+        assert_eq!(redocs, docs);
+    }
+
     #[test]
     fn small_fleet_report_has_both_cohorts_and_steering() {
+        let _q = QUEUES.lock().unwrap_or_else(|e| e.into_inner());
         let mut cfg = FleetConfig::sized(8);
         cfg.epochs = 4;
         let r = report_with(&cfg, 2);

@@ -53,4 +53,4 @@ pub mod pool;
 
 pub use hook::{FleetHook, HostObs, NoopHook, ThrottleUnderPressure};
 pub use host::{Host, HostCounters, TenantSpec};
-pub use orchestrator::{run, CohortSlo, CohortSpec, FleetConfig, FleetResult};
+pub use orchestrator::{run, run_observed, CohortSlo, CohortSpec, FleetConfig, FleetResult};

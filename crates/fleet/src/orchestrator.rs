@@ -28,7 +28,8 @@ use hawkeye_kernel::rng::SplitMix64;
 use hawkeye_kernel::{HugePagePolicy, KernelConfig};
 use hawkeye_metrics::registry::Subsystem;
 use hawkeye_metrics::{Cycles, LogHistogram};
-use hawkeye_trace::Journal;
+use hawkeye_obs::series::CohortAcc;
+use hawkeye_trace::{Journal, TraceEvent};
 
 /// Fleet shape and thresholds. All fields are plain data so a config can
 /// be logged next to the artifacts it produced.
@@ -164,6 +165,9 @@ pub struct FleetResult {
     pub cohorts: Vec<CohortSlo>,
     /// `("<cohort>/h<index>", journal)` for each journaled host.
     pub journals: Vec<(String, Journal)>,
+    /// Per-cohort telemetry accumulators (same order as `cohorts`),
+    /// present only when obs collection was enabled for the run.
+    pub obs: Option<Vec<CohortAcc>>,
 }
 
 /// Per-group reduction, folded into [`CohortSlo`]s on the main thread.
@@ -180,12 +184,30 @@ struct GroupOutcome {
     counters: HostCounters,
     steers: u64,
     journals: Vec<(usize, Journal)>,
+    obs: Option<CohortAcc>,
 }
 
 /// Runs the fleet: every `(cohort, group)` pair becomes one pool job.
 /// Results aggregate in submission order, so the output is byte-stable
-/// at any `threads`.
+/// at any `threads`. Telemetry collection follows
+/// [`hawkeye_obs::enabled`]; use [`run_observed`] to pin it explicitly.
 pub fn run(cfg: &FleetConfig, cohorts: &[CohortSpec], threads: usize) -> FleetResult {
+    run_observed(cfg, cohorts, threads, hawkeye_obs::enabled())
+}
+
+/// [`run`] with telemetry collection pinned by `observe` instead of the
+/// process-global gate. When enabled, each group additionally folds its
+/// hosts' per-epoch windows (fault latencies from the trace tail the
+/// hook already sees, walk/unhalted registry deltas, utilization, FMFI)
+/// into mergeable [`CohortAcc`]s — pure reads of state the epoch loop
+/// computes anyway, so the simulation is bit-identical either way; when
+/// disabled the per-epoch cost is one `Option` branch.
+pub fn run_observed(
+    cfg: &FleetConfig,
+    cohorts: &[CohortSpec],
+    threads: usize,
+    observe: bool,
+) -> FleetResult {
     let groups = cfg.hosts.div_ceil(cfg.group_size.max(1));
     let mut jobs: Vec<Job<GroupOutcome>> = Vec::new();
     for (ci, spec) in cohorts.iter().enumerate() {
@@ -194,11 +216,15 @@ pub fn run(cfg: &FleetConfig, cohorts: &[CohortSpec], threads: usize) -> FleetRe
         for g in 0..groups {
             let lo = g * cfg.group_size;
             let n = cfg.group_size.min(cfg.hosts - lo);
-            jobs.push(Box::new(move || run_group(&cfg, &spec, ci, g, n)));
+            jobs.push(Box::new(move || run_group(&cfg, &spec, ci, g, n, observe)));
         }
     }
     let outcomes = pool::run_ordered(jobs, threads);
-    let mut result = FleetResult { cohorts: Vec::new(), journals: Vec::new() };
+    let mut result = FleetResult {
+        cohorts: Vec::new(),
+        journals: Vec::new(),
+        obs: observe.then(Vec::new),
+    };
     for (ci, spec) in cohorts.iter().enumerate() {
         let mut hist = LogHistogram::new();
         let (mut walk, mut unhalted) = (0u64, 0u64);
@@ -219,7 +245,11 @@ pub fn run(cfg: &FleetConfig, cohorts: &[CohortSpec], threads: usize) -> FleetRe
             tenancy: HostCounters::default(),
             steer_decisions: 0,
         };
+        let mut cohort_acc = result.obs.is_some().then(CohortAcc::default);
         for out in &outcomes[ci * groups..(ci + 1) * groups] {
+            if let (Some(acc), Some(shard)) = (cohort_acc.as_mut(), out.obs.as_ref()) {
+                acc.merge(shard);
+            }
             hist.merge(&out.fault_hist);
             walk += out.walk;
             unhalted += out.unhalted;
@@ -251,6 +281,9 @@ pub fn run(cfg: &FleetConfig, cohorts: &[CohortSpec], threads: usize) -> FleetRe
             1.0 - util_sum / util_samples as f64
         };
         result.cohorts.push(slo);
+        if let (Some(all), Some(acc)) = (result.obs.as_mut(), cohort_acc) {
+            all.push(acc);
+        }
     }
     result
 }
@@ -262,6 +295,7 @@ fn run_group(
     cohort: usize,
     group: usize,
     nhosts: usize,
+    observe: bool,
 ) -> GroupOutcome {
     let mut rng = SplitMix64::new(
         cfg.seed ^ ((cohort as u64) << 48) ^ ((group as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
@@ -280,7 +314,12 @@ fn run_group(
         counters: HostCounters::default(),
         steers: 0,
         journals: Vec::new(),
+        obs: observe.then(|| CohortAcc::with_epochs(cfg.epochs as usize)),
     };
+    // Per-host cumulative (walk, unhalted) cycles at the previous epoch
+    // boundary, so each epoch records deltas. Allocated only when
+    // observing — the disabled path costs one branch per loop.
+    let mut obs_prev = observe.then(|| vec![(0u64, 0u64); nhosts]);
     let journaled = |i: usize| group * cfg.group_size + i < cfg.journal_hosts;
     let mut hosts: Vec<Host> = (0..nhosts)
         .map(|i| {
@@ -305,11 +344,31 @@ fn run_group(
         for host in &mut hosts {
             host.reap();
         }
-        // 3. Hook observation + steering, in host order.
+        // 3. Hook observation + steering, in host order. When telemetry
+        // is on, the same HostObs window feeds the per-epoch accumulator
+        // before the hook sees it — pure reads, zero simulation drift.
         for (i, host) in hosts.iter_mut().enumerate() {
             let obs = host.observe(group * cfg.group_size + i, epoch);
             out.util_sum += obs.utilization;
             out.util_samples += 1;
+            if let (Some(acc), Some(prev)) = (out.obs.as_mut(), obs_prev.as_mut()) {
+                let slot = acc.epoch_mut(epoch as usize);
+                slot.util_sum += obs.utilization;
+                slot.fmfi_sum += obs.fmfi;
+                slot.hosts += 1;
+                for r in &obs.events {
+                    if let TraceEvent::Fault { cycles, .. } = r.event {
+                        slot.fault_sketch.observe(cycles);
+                    }
+                }
+                if let Some(m) = &obs.metrics {
+                    let (walk, unhalted) = (m.cpu_cycles(Subsystem::Walk), m.unhalted());
+                    let (pw, pu) = prev[i];
+                    slot.walk_cycles += walk.saturating_sub(pw);
+                    slot.unhalted_cycles += unhalted.saturating_sub(pu);
+                    prev[i] = (walk, unhalted);
+                }
+            }
             if let Some(s) = hook.steer(&obs) {
                 host.sim.steer(&s);
                 out.steers += 1;
@@ -453,6 +512,38 @@ mod tests {
             "journaled hosts per cohort"
         );
         assert!(result.journals.iter().all(|(_, j)| !j.records.is_empty()));
+    }
+
+    #[test]
+    fn observed_runs_collect_without_drifting_the_simulation() {
+        let mut cfg = FleetConfig::sized(8);
+        cfg.epochs = 4;
+        let plain = run_observed(&cfg, &[base_cohort()], 2, false);
+        let observed = run_observed(&cfg, &[base_cohort()], 2, true);
+        // Zero drift: collection only reads state the epoch loop already
+        // computes, so every simulated observable matches exactly.
+        assert!(plain.obs.is_none());
+        for (x, y) in plain.cohorts.iter().zip(&observed.cohorts) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        assert_eq!(plain.journals, observed.journals);
+        // And the accumulators carry real, fully-sampled telemetry.
+        let obs = observed.obs.expect("observed run exports accumulators");
+        assert_eq!(obs.len(), 1);
+        let acc = &obs[0];
+        assert_eq!(acc.epochs.len(), cfg.epochs as usize);
+        for (e, slot) in acc.epochs.iter().enumerate() {
+            assert_eq!(slot.hosts, cfg.hosts as u64, "epoch {e} sampled every host");
+            assert!(slot.unhalted_cycles > 0, "epoch {e} charged cycles");
+        }
+        assert!(
+            acc.epochs.iter().any(|s| s.fault_sketch.count() > 0),
+            "fault windows reach the sketch"
+        );
+        // Determinism: worker count and repetition don't change the
+        // merged accumulators (byte-compared via the sketch encoding).
+        let again = run_observed(&cfg, &[base_cohort()], 8, true);
+        assert_eq!(Some(obs), again.obs);
     }
 
     #[test]

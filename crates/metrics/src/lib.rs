@@ -29,11 +29,13 @@
 pub mod env;
 pub mod registry;
 pub mod series;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 pub mod time;
 
 pub use registry::{LogHistogram, MachineMetrics, MetricsSink, Registry, Subsystem, UNHALTED};
+pub use sketch::QuantileSketch;
 pub use series::{Recorder, Reduce, Sample, TimeSeries};
 pub use stats::Summary;
 pub use table::TextTable;

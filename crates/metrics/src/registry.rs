@@ -341,6 +341,14 @@ impl Registry {
         self.machines.get(&id)
     }
 
+    /// Mutable metrics of machine `id`, creating the slot if that machine
+    /// never attached. The scenario engine posts engine-level counters
+    /// (e.g. `trace.dropped_events` when a journal ring overflowed) here
+    /// after a run, outside any instrumented scope.
+    pub fn machine_entry(&mut self, id: u32) -> &mut MachineMetrics {
+        self.machines.entry(id).or_default()
+    }
+
     /// All machines in id (creation) order.
     pub fn machines(&self) -> impl Iterator<Item = (u32, &MachineMetrics)> + '_ {
         self.machines.iter().map(|(k, v)| (*k, v))

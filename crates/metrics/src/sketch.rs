@@ -1,0 +1,327 @@
+//! A mergeable quantile sketch: the [`LogHistogram`](crate::LogHistogram)
+//! log-bucket machinery extended with sub-bucket resolution for fleet
+//! telemetry percentiles (p50/p90/p99/p999).
+//!
+//! The registry's `LogHistogram` keeps one bucket per power of two —
+//! enough for cycle-ledger sanity checks, but a factor-2 error bar is too
+//! coarse for SLO series. [`QuantileSketch`] splits every octave into 4
+//! sub-buckets keyed by the two mantissa bits below the leading one, so
+//! the relative quantile error is bounded by 25 % while the bookkeeping
+//! stays pure-integer and platform-independent.
+//!
+//! **Exact-merge contract**: every field of the sketch — bucket counts,
+//! count, sum, min, max — is additive (or a min/max), so
+//! [`QuantileSketch::merge`] over any sharding of an observation stream
+//! produces a sketch *identical* (byte for byte via
+//! [`QuantileSketch::encode`]) to ingesting the stream into one sketch.
+//! This is what makes per-epoch fleet series reducible over host groups
+//! in submission order with no dependence on the worker count; the
+//! property test in this module and the fleet determinism gates pin it.
+
+/// Sub-bucket log histogram over `u64` with deterministic quantiles.
+///
+/// Bucket layout (index → values):
+/// * `0` — exact zeros;
+/// * `1..=3` — the exact values 1, 2, 3 (octaves narrower than the
+///   sub-bucket width);
+/// * `(e << 2) | sub` for `e ≥ 2` — values with floor-log2 `e` whose two
+///   mantissa bits below the leading one equal `sub`, i.e. the interval
+///   `[(4+sub)·2^(e-2), (5+sub)·2^(e-2))`.
+///
+/// Quantiles resolve to the *lower boundary* of the selected bucket,
+/// clamped to the observed `[min, max]` — so a value stream that only
+/// contains bucket boundaries has exact quantiles at every rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: [u64; 256],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch { counts: [0; 256], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v == 0 {
+            return 0;
+        }
+        let e = 63 - v.leading_zeros() as usize;
+        if e < 2 {
+            return v as usize; // 1, 2, 3 get exact buckets
+        }
+        let sub = ((v >> (e - 2)) & 0b11) as usize;
+        (e << 2) | sub
+    }
+
+    /// The lower boundary of bucket `i` — the value quantiles resolve to.
+    fn bucket_lo(i: usize) -> u64 {
+        if i < 4 {
+            return i as u64; // 0 and the exact 1/2/3 buckets
+        }
+        let (e, sub) = (i >> 2, (i & 0b11) as u64);
+        (4 + sub) << (e - 2)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 { 0 } else { self.min }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// True when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `p`-th percentile (0–100): the lower boundary of the bucket
+    /// holding the rank-`⌈p/100·n⌉` observation, clamped to the observed
+    /// `[min, max]`. Exact whenever observations sit on bucket
+    /// boundaries; within 25 % relative error otherwise. Deterministic on
+    /// every platform — integer bookkeeping throughout.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (((p / 100.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_lo(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another sketch into this one. Exact: all fields are
+    /// additive (or min/max), so merging shards of a stream equals
+    /// ingesting the whole stream — see the module docs.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Canonical text encoding of the full sketch state (summary fields
+    /// plus every non-empty bucket). Two sketches are byte-identical here
+    /// iff they are field-identical — the merge property tests and the
+    /// fleet determinism gates compare these strings.
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "n={};sum={};min={};max={}|",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        );
+        let mut first = true;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("{i}:{c}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal in-tree SplitMix64 for the shard property test (the
+    /// kernel's rng lives above this crate in the dependency graph).
+    struct SplitMix64(u64);
+
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_value_space() {
+        // Every value maps to exactly one bucket whose [lo, next-lo)
+        // interval contains it, and bucket lows are strictly increasing
+        // over occupied indices.
+        let mut prev_lo = 0u64;
+        for i in 1..256usize {
+            if (4..8).contains(&i) {
+                continue; // indices 4..8 are structurally unused
+            }
+            let lo = QuantileSketch::bucket_lo(i);
+            assert!(lo > prev_lo || i == 1, "bucket {i} lo {lo} after {prev_lo}");
+            prev_lo = lo;
+            assert_eq!(QuantileSketch::bucket(lo), i, "lo of bucket {i} maps home");
+        }
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 1023, 1024, u64::MAX] {
+            let b = QuantileSketch::bucket(v);
+            assert!(QuantileSketch::bucket_lo(b) <= v, "lo(bucket({v})) ≤ {v}");
+        }
+    }
+
+    #[test]
+    fn empty_sketch_reads_zero() {
+        let s = QuantileSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.percentile(99.9), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_bucket_boundaries() {
+        // Feed only bucket lower boundaries: quantiles must come back
+        // exactly (the sketch resolves to bucket lows and clamps to the
+        // observed range).
+        let boundaries: Vec<u64> = (4..64usize)
+            .flat_map(|e| (0..4u64).map(move |sub| (4 + sub) << (e - 2)))
+            .collect();
+        let mut s = QuantileSketch::new();
+        for &b in &boundaries {
+            s.observe(b);
+        }
+        let n = boundaries.len();
+        for (k, &b) in boundaries.iter().enumerate() {
+            // Percentile that selects rank k+1: aim at the half-step so
+            // f64 rounding in ⌈p/100·n⌉ cannot tip the rank either way.
+            let p = 100.0 * (k as f64 + 0.5) / n as f64;
+            assert_eq!(s.percentile(p), b, "rank {} of {n}", k + 1);
+        }
+        assert_eq!(s.percentile(0.0), boundaries[0]);
+        assert_eq!(s.percentile(100.0), *boundaries.last().unwrap());
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_a_quarter() {
+        let mut s = QuantileSketch::new();
+        for v in 1..=100_000u64 {
+            s.observe(v);
+        }
+        for (p, truth) in [(50.0, 50_000.0), (90.0, 90_000.0), (99.0, 99_000.0), (99.9, 99_900.0)]
+        {
+            let got = s.percentile(p) as f64;
+            let rel = (got - truth).abs() / truth;
+            assert!(rel <= 0.25, "p{p}: {got} vs {truth} (rel {rel:.3})");
+        }
+        assert_eq!(s.mean(), 50_000);
+    }
+
+    #[test]
+    fn merge_accumulates_and_tracks_extremes() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        a.observe(10);
+        b.observe(1000);
+        b.observe(0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1010);
+    }
+
+    #[test]
+    fn merge_of_shards_is_byte_identical_to_single_ingestion() {
+        // The exact-merge proof: for 1/2/4/8 shards of the same stream
+        // (round-robin split), merging the shard sketches reproduces the
+        // single-sketch state byte for byte.
+        let mut rng = SplitMix64(0x9A17);
+        let stream: Vec<u64> = (0..10_000)
+            .map(|_| {
+                // Mix magnitudes: zeros, small exact values, and wide-range
+                // cycle-like numbers.
+                let r = rng.next();
+                match r % 8 {
+                    0 => 0,
+                    1 => r % 4,
+                    2..=5 => r % 1_000_000,
+                    _ => r,
+                }
+            })
+            .collect();
+        let mut whole = QuantileSketch::new();
+        for &v in &stream {
+            whole.observe(v);
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let mut parts: Vec<QuantileSketch> =
+                (0..shards).map(|_| QuantileSketch::new()).collect();
+            for (i, &v) in stream.iter().enumerate() {
+                parts[i % shards].observe(v);
+            }
+            let mut merged = QuantileSketch::new();
+            for p in &parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged, whole, "{shards} shards: field equality");
+            assert_eq!(merged.encode(), whole.encode(), "{shards} shards: byte equality");
+            for p in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+                assert_eq!(merged.percentile(p), whole.percentile(p), "{shards} shards, p{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_distinguishes_distinct_states() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        a.observe(8);
+        b.observe(9);
+        assert_ne!(a.encode(), b.encode(), "9 lands in a different sub-bucket than 8");
+        assert_eq!(a.encode(), a.clone().encode(), "stable");
+    }
+}

@@ -1,0 +1,191 @@
+//! `ALERTS.md` rendering — a pure, deterministic function of the
+//! evaluated telemetry document.
+
+use crate::doc::{AlertKind, ObsDoc};
+
+fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Renders the full `ALERTS.md` artifact: the evaluated rule set, then
+/// per cohort the SLO transitions, anomaly annotations, and the
+/// finalized per-epoch series they were computed from. Byte-identical
+/// for byte-identical documents.
+pub fn alerts_md(doc: &ObsDoc) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# Fleet SLO alerts\n\n");
+    out.push_str(&format!(
+        "Target: `{}` — multi-window burn-rate rules and EWMA z-score anomaly \
+         annotations evaluated over per-cohort, per-epoch telemetry series \
+         (obs schema v{}; see DESIGN.md §16). All values are simulated and \
+         deterministic; this file is a pure function of `{}.obs.json`.\n\n",
+        doc.target, doc.schema_version, doc.target
+    ));
+
+    out.push_str("## Burn-rate rules\n\n");
+    out.push_str("| # | Rule | Series | Threshold | Fast win | Slow win | Burn fast/slow | Burns |\n");
+    out.push_str("|---|------|--------|-----------|----------|----------|----------------|-------|\n");
+    for (i, r) in doc.rules.iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | `{}` | {} | {} ep | {} ep | {} / {} | {} |\n",
+            i,
+            r.name,
+            r.series,
+            f4(r.threshold),
+            r.fast_window,
+            r.slow_window,
+            f2(r.fast_burn),
+            f2(r.slow_burn),
+            r.direction
+        ));
+    }
+    out.push('\n');
+
+    let total_breaches: usize = doc
+        .cohorts
+        .iter()
+        .map(|c| c.alerts.iter().filter(|a| a.kind == AlertKind::Breach).count())
+        .sum();
+    out.push_str(&format!(
+        "**{} breach(es) across {} cohort(s).**\n\n",
+        total_breaches,
+        doc.cohorts.len()
+    ));
+
+    for c in &doc.cohorts {
+        out.push_str(&format!("## {}\n\n", c.series.cohort));
+
+        out.push_str("### SLO transitions\n\n");
+        if c.alerts.is_empty() {
+            out.push_str("No SLO breaches: every rule stayed inside its burn band.\n\n");
+        } else {
+            out.push_str("| Epoch | Rule | Event | Fast mean | Slow mean |\n");
+            out.push_str("|-------|------|-------|-----------|-----------|\n");
+            for a in &c.alerts {
+                let event = match a.kind {
+                    AlertKind::Breach => "**BREACH**",
+                    AlertKind::Recover => "recover",
+                };
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} |\n",
+                    a.epoch,
+                    a.name,
+                    event,
+                    f4(a.fast),
+                    f4(a.slow)
+                ));
+            }
+            out.push('\n');
+        }
+
+        out.push_str("### Anomalies (EWMA z-score)\n\n");
+        if c.anomalies.is_empty() {
+            out.push_str("No anomalies flagged.\n\n");
+        } else {
+            out.push_str("| Epoch | Series | Value | z |\n");
+            out.push_str("|-------|--------|-------|---|\n");
+            for an in &c.anomalies {
+                out.push_str(&format!(
+                    "| {} | `{}` | {} | {} |\n",
+                    an.epoch,
+                    an.series,
+                    f4(an.value),
+                    f2(an.z)
+                ));
+            }
+            out.push('\n');
+        }
+
+        out.push_str("### Per-epoch series\n\n");
+        out.push_str(
+            "| Epoch | Faults | p50 µs | p90 µs | p99 µs | p99.9 µs | MMU ovh | RSS headroom | FMFI |\n",
+        );
+        out.push_str(
+            "|-------|--------|--------|--------|--------|----------|---------|--------------|------|\n",
+        );
+        for p in &c.series.points {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                p.epoch,
+                p.faults,
+                f2(p.p50_us),
+                f2(p.p90_us),
+                f2(p.p99_us),
+                f2(p.p999_us),
+                f4(p.mmu_overhead),
+                f4(p.rss_headroom),
+                f4(p.fmfi)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{CohortSeries, EpochPoint};
+    use crate::slo::{default_rules, evaluate};
+
+    fn sample_doc() -> ObsDoc {
+        let series = vec![CohortSeries {
+            cohort: "HawkEye-G+throttle".into(),
+            points: (0..8)
+                .map(|e| EpochPoint {
+                    epoch: e,
+                    faults: 100 + e as u64,
+                    p50_us: 10.0,
+                    p90_us: 50.0,
+                    p99_us: if e >= 3 { 900.0 } else { 40.0 },
+                    p999_us: 1000.0,
+                    mmu_overhead: 0.01,
+                    rss_headroom: 0.5,
+                    fmfi: 0.2,
+                })
+                .collect(),
+        }];
+        evaluate("fleet_slo", series, &default_rules())
+    }
+
+    #[test]
+    fn alerts_md_is_deterministic_and_complete() {
+        let doc = sample_doc();
+        let a = alerts_md(&doc);
+        let b = alerts_md(&doc.clone());
+        assert_eq!(a, b, "pure function of the document");
+        assert!(a.contains("# Fleet SLO alerts"));
+        assert!(a.contains("## Burn-rate rules"));
+        assert!(a.contains("fault-p99-latency"));
+        assert!(a.contains("**BREACH**"), "the hot series must render a breach row:\n{a}");
+        assert!(a.contains("### Per-epoch series"));
+        assert!(a.contains("| 7 | 107 |"), "series table carries every epoch");
+    }
+
+    #[test]
+    fn quiet_documents_say_so() {
+        let series = vec![CohortSeries {
+            cohort: "idle".into(),
+            points: vec![EpochPoint {
+                epoch: 0,
+                faults: 0,
+                p50_us: 0.0,
+                p90_us: 0.0,
+                p99_us: 0.0,
+                p999_us: 0.0,
+                mmu_overhead: 0.0,
+                rss_headroom: 0.9,
+                fmfi: 0.0,
+            }],
+        }];
+        let doc = evaluate("fleet_slo", series, &default_rules());
+        let md = alerts_md(&doc);
+        assert!(md.contains("No SLO breaches"));
+        assert!(md.contains("No anomalies flagged"));
+        assert!(md.contains("**0 breach(es) across 1 cohort(s).**"));
+    }
+}

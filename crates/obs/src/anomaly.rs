@@ -1,0 +1,101 @@
+//! EWMA z-score anomaly annotations.
+//!
+//! A deliberately simple online detector: an exponentially-weighted
+//! moving mean and variance track each series, and a point whose
+//! deviation exceeds `zmax` standard deviations *before* it updates the
+//! estimate is flagged. Pure f64 arithmetic in a fixed left-to-right
+//! pass — deterministic, and cheap enough to run on every finalized
+//! series unconditionally.
+
+/// One flagged point on a cohort series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Series key name the point belongs to (e.g. `p99_fault_us`).
+    pub series: String,
+    /// Epoch of the flagged point.
+    pub epoch: u32,
+    /// The observed value.
+    pub value: f64,
+    /// Z-score against the EWMA estimate at that point.
+    pub z: f64,
+}
+
+/// Scans `(epoch, value)` points with an EWMA mean/variance tracker
+/// (smoothing factor `alpha`), flagging points with `|z| > zmax`. The
+/// first point seeds the mean; a point is scored against the estimate
+/// *excluding* itself, then folded in (so a genuine level shift flags
+/// once and the tracker adapts).
+pub fn ewma_anomalies(
+    series: &str,
+    points: &[(u32, f64)],
+    alpha: f64,
+    zmax: f64,
+) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    let mut mean = 0.0f64;
+    let mut var = 0.0f64;
+    let mut seeded = false;
+    for &(epoch, x) in points {
+        if !seeded {
+            mean = x;
+            seeded = true;
+            continue;
+        }
+        let sd = var.sqrt();
+        if sd > 0.0 {
+            let z = (x - mean) / sd;
+            if z.abs() > zmax {
+                out.push(Anomaly { series: series.to_string(), epoch, value: x, z });
+            }
+        }
+        let d = x - mean;
+        mean += alpha * d;
+        var = (1.0 - alpha) * (var + alpha * d * d);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_spike_on_a_noisy_baseline_is_flagged_once() {
+        // Small deterministic jitter establishes a nonzero variance, then
+        // one 50x spike lands far outside the band.
+        let mut pts: Vec<(u32, f64)> = (0..20)
+            .map(|e| (e, 100.0 + if e % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        pts.push((20, 5000.0));
+        pts.push((21, 101.0));
+        let flagged = ewma_anomalies("p99_fault_us", &pts, 0.3, 3.0);
+        assert_eq!(flagged.len(), 1, "{flagged:?}");
+        assert_eq!(flagged[0].epoch, 20);
+        assert!(flagged[0].z > 3.0);
+    }
+
+    #[test]
+    fn a_flat_series_never_flags() {
+        let pts: Vec<(u32, f64)> = (0..10).map(|e| (e, 0.25)).collect();
+        assert!(ewma_anomalies("fmfi", &pts, 0.3, 3.0).is_empty());
+    }
+
+    #[test]
+    fn the_detector_adapts_to_a_level_shift() {
+        // Jittered baseline, level shift at epoch 10, jitter continues at
+        // the new level: only the shift epoch itself flags.
+        let pts: Vec<(u32, f64)> = (0..20)
+            .map(|e| {
+                let base = if e >= 10 { 1000.0 } else { 10.0 };
+                (e, base + if e % 2 == 0 { 0.5 } else { -0.5 })
+            })
+            .collect();
+        let flagged = ewma_anomalies("p99_fault_us", &pts, 0.3, 3.0);
+        assert!(!flagged.is_empty(), "the shift must flag");
+        assert_eq!(flagged[0].epoch, 10);
+        assert!(
+            flagged.iter().all(|a| (10..=12).contains(&a.epoch)),
+            "tracker re-converges quickly: {flagged:?}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The evaluated telemetry document: everything `ALERTS.md` and the
+//! trace events are derived from, and exactly what is serialized to
+//! `<target>.obs.json`.
+//!
+//! The document is a *pure value*: evaluation (`slo::evaluate`) computes
+//! it from finalized series + rules, serialization lives in
+//! `hawkeye-bench` (writer) and `hawkeye-analyze` (parser), and the
+//! renderers here are deterministic functions of it. Bump
+//! [`OBS_SCHEMA_VERSION`] whenever a field is added, removed, or changes
+//! meaning.
+
+use crate::anomaly::Anomaly;
+use crate::series::CohortSeries;
+
+/// Schema version stamped into every `<target>.obs.json`.
+pub const OBS_SCHEMA_VERSION: u64 = 1;
+
+/// Whether an [`Alert`] marks the start or the end of a breach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Both burn windows crossed the rule's threshold × burn factor.
+    Breach,
+    /// A previously-breaching rule moved back inside its band.
+    Recover,
+}
+
+impl AlertKind {
+    /// Stable lower-case tag for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::Breach => "breach",
+            AlertKind::Recover => "recover",
+        }
+    }
+
+    /// Inverse of [`AlertKind::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "breach" => Some(AlertKind::Breach),
+            "recover" => Some(AlertKind::Recover),
+            _ => None,
+        }
+    }
+}
+
+/// One edge-triggered SLO transition on a cohort's series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Index of the rule in [`ObsDoc::rules`].
+    pub rule: u64,
+    /// Rule name (denormalized for readable artifacts).
+    pub name: String,
+    /// Epoch at which the transition was detected.
+    pub epoch: u32,
+    /// Breach or recover.
+    pub kind: AlertKind,
+    /// Fast-window mean at the transition epoch.
+    pub fast: f64,
+    /// Slow-window mean at the transition epoch.
+    pub slow: f64,
+}
+
+/// A burn-rate rule as recorded in the document (the serialization form
+/// of `slo::BurnRule`, so ALERTS.md can be re-rendered from the JSON
+/// alone).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDoc {
+    /// Rule name.
+    pub name: String,
+    /// Series key name (`slo::SeriesKey::name`).
+    pub series: String,
+    /// SLO threshold on the series value.
+    pub threshold: f64,
+    /// Fast window length, epochs.
+    pub fast_window: u64,
+    /// Slow window length, epochs (clamped to run length at evaluation).
+    pub slow_window: u64,
+    /// Burn factor applied to the threshold for the fast window.
+    pub fast_burn: f64,
+    /// Burn factor applied to the threshold for the slow window.
+    pub slow_burn: f64,
+    /// `"above"` or `"below"` — which side of the threshold burns.
+    pub direction: String,
+}
+
+/// One cohort's evaluated telemetry: series plus alerts plus anomalies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortObs {
+    /// The finalized per-epoch series.
+    pub series: CohortSeries,
+    /// Edge-triggered SLO transitions, sorted by (epoch, rule).
+    pub alerts: Vec<Alert>,
+    /// EWMA z-score annotations, in series order then epoch order.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// The full evaluated telemetry document for one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsDoc {
+    /// Suite target the document describes (e.g. `fleet_slo`).
+    pub target: String,
+    /// Schema version ([`OBS_SCHEMA_VERSION`] at write time).
+    pub schema_version: u64,
+    /// The rule set the alerts were evaluated against.
+    pub rules: Vec<RuleDoc>,
+    /// One entry per cohort, in fleet cohort order.
+    pub cohorts: Vec<CohortObs>,
+}

@@ -1,0 +1,202 @@
+//! Mergeable per-cohort, per-epoch telemetry accumulators and their
+//! finalized time-series points.
+//!
+//! Accumulators are the *reduction-safe* representation: every field is
+//! either additive (sketch buckets, counters, f64 sums folded in fixed
+//! group order) or a min/max, so merging per-group shards in submission
+//! order reproduces single-stream ingestion exactly — the property that
+//! keeps fleet artifacts byte-identical at any worker count. Ratios and
+//! quantiles are only computed at [`finalize`] time, from fully-merged
+//! state.
+
+use hawkeye_metrics::{Cycles, QuantileSketch};
+
+/// One epoch's worth of raw, mergeable telemetry for (part of) a cohort.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochAcc {
+    /// Fault service latencies (simulated cycles) observed in this
+    /// epoch's trace windows, across all hosts folded in so far.
+    pub fault_sketch: QuantileSketch,
+    /// Page-walk CPU cycles charged during this epoch (delta of the
+    /// cumulative registry counter).
+    pub walk_cycles: u64,
+    /// Unhalted CPU cycles elapsed during this epoch (delta).
+    pub unhalted_cycles: u64,
+    /// Sum of per-host utilization samples (RSS / host memory).
+    pub util_sum: f64,
+    /// Sum of per-host free-memory-fragmentation-index samples.
+    pub fmfi_sum: f64,
+    /// Number of host samples folded into the sums above.
+    pub hosts: u64,
+}
+
+impl EpochAcc {
+    /// Folds another shard of the same epoch into this one. Exact — see
+    /// the module docs.
+    pub fn merge(&mut self, other: &EpochAcc) {
+        self.fault_sketch.merge(&other.fault_sketch);
+        self.walk_cycles += other.walk_cycles;
+        self.unhalted_cycles += other.unhalted_cycles;
+        self.util_sum += other.util_sum;
+        self.fmfi_sum += other.fmfi_sum;
+        self.hosts += other.hosts;
+    }
+}
+
+/// A cohort's accumulator: one [`EpochAcc`] per fleet epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CohortAcc {
+    /// Per-epoch shards, index = epoch.
+    pub epochs: Vec<EpochAcc>,
+}
+
+impl CohortAcc {
+    /// An accumulator pre-sized to `epochs` empty slots.
+    pub fn with_epochs(epochs: usize) -> Self {
+        CohortAcc { epochs: vec![EpochAcc::default(); epochs] }
+    }
+
+    /// Mutable slot for `epoch`, growing the vector if needed.
+    pub fn epoch_mut(&mut self, epoch: usize) -> &mut EpochAcc {
+        if epoch >= self.epochs.len() {
+            self.epochs.resize(epoch + 1, EpochAcc::default());
+        }
+        &mut self.epochs[epoch]
+    }
+
+    /// Folds another cohort shard in, epoch by epoch. Exact.
+    pub fn merge(&mut self, other: &CohortAcc) {
+        if other.epochs.len() > self.epochs.len() {
+            self.epochs.resize(other.epochs.len(), EpochAcc::default());
+        }
+        for (slot, shard) in self.epochs.iter_mut().zip(other.epochs.iter()) {
+            slot.merge(shard);
+        }
+    }
+}
+
+/// One finalized time-series point: ratios and quantiles computed from a
+/// fully-merged [`EpochAcc`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochPoint {
+    /// Fleet epoch index (0-based).
+    pub epoch: u32,
+    /// Faults observed in the epoch's journal windows.
+    pub faults: u64,
+    /// Median fault service latency, simulated µs.
+    pub p50_us: f64,
+    /// 90th-percentile fault service latency, simulated µs.
+    pub p90_us: f64,
+    /// 99th-percentile fault service latency, simulated µs.
+    pub p99_us: f64,
+    /// 99.9th-percentile fault service latency, simulated µs.
+    pub p999_us: f64,
+    /// Page-walk cycles / unhalted cycles for the epoch (0 when idle).
+    pub mmu_overhead: f64,
+    /// Mean `1 - utilization` across host samples — how much RSS slack
+    /// the cohort has before ballooning/migration kicks in.
+    pub rss_headroom: f64,
+    /// Mean free-memory fragmentation index across host samples.
+    pub fmfi: f64,
+}
+
+/// A cohort's finalized per-epoch series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortSeries {
+    /// Cohort label (policy + hook, as reported by the fleet).
+    pub cohort: String,
+    /// One point per epoch, in epoch order.
+    pub points: Vec<EpochPoint>,
+}
+
+/// Finalizes a fully-merged accumulator into its per-epoch series.
+pub fn finalize(cohort: &str, acc: &CohortAcc) -> CohortSeries {
+    let points = acc
+        .epochs
+        .iter()
+        .enumerate()
+        .map(|(e, a)| {
+            let us = |p: f64| Cycles::new(a.fault_sketch.percentile(p)).as_micros();
+            let hosts = a.hosts as f64;
+            EpochPoint {
+                epoch: e as u32,
+                faults: a.fault_sketch.count(),
+                p50_us: us(50.0),
+                p90_us: us(90.0),
+                p99_us: us(99.0),
+                p999_us: us(99.9),
+                mmu_overhead: if a.unhalted_cycles == 0 {
+                    0.0
+                } else {
+                    a.walk_cycles as f64 / a.unhalted_cycles as f64
+                },
+                rss_headroom: if a.hosts == 0 { 0.0 } else { 1.0 - a.util_sum / hosts },
+                fmfi: if a.hosts == 0 { 0.0 } else { a.fmfi_sum / hosts },
+            }
+        })
+        .collect();
+    CohortSeries { cohort: cohort.to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc_with(vals: &[u64], walk: u64, unhalted: u64, util: f64, fmfi: f64) -> EpochAcc {
+        let mut a = EpochAcc {
+            walk_cycles: walk,
+            unhalted_cycles: unhalted,
+            util_sum: util,
+            fmfi_sum: fmfi,
+            hosts: 1,
+            ..EpochAcc::default()
+        };
+        for &v in vals {
+            a.fault_sketch.observe(v);
+        }
+        a
+    }
+
+    #[test]
+    fn cohort_merge_is_order_of_epochs_exact() {
+        let mut a = CohortAcc::with_epochs(2);
+        *a.epoch_mut(0) = acc_with(&[100, 200], 10, 100, 0.5, 0.2);
+        let mut b = CohortAcc::with_epochs(3);
+        *b.epoch_mut(0) = acc_with(&[300], 5, 50, 0.7, 0.4);
+        *b.epoch_mut(2) = acc_with(&[400], 1, 10, 0.9, 0.6);
+        a.merge(&b);
+        assert_eq!(a.epochs.len(), 3, "merge grows to the longer shard");
+        assert_eq!(a.epochs[0].fault_sketch.count(), 3);
+        assert_eq!(a.epochs[0].walk_cycles, 15);
+        assert_eq!(a.epochs[0].hosts, 2);
+        assert_eq!(a.epochs[1], EpochAcc::default());
+        assert_eq!(a.epochs[2].fault_sketch.count(), 1);
+    }
+
+    #[test]
+    fn finalize_computes_ratios_from_merged_state() {
+        let mut acc = CohortAcc::with_epochs(1);
+        *acc.epoch_mut(0) = acc_with(&[2300, 2300], 25, 100, 0.75, 0.3);
+        let s = finalize("test", &acc);
+        assert_eq!(s.cohort, "test");
+        let p = &s.points[0];
+        assert_eq!(p.faults, 2);
+        assert!((p.mmu_overhead - 0.25).abs() < 1e-12);
+        assert!((p.rss_headroom - 0.25).abs() < 1e-12);
+        assert!((p.fmfi - 0.3).abs() < 1e-12);
+        // 2300 cycles at 2.3 GHz is 1 µs; the sketch resolves to the
+        // bucket lower bound clamped to [min, max] = 2300 exactly here.
+        assert!((p.p50_us - 1.0).abs() < 1e-9, "p50 {} µs", p.p50_us);
+    }
+
+    #[test]
+    fn finalize_of_empty_epoch_is_all_zero() {
+        let acc = CohortAcc::with_epochs(1);
+        let p = &finalize("idle", &acc).points[0];
+        assert_eq!(p.faults, 0);
+        assert_eq!(p.p999_us, 0.0);
+        assert_eq!(p.mmu_overhead, 0.0);
+        assert_eq!(p.rss_headroom, 0.0);
+        assert_eq!(p.fmfi, 0.0);
+    }
+}

@@ -1,0 +1,398 @@
+//! The SLO engine: declarative multi-window burn-rate rules evaluated
+//! over finalized cohort series.
+//!
+//! # Rule grammar
+//!
+//! A [`BurnRule`] reads one series ([`SeriesKey`]) and fires when **both**
+//! of two trailing epoch-window means cross `threshold × burn`:
+//!
+//! * the **fast** window (e.g. 5 epochs) catches sharp regressions
+//!   quickly and recovers quickly;
+//! * the **slow** window (e.g. 60 epochs; clamped to the history
+//!   actually available) confirms the burn is sustained, suppressing
+//!   one-epoch blips.
+//!
+//! [`Direction::Above`] rules burn when the means exceed the band
+//! (latency, MMU overhead, FMFI); [`Direction::Below`] rules burn when
+//! they fall under it (RSS headroom). Transitions are edge-triggered:
+//! one [`Alert`] at the epoch the rule starts breaching, one at the
+//! epoch it recovers — mirrored as `slo_breach`/`slo_recover` trace
+//! events by [`slo_trace_records`].
+//!
+//! Evaluation is a pure function of (series, rules): no clocks, no
+//! randomness, fixed iteration order — deterministic byte-for-byte.
+
+use crate::anomaly::ewma_anomalies;
+use crate::doc::{Alert, AlertKind, CohortObs, ObsDoc, RuleDoc, OBS_SCHEMA_VERSION};
+use crate::series::{CohortSeries, EpochPoint};
+use hawkeye_metrics::Cycles;
+use hawkeye_trace::{TraceEvent, TraceRecord};
+
+/// Which finalized series a rule reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKey {
+    /// 99th-percentile fault latency, simulated µs.
+    P99FaultUs,
+    /// 99.9th-percentile fault latency, simulated µs.
+    P999FaultUs,
+    /// Page-walk cycles / unhalted cycles.
+    MmuOverhead,
+    /// Mean `1 - utilization` across hosts.
+    RssHeadroom,
+    /// Mean free-memory fragmentation index across hosts.
+    Fmfi,
+}
+
+impl SeriesKey {
+    /// Stable lower-case tag for serialization and rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            SeriesKey::P99FaultUs => "p99_fault_us",
+            SeriesKey::P999FaultUs => "p999_fault_us",
+            SeriesKey::MmuOverhead => "mmu_overhead",
+            SeriesKey::RssHeadroom => "rss_headroom",
+            SeriesKey::Fmfi => "fmfi",
+        }
+    }
+
+    /// Extracts this series' value from a point.
+    pub fn value(self, p: &EpochPoint) -> f64 {
+        match self {
+            SeriesKey::P99FaultUs => p.p99_us,
+            SeriesKey::P999FaultUs => p.p999_us,
+            SeriesKey::MmuOverhead => p.mmu_overhead,
+            SeriesKey::RssHeadroom => p.rss_headroom,
+            SeriesKey::Fmfi => p.fmfi,
+        }
+    }
+}
+
+/// Which side of the threshold counts as burning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Burn when the window means exceed `threshold × burn`.
+    Above,
+    /// Burn when the window means fall below `threshold × burn`.
+    Below,
+}
+
+impl Direction {
+    /// Stable lower-case tag for serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Above => "above",
+            Direction::Below => "below",
+        }
+    }
+}
+
+/// One declarative burn-rate rule. See the module docs for the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRule {
+    /// Rule name, rendered in ALERTS.md and trace-event rule indices.
+    pub name: &'static str,
+    /// Series the rule reads.
+    pub key: SeriesKey,
+    /// SLO threshold on the series value.
+    pub threshold: f64,
+    /// Fast window, epochs (≥ 1).
+    pub fast_window: usize,
+    /// Slow window, epochs (≥ fast; clamped to available history).
+    pub slow_window: usize,
+    /// Burn factor for the fast window.
+    pub fast_burn: f64,
+    /// Burn factor for the slow window.
+    pub slow_burn: f64,
+    /// Which side of the threshold burns.
+    pub direction: Direction,
+}
+
+impl BurnRule {
+    /// Trailing-window means ending at epoch index `e` and whether the
+    /// rule is burning there.
+    fn probe(&self, values: &[f64], e: usize) -> (f64, f64, bool) {
+        let mean = |w: usize| {
+            let w = w.max(1);
+            let lo = (e + 1).saturating_sub(w);
+            let n = (e + 1 - lo) as f64;
+            values[lo..=e].iter().sum::<f64>() / n
+        };
+        let (fast, slow) = (mean(self.fast_window), mean(self.slow_window));
+        let hit = match self.direction {
+            Direction::Above => {
+                fast > self.threshold * self.fast_burn && slow > self.threshold * self.slow_burn
+            }
+            Direction::Below => {
+                fast < self.threshold * self.fast_burn && slow < self.threshold * self.slow_burn
+            }
+        };
+        (fast, slow, hit)
+    }
+
+    /// The serialization form of this rule.
+    pub fn doc(&self) -> RuleDoc {
+        RuleDoc {
+            name: self.name.to_string(),
+            series: self.key.name().to_string(),
+            threshold: self.threshold,
+            fast_window: self.fast_window as u64,
+            slow_window: self.slow_window as u64,
+            fast_burn: self.fast_burn,
+            slow_burn: self.slow_burn,
+            direction: self.direction.name().to_string(),
+        }
+    }
+}
+
+/// The default fleet rule set evaluated by the `fleet_slo` target.
+/// Windows are sized for the standard 8-epoch run; the grammar itself
+/// supports any window pair (e.g. 5-epoch fast / 60-epoch slow for long
+/// soaks — the slow window clamps to available history).
+pub fn default_rules() -> Vec<BurnRule> {
+    vec![
+        BurnRule {
+            name: "fault-p99-latency",
+            key: SeriesKey::P99FaultUs,
+            threshold: 500.0,
+            fast_window: 2,
+            slow_window: 6,
+            fast_burn: 1.0,
+            slow_burn: 0.8,
+            direction: Direction::Above,
+        },
+        BurnRule {
+            name: "mmu-overhead",
+            key: SeriesKey::MmuOverhead,
+            threshold: 0.02,
+            fast_window: 2,
+            slow_window: 6,
+            fast_burn: 1.0,
+            slow_burn: 0.75,
+            direction: Direction::Above,
+        },
+        BurnRule {
+            name: "rss-headroom",
+            key: SeriesKey::RssHeadroom,
+            threshold: 0.25,
+            fast_window: 2,
+            slow_window: 6,
+            fast_burn: 1.0,
+            slow_burn: 1.2,
+            direction: Direction::Below,
+        },
+        BurnRule {
+            name: "fragmentation",
+            key: SeriesKey::Fmfi,
+            threshold: 0.6,
+            fast_window: 2,
+            slow_window: 6,
+            fast_burn: 1.0,
+            slow_burn: 0.9,
+            direction: Direction::Above,
+        },
+    ]
+}
+
+/// Evaluates one cohort's series against a rule set: edge-triggered
+/// alerts sorted by (epoch, rule index, recover-before-breach).
+pub fn evaluate_rules(points: &[EpochPoint], rules: &[BurnRule]) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for (ri, rule) in rules.iter().enumerate() {
+        let values: Vec<f64> = points.iter().map(|p| rule.key.value(p)).collect();
+        let mut active = false;
+        for (e, point) in points.iter().enumerate() {
+            let (fast, slow, hit) = rule.probe(&values, e);
+            if hit != active {
+                active = hit;
+                alerts.push(Alert {
+                    rule: ri as u64,
+                    name: rule.name.to_string(),
+                    epoch: point.epoch,
+                    kind: if hit { AlertKind::Breach } else { AlertKind::Recover },
+                    fast,
+                    slow,
+                });
+            }
+        }
+    }
+    alerts.sort_by_key(|a| (a.epoch, a.rule, a.kind == AlertKind::Breach));
+    alerts
+}
+
+/// EWMA smoothing factor for anomaly annotations.
+const ANOMALY_ALPHA: f64 = 0.3;
+/// |z| above which a point is flagged.
+const ANOMALY_ZMAX: f64 = 3.0;
+
+/// Evaluates finalized cohort series against a rule set, producing the
+/// full telemetry document (alerts + EWMA z-score anomaly annotations on
+/// the fault-latency and FMFI series).
+pub fn evaluate(target: &str, series: Vec<CohortSeries>, rules: &[BurnRule]) -> ObsDoc {
+    let cohorts = series
+        .into_iter()
+        .map(|s| {
+            let alerts = evaluate_rules(&s.points, rules);
+            let mut anomalies = Vec::new();
+            for key in [SeriesKey::P99FaultUs, SeriesKey::Fmfi] {
+                let values: Vec<(u32, f64)> =
+                    s.points.iter().map(|p| (p.epoch, key.value(p))).collect();
+                anomalies.extend(ewma_anomalies(key.name(), &values, ANOMALY_ALPHA, ANOMALY_ZMAX));
+            }
+            CohortObs { series: s, alerts, anomalies }
+        })
+        .collect();
+    ObsDoc {
+        target: target.to_string(),
+        schema_version: OBS_SCHEMA_VERSION,
+        rules: rules.iter().map(BurnRule::doc).collect(),
+        cohorts,
+    }
+}
+
+/// Renders a document's alerts as typed trace records for the synthetic
+/// `obs/slo` journal: one `slo_breach`/`slo_recover` per transition,
+/// stamped at the simulated end of the transition epoch, `machine` =
+/// cohort index, pid 0 (no process is responsible for an SLO).
+pub fn slo_trace_records(doc: &ObsDoc, epoch_ms: u64) -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    for (ci, cohort) in doc.cohorts.iter().enumerate() {
+        for a in &cohort.alerts {
+            let event = match a.kind {
+                AlertKind::Breach => TraceEvent::SloBreach {
+                    rule: a.rule,
+                    epoch: a.epoch as u64,
+                    cohort: ci as u64,
+                },
+                AlertKind::Recover => TraceEvent::SloRecover {
+                    rule: a.rule,
+                    epoch: a.epoch as u64,
+                    cohort: ci as u64,
+                },
+            };
+            records.push(TraceRecord {
+                at: Cycles::from_millis(epoch_ms * (a.epoch as u64 + 1)),
+                pid: 0,
+                machine: ci as u32,
+                event,
+            });
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_point(epoch: u32, p99: f64, headroom: f64) -> EpochPoint {
+        EpochPoint {
+            epoch,
+            faults: 10,
+            p50_us: p99 / 2.0,
+            p90_us: p99 * 0.9,
+            p99_us: p99,
+            p999_us: p99 * 1.1,
+            mmu_overhead: 0.01,
+            rss_headroom: headroom,
+            fmfi: 0.1,
+        }
+    }
+
+    fn latency_rule(fast: usize, slow: usize) -> BurnRule {
+        BurnRule {
+            name: "lat",
+            key: SeriesKey::P99FaultUs,
+            threshold: 100.0,
+            fast_window: fast,
+            slow_window: slow,
+            fast_burn: 1.0,
+            slow_burn: 0.8,
+            direction: Direction::Above,
+        }
+    }
+
+    #[test]
+    fn burn_rule_fires_on_sustained_burn_and_recovers() {
+        // Epochs 0-1 healthy, 2-5 hot, 6-7 healthy again.
+        let points: Vec<EpochPoint> = (0..8)
+            .map(|e| flat_point(e, if (2..6).contains(&e) { 300.0 } else { 50.0 }, 0.5))
+            .collect();
+        let alerts = evaluate_rules(&points, &[latency_rule(2, 6)]);
+        let kinds: Vec<(u32, AlertKind)> = alerts.iter().map(|a| (a.epoch, a.kind)).collect();
+        // Epoch 2: fast mean (50+300)/2 = 175 > 100 and slow mean
+        // (50,50,300)/3 ≈ 133 > 80 — breach. Epoch 7: fast mean back to
+        // 50 — recover. Edge-triggered: exactly one of each.
+        assert_eq!(kinds, vec![(2, AlertKind::Breach), (7, AlertKind::Recover)]);
+    }
+
+    #[test]
+    fn one_epoch_blip_is_suppressed_by_the_fast_window() {
+        let points: Vec<EpochPoint> =
+            (0..8).map(|e| flat_point(e, if e == 4 { 180.0 } else { 50.0 }, 0.5)).collect();
+        // Fast mean over 2 epochs at the blip: (50+180)/2 = 115 > 100, but
+        // the slow (trailing) mean stays below 80 — no alert.
+        let alerts = evaluate_rules(&points, &[latency_rule(2, 6)]);
+        assert!(alerts.is_empty(), "blip must not page: {alerts:?}");
+    }
+
+    #[test]
+    fn below_rules_burn_on_headroom_exhaustion() {
+        let rule = BurnRule {
+            name: "headroom",
+            key: SeriesKey::RssHeadroom,
+            threshold: 0.25,
+            fast_window: 2,
+            slow_window: 6,
+            fast_burn: 1.0,
+            slow_burn: 1.2,
+            direction: Direction::Below,
+        };
+        // Headroom collapses at epoch 3; the slow window (trailing 6,
+        // slow threshold 0.25 × 1.2 = 0.30) needs the healthy epochs to
+        // age out before the breach confirms at epoch 7.
+        let points: Vec<EpochPoint> =
+            (0..10).map(|e| flat_point(e, 50.0, if e >= 3 { 0.05 } else { 0.8 })).collect();
+        let alerts = evaluate_rules(&points, &[rule]);
+        assert_eq!(
+            alerts.iter().map(|a| (a.epoch, a.kind)).collect::<Vec<_>>(),
+            vec![(7, AlertKind::Breach)],
+            "exhausted headroom must breach once sustained"
+        );
+    }
+
+    #[test]
+    fn windows_clamp_to_available_history() {
+        // A 60-epoch slow window over a 3-epoch run must not panic and
+        // must use all available history.
+        let points: Vec<EpochPoint> = (0..3).map(|e| flat_point(e, 300.0, 0.5)).collect();
+        let alerts = evaluate_rules(&points, &[latency_rule(5, 60)]);
+        assert!(
+            alerts.iter().any(|a| a.kind == AlertKind::Breach),
+            "always-hot series breaches even on short history"
+        );
+    }
+
+    #[test]
+    fn evaluate_builds_a_full_document_with_trace_records() {
+        let series = vec![CohortSeries {
+            cohort: "c0".into(),
+            points: (0..8)
+                .map(|e| flat_point(e, if e >= 2 { 900.0 } else { 10.0 }, 0.5))
+                .collect(),
+        }];
+        let doc = evaluate("fleet_slo", series, &default_rules());
+        assert_eq!(doc.schema_version, OBS_SCHEMA_VERSION);
+        assert_eq!(doc.rules.len(), 4);
+        assert_eq!(doc.cohorts.len(), 1);
+        assert!(
+            doc.cohorts[0].alerts.iter().any(|a| a.name == "fault-p99-latency"),
+            "latency rule fires on the hot series"
+        );
+        let records = slo_trace_records(&doc, 20);
+        assert_eq!(records.len(), doc.cohorts[0].alerts.len());
+        assert!(records
+            .iter()
+            .all(|r| matches!(r.event, TraceEvent::SloBreach { .. } | TraceEvent::SloRecover { .. })));
+        assert!(records[0].at.get() > 0, "stamped at simulated epoch end");
+    }
+}

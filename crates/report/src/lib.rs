@@ -137,6 +137,10 @@ pub struct Section {
     pub figures: Vec<Figure>,
     /// Free-text caveats (known divergences, scaling notes).
     pub notes: Vec<String>,
+    /// Loud data-quality warnings (e.g. trace ring-buffer drops) rendered
+    /// as blockquoted ⚠️ rows right under the section heading — these mean
+    /// the numbers below are computed from incomplete data.
+    pub warnings: Vec<String>,
 }
 
 impl Section {
@@ -563,6 +567,9 @@ pub fn render(sections: &[Section], slack: f64) -> String {
         if !s.title.is_empty() {
             out.push_str(&format!("*{}*\n\n", s.title));
         }
+        for w in &s.warnings {
+            out.push_str(&format!("> ⚠️ **WARNING:** {w}\n\n"));
+        }
         if !s.checks.is_empty() {
             out.push_str(
                 "| Metric | Paper | Repro | Δ vs paper | Band | Status |\n\
@@ -635,6 +642,112 @@ pub fn failures(sections: &[Section], slack: f64) -> Vec<String> {
         }
     }
     out
+}
+
+// ---- perf-trajectory ledger ---------------------------------------------
+
+use hawkeye_bench::Json;
+use hawkeye_obs::{fnv1a, LedgerRun, LedgerTarget, LEDGER_SCHEMA_VERSION};
+
+/// Builds one perf-trajectory ledger entry ([`LedgerRun`]) from this
+/// run's wall records and evaluated sections. Gated fields (quanta,
+/// check tally) are deterministic; the wall-clock total and its FNV-1a
+/// digest are quarantined advisory columns, mirroring the
+/// `.wallclock.json` sidecar policy.
+pub fn ledger_entry(run: u64, walls: &[TargetWall], sections: &[Section], slack: f64) -> LedgerRun {
+    let (mut passed, mut total) = (0u64, 0u64);
+    for s in sections {
+        let (p, t) = s.tally(slack);
+        passed += p as u64;
+        total += t as u64;
+    }
+    let targets = walls
+        .iter()
+        .map(|w| LedgerTarget {
+            name: w.name.to_string(),
+            quanta_total: w.quanta_total,
+            quanta_skipped: w.quanta_skipped,
+        })
+        .collect();
+    let wall_total_secs = walls.iter().map(|w| w.total_secs).sum();
+    let canonical: String =
+        walls.iter().map(|w| format!("{}:{:.6};", w.name, w.total_secs)).collect();
+    LedgerRun {
+        schema_version: LEDGER_SCHEMA_VERSION,
+        run,
+        checks_passed: passed,
+        checks_total: total,
+        targets,
+        wall_total_secs,
+        wall_digest: format!("{:016x}", fnv1a(canonical.as_bytes())),
+    }
+}
+
+/// Serializes a ledger entry with the key order
+/// `hawkeye_analyze::obs::parse_ledger` mirrors.
+pub fn ledger_json(r: &LedgerRun) -> Json {
+    let targets = r
+        .targets
+        .iter()
+        .map(|t| {
+            Json::obj(vec![
+                ("name", Json::str(t.name.clone())),
+                ("quanta_total", Json::int(t.quanta_total)),
+                ("quanta_skipped", Json::int(t.quanta_skipped)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema_version", Json::int(r.schema_version)),
+        ("run", Json::int(r.run)),
+        ("checks_passed", Json::int(r.checks_passed)),
+        ("checks_total", Json::int(r.checks_total)),
+        ("targets", Json::Arr(targets)),
+        ("wall_total_secs", Json::num(r.wall_total_secs)),
+        ("wall_digest", Json::str(r.wall_digest.clone())),
+    ])
+}
+
+/// The run number embedded in a `BENCH_<n>.json` file name, if it is one.
+fn ledger_run_number(file_name: &str) -> Option<u64> {
+    file_name.strip_prefix("BENCH_")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// The next free run number in a ledger directory: one past the highest
+/// existing `BENCH_<n>.json` (1 on an empty or absent directory).
+pub fn next_run_number(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 1 };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| ledger_run_number(&e.file_name().to_string_lossy()))
+        .max()
+        .map_or(1, |n| n + 1)
+}
+
+/// Loads every `BENCH_<n>.json` in a ledger directory, sorted by run
+/// number. A malformed entry is an error (the gate must not silently
+/// skip a corrupt baseline); an absent directory is an empty ledger.
+pub fn load_ledger(dir: &Path) -> Result<Vec<LedgerRun>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut runs = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if ledger_run_number(&name).is_none() {
+            continue;
+        }
+        let path = entry.path();
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let run = hawkeye_analyze::obs::parse_ledger(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        runs.push(run);
+    }
+    runs.sort_by_key(|r| r.run);
+    Ok(runs)
 }
 
 /// The default output directory: `<cargo target dir>/report`.
@@ -758,6 +871,7 @@ mod tests {
                 ],
                 figures: Vec::new(),
                 notes: Vec::new(),
+                warnings: Vec::new(),
             },
             Section {
                 target: "b",
@@ -766,12 +880,95 @@ mod tests {
                 checks: vec![Check::new("fine", None, Some(2.0), Band::exact(2.0))],
                 figures: Vec::new(),
                 notes: Vec::new(),
+                warnings: Vec::new(),
             },
         ];
         let missing = missing_metrics(&sections);
         assert_eq!(missing.len(), 1, "only the broken target is listed");
         assert!(missing[0].starts_with("a: 2 expected metric(s)"), "{}", missing[0]);
         assert!(missing[0].contains("gone (×); also gone"), "{}", missing[0]);
+    }
+
+    #[test]
+    fn ledger_entry_round_trips_through_writer_and_parser() {
+        let walls = vec![
+            TargetWall {
+                name: "a",
+                total_secs: 1.5,
+                phases: Vec::new(),
+                quanta_total: 1000,
+                quanta_skipped: 800,
+                cores: 0,
+                core_busy: Vec::new(),
+                corrupt: false,
+            },
+            TargetWall {
+                name: "b",
+                total_secs: 2.5,
+                phases: Vec::new(),
+                quanta_total: 5000,
+                quanta_skipped: 4500,
+                cores: 0,
+                core_busy: Vec::new(),
+                corrupt: false,
+            },
+        ];
+        let sections = vec![Section {
+            target: "a",
+            paper_ref: "Table 1",
+            title: String::new(),
+            checks: vec![
+                Check::new("ok", None, Some(1.0), Band::exact(1.0)),
+                Check::new("bad", None, Some(9.0), Band::exact(1.0)),
+            ],
+            figures: Vec::new(),
+            notes: Vec::new(),
+            warnings: Vec::new(),
+        }];
+        let entry = ledger_entry(9, &walls, &sections, 0.0);
+        assert_eq!(entry.run, 9);
+        assert_eq!((entry.checks_passed, entry.checks_total), (1, 2));
+        assert_eq!(entry.quanta_total(), 6000);
+        assert_eq!(entry.wall_total_secs, 4.0);
+        assert_eq!(entry.wall_digest.len(), 16, "fnv1a hex");
+        let text = ledger_json(&entry).to_string();
+        let back = hawkeye_analyze::obs::parse_ledger(&text).expect("parse back");
+        assert_eq!(back, entry, "writer and parser are exact inverses");
+    }
+
+    #[test]
+    fn next_run_number_scans_the_ledger_dir() {
+        let dir = scratch("ledger");
+        assert_eq!(next_run_number(&dir.join("absent")), 1);
+        std::fs::write(dir.join("BENCH_3.json"), "{}").expect("write");
+        std::fs::write(dir.join("BENCH_11.json"), "{}").expect("write");
+        std::fs::write(dir.join("BENCH_x.json"), "{}").expect("write"); // ignored
+        assert_eq!(next_run_number(&dir), 12);
+    }
+
+    #[test]
+    fn load_ledger_sorts_by_run_and_rejects_corruption() {
+        let dir = scratch("ledger-load");
+        let entry = |n: u64| {
+            let r = LedgerRun {
+                schema_version: LEDGER_SCHEMA_VERSION,
+                run: n,
+                checks_passed: 1,
+                checks_total: 1,
+                targets: Vec::new(),
+                wall_total_secs: 0.0,
+                wall_digest: "0".repeat(16),
+            };
+            ledger_json(&r).to_string()
+        };
+        std::fs::write(dir.join("BENCH_10.json"), entry(10)).expect("write");
+        std::fs::write(dir.join("BENCH_2.json"), entry(2)).expect("write");
+        std::fs::write(dir.join("notes.txt"), "ignored").expect("write");
+        let runs = load_ledger(&dir).expect("load");
+        assert_eq!(runs.iter().map(|r| r.run).collect::<Vec<_>>(), vec![2, 10]);
+        std::fs::write(dir.join("BENCH_3.json"), "{broken").expect("write");
+        let err = load_ledger(&dir).expect_err("corrupt entry must error");
+        assert!(err.contains("BENCH_3.json"), "{err}");
     }
 
     #[test]
@@ -786,6 +983,7 @@ mod tests {
             ],
             figures: vec![Figure { caption: "fig".into(), body: "x\n".into() }],
             notes: vec!["note".into()],
+            warnings: vec!["drops happened".into()],
         }];
         let r1 = render(&sections, 0.0);
         assert_eq!(r1, render(&sections, 0.0));

@@ -13,7 +13,8 @@ use hawkeye_report::paper;
 
 fn usage() -> &'static str {
     "usage: hawkeye-report [--check] [--no-run] [--threads N] [--slack F]\n\
-     \x20                     [--only t1,t2,...] [--dir DIR]\n\
+     \x20                     [--only t1,t2,...] [--dir DIR] [--trend]\n\
+     \x20                     [--ledger DIR]\n\
      \n\
      Runs the full paper-experiment suite in-process (tracing forced on),\n\
      writes per-target summaries + trace journals under DIR, and renders\n\
@@ -30,13 +31,24 @@ fn usage() -> &'static str {
      \x20             exact gates stay exact\n\
      --only LIST   comma-separated subset of suite targets\n\
      --dir DIR     artifact directory (default: <target>/report)\n\
+     --trend       render DIR/TREND.md from the perf-trajectory ledger;\n\
+     \x20             with --check, fail if a deterministic work counter\n\
+     \x20             regressed vs the previous run (wall-clock is never\n\
+     \x20             gated)\n\
+     --ledger DIR  perf-trajectory ledger directory holding BENCH_<n>.json\n\
+     \x20             entries (default: <dir>/ledger); every suite run\n\
+     \x20             appends one entry\n\
      \n\
      When the selection includes fleet_slo, DIR/FLEET.md (per-cohort\n\
-     fleet SLO tables) is written next to REPORT.md.\n\
+     fleet SLO tables) is written next to REPORT.md. When the run was\n\
+     telemetry-enabled (HAWKEYE_OBS=1) DIR/ALERTS.md (SLO burn-rate\n\
+     transitions + anomaly annotations) is rendered from the\n\
+     fleet_slo.obs.json artifact.\n\
      \n\
      exit codes:\n\
      \x20  0   report written; all checks in tolerance (or no --check)\n\
-     \x20  1   --check: at least one check out of tolerance\n\
+     \x20  1   --check: at least one check out of tolerance, or --trend\n\
+     \x20      --check: a deterministic counter regressed\n\
      \x20  2   usage error\n\
      \x20  3   pipeline error (missing or malformed artifact)\n\
      \x20  4   summary error: expected metrics missing from a summary\n\
@@ -50,6 +62,8 @@ fn main() -> ExitCode {
     let mut slack = 0.0f64;
     let mut only: Option<Vec<String>> = None;
     let mut dir: Option<PathBuf> = None;
+    let mut trend = false;
+    let mut ledger_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,6 +107,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--trend" => trend = true,
+            "--ledger" => match value("--ledger") {
+                Ok(d) => ledger_dir = Some(PathBuf::from(d)),
+                Err(e) => {
+                    eprintln!("hawkeye-report: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("hawkeye-report: unknown argument `{other}`\n");
                 eprint!("{}", usage());
@@ -111,13 +133,15 @@ fn main() -> ExitCode {
         }
     };
 
+    let ledger_dir = ledger_dir.unwrap_or_else(|| dir.join("ledger"));
+    let mut walls: Vec<hawkeye_report::TargetWall> = Vec::new();
     if run {
         let threads = threads.unwrap_or_else(hawkeye_bench::pool::worker_threads);
         eprintln!(
             "[hawkeye-report] running {} suite target(s) on {threads} worker(s)",
             targets.len()
         );
-        let walls = hawkeye_report::run_suite(&targets, threads, &data_dir);
+        walls = hawkeye_report::run_suite(&targets, threads, &data_dir);
         let table = hawkeye_report::wallclock_table(&walls, threads);
         let wall_path = dir.join("WALLCLOCK.md");
         match std::fs::create_dir_all(&dir)
@@ -169,6 +193,84 @@ fn main() -> ExitCode {
         }
     }
 
+    // ALERTS.md: SLO burn-rate transitions + anomaly annotations,
+    // whenever a telemetry-enabled run left the obs document behind. A
+    // present-but-unreadable document is a pipeline error, not a skip.
+    let obs_path = data_dir.join("fleet_slo.obs.json");
+    match std::fs::read_to_string(&obs_path) {
+        Ok(text) => match hawkeye_analyze::obs::parse_obs(&text) {
+            Ok(obs_doc) => {
+                let alerts_path = dir.join("ALERTS.md");
+                match std::fs::write(&alerts_path, hawkeye_obs::alerts_md(&obs_doc)) {
+                    Ok(()) => eprintln!("[hawkeye-report] wrote {}", alerts_path.display()),
+                    Err(e) => {
+                        eprintln!(
+                            "hawkeye-report: gate=load: could not write {}: {e}",
+                            alerts_path.display()
+                        );
+                        return ExitCode::from(3);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("hawkeye-report: gate=load: {}: {e}", obs_path.display());
+                return ExitCode::from(3);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => {
+            eprintln!("hawkeye-report: gate=load: {}: {e}", obs_path.display());
+            return ExitCode::from(3);
+        }
+    }
+
+    // Perf-trajectory ledger: every real suite run appends one
+    // schema-versioned BENCH_<n>.json entry (--no-run rebuilds never do —
+    // they measured nothing).
+    if run {
+        let n = hawkeye_report::next_run_number(&ledger_dir);
+        let entry = hawkeye_report::ledger_entry(n, &walls, &sections, slack);
+        let doc = hawkeye_report::ledger_json(&entry).to_string() + "\n";
+        let entry_path = ledger_dir.join(format!("BENCH_{n}.json"));
+        match std::fs::create_dir_all(&ledger_dir)
+            .and_then(|()| std::fs::write(&entry_path, &doc))
+        {
+            Ok(()) => eprintln!("[hawkeye-report] appended {}", entry_path.display()),
+            Err(e) => {
+                eprintln!(
+                    "hawkeye-report: gate=load: could not write {}: {e}",
+                    entry_path.display()
+                );
+                return ExitCode::from(3);
+            }
+        }
+    }
+
+    // TREND.md + the regression gate on deterministic work counters.
+    let mut trend_regressions: Vec<String> = Vec::new();
+    if trend {
+        let runs = match hawkeye_report::load_ledger(&ledger_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("hawkeye-report: gate=trend: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let trend_path = dir.join("TREND.md");
+        if let Err(e) = std::fs::write(&trend_path, hawkeye_obs::trend_md(&runs)) {
+            eprintln!(
+                "hawkeye-report: gate=trend: could not write {}: {e}",
+                trend_path.display()
+            );
+            return ExitCode::from(3);
+        }
+        eprintln!("[hawkeye-report] wrote {} ({} run(s))", trend_path.display(), runs.len());
+        if runs.len() >= 2 {
+            trend_regressions =
+                hawkeye_obs::regressions(&runs[runs.len() - 2], &runs[runs.len() - 1]);
+        }
+    }
+
     // Missing expected metrics are a pipeline defect, not a tolerance
     // miss: fail loudly (exit 4) even without --check, after writing the
     // report so the full context is on disk.
@@ -200,6 +302,20 @@ fn main() -> ExitCode {
         }
         let total: usize = sections.iter().map(|s| s.checks.len()).sum();
         eprintln!("hawkeye-report: all {total} check(s) within tolerance");
+        if !trend_regressions.is_empty() {
+            for r in &trend_regressions {
+                eprintln!("hawkeye-report: gate=trend: {r}");
+            }
+            eprintln!(
+                "hawkeye-report: {} perf-trajectory regression(s) — see {}",
+                trend_regressions.len(),
+                dir.join("TREND.md").display()
+            );
+            return ExitCode::FAILURE;
+        }
+        if trend {
+            eprintln!("hawkeye-report: perf-trajectory gate clean");
+        }
     }
     ExitCode::SUCCESS
 }

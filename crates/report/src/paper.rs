@@ -57,7 +57,29 @@ pub fn section(d: &TargetData) -> Section {
         checks,
         figures,
         notes,
+        warnings: drop_warnings(d),
     }
+}
+
+/// Trace ring-buffer overflow is a data-quality event, not a footnote:
+/// any analysis derived from the journal (latency histograms, cycle
+/// attribution) silently under-counts when the bounded ring overwrote
+/// records before the drain. Surface every overflowing scenario loudly.
+fn drop_warnings(d: &TargetData) -> Vec<String> {
+    let Some(trace) = &d.trace else { return Vec::new() };
+    trace
+        .scenarios
+        .iter()
+        .filter(|s| s.dropped > 0)
+        .map(|s| {
+            format!(
+                "trace ring buffer overflowed in scenario `{}`: {} event(s) dropped — \
+                 journal-derived numbers under-count (raise the ring capacity or trim \
+                 the event set)",
+                s.name, s.dropped,
+            )
+        })
+        .collect()
 }
 
 // ---- extraction helpers -------------------------------------------------

@@ -72,6 +72,58 @@ fn report_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn trend_gate_passes_clean_ledger_and_fails_injected_regression() {
+    let dir = temp_dir("trend");
+    // Two real runs append BENCH_1.json and BENCH_2.json with identical
+    // deterministic counters (the simulator is deterministic) and
+    // whatever wall-clock the host produced.
+    run_subset(&dir, 2);
+    run_subset(&dir, 2);
+
+    let ok = Command::new(report_bin())
+        .args(["--only", SUBSET, "--no-run", "--trend", "--check"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("spawn hawkeye-report --trend --check");
+    assert!(
+        ok.status.success(),
+        "identical-counter ledger must pass the trend gate:\n{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let trend = std::fs::read_to_string(dir.join("TREND.md")).expect("TREND.md written");
+    assert!(trend.contains("Regression gate: **pass**"), "{trend}");
+
+    // Inject a work regression into the latest entry: double one
+    // target's quanta_total. The gate must fail on the deterministic
+    // counter even though wall-clock columns are untouched.
+    let entry_path = dir.join("ledger").join("BENCH_2.json");
+    let text = std::fs::read_to_string(&entry_path).expect("read BENCH_2.json");
+    let key = "\"quanta_total\":";
+    let start = text.find(key).expect("entry has quanta_total") + key.len();
+    let end = start + text[start..].find([',', '}']).expect("delimited");
+    let old: u64 = text[start..end].trim().parse().expect("quanta_total is an integer");
+    assert!(old > 0, "first subset target must record scheduler quanta");
+    let injected = format!("{}{}{}", &text[..start], old * 2, &text[end..]);
+    std::fs::write(&entry_path, injected).expect("write injected entry");
+
+    let out = Command::new(report_bin())
+        .args(["--only", SUBSET, "--no-run", "--trend", "--check"])
+        .arg("--dir")
+        .arg(&dir)
+        .output()
+        .expect("spawn hawkeye-report --trend --check after injection");
+    assert_eq!(out.status.code(), Some(1), "trend gate must exit 1 on a counter regression");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("gate=trend"), "names its gate:\n{stderr}");
+    assert!(stderr.contains("quanta_total"), "names the counter:\n{stderr}");
+    let trend = std::fs::read_to_string(dir.join("TREND.md")).expect("TREND.md rewritten");
+    assert!(trend.contains("Regression gate: **FAIL**"), "{trend}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_fails_on_injected_out_of_tolerance_value() {
     let dir = temp_dir("inject");
     run_subset(&dir, 2);

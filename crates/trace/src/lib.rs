@@ -144,6 +144,29 @@ pub enum TraceEvent {
         /// Simulated cycles this core stalled waiting for locks/arenas.
         stall_cycles: u64,
     },
+    /// An SLO burn-rate rule started breaching: both the fast and slow
+    /// epoch-window means crossed the rule's threshold × burn factor.
+    /// Emitted by the fleet telemetry pipeline (`hawkeye-obs`) into a
+    /// synthetic `obs/slo` journal; `machine` carries the cohort index.
+    SloBreach {
+        /// Index of the rule in the evaluated rule set (see the
+        /// `rules` section of the obs document / ALERTS.md).
+        rule: u64,
+        /// Fleet epoch at which the breach was detected.
+        epoch: u64,
+        /// Cohort index the rule was evaluated against.
+        cohort: u64,
+    },
+    /// A previously-breaching SLO burn-rate rule recovered: at least one
+    /// window mean moved back inside the threshold × burn band.
+    SloRecover {
+        /// Index of the rule in the evaluated rule set.
+        rule: u64,
+        /// Fleet epoch at which the recovery was detected.
+        epoch: u64,
+        /// Cohort index the rule was evaluated against.
+        cohort: u64,
+    },
 }
 
 impl TraceEvent {
@@ -160,6 +183,8 @@ impl TraceEvent {
             TraceEvent::QuantumEnd { .. } => "quantum_end",
             TraceEvent::CycleSample { .. } => "cycle_sample",
             TraceEvent::Contention { .. } => "contention",
+            TraceEvent::SloBreach { .. } => "slo_breach",
+            TraceEvent::SloRecover { .. } => "slo_recover",
         }
     }
 
@@ -228,6 +253,12 @@ impl TraceEvent {
                 ("cas_retries", cas_retries),
                 ("stall_cycles", stall_cycles),
             ],
+            TraceEvent::SloBreach { rule, epoch, cohort } => {
+                vec![("rule", rule), ("epoch", epoch), ("cohort", cohort)]
+            }
+            TraceEvent::SloRecover { rule, epoch, cohort } => {
+                vec![("rule", rule), ("epoch", epoch), ("cohort", cohort)]
+            }
         }
     }
 
@@ -289,6 +320,16 @@ impl TraceEvent {
                 acquisitions: get("acquisitions")?,
                 cas_retries: get("cas_retries")?,
                 stall_cycles: get("stall_cycles")?,
+            },
+            "slo_breach" => TraceEvent::SloBreach {
+                rule: get("rule")?,
+                epoch: get("epoch")?,
+                cohort: get("cohort")?,
+            },
+            "slo_recover" => TraceEvent::SloRecover {
+                rule: get("rule")?,
+                epoch: get("epoch")?,
+                cohort: get("cohort")?,
             },
             _ => return None,
         })
@@ -753,6 +794,8 @@ mod tests {
                 cas_retries: 17,
                 stall_cycles: 42_000,
             },
+            TraceEvent::SloBreach { rule: 2, epoch: 5, cohort: 0 },
+            TraceEvent::SloRecover { rule: 2, epoch: 7, cohort: 1 },
         ];
         for ev in events {
             let fields: Vec<(String, u64)> =
@@ -775,5 +818,12 @@ mod tests {
         );
         assert_eq!(TraceEvent::Oom.kind(), "oom");
         assert!(TraceEvent::Oom.fields().is_empty());
+        let slo = TraceEvent::SloBreach { rule: 1, epoch: 4, cohort: 0 };
+        assert_eq!(slo.kind(), "slo_breach");
+        assert_eq!(slo.fields(), vec![("rule", 1), ("epoch", 4), ("cohort", 0)]);
+        assert_eq!(
+            TraceEvent::SloRecover { rule: 1, epoch: 6, cohort: 0 }.kind(),
+            "slo_recover"
+        );
     }
 }

@@ -26,6 +26,13 @@ cargo test -p hawkeye-bench --test determinism -q
 echo "==> fleet determinism gate (256 hosts, 1 vs 8 workers)"
 cargo test --release -p hawkeye-bench --test fleet_determinism -q
 
+# Telemetry determinism gate (DESIGN.md §16): with obs off every
+# artifact is bit-identical to the pre-telemetry pipeline (zero drift);
+# with obs on the obs document and the ALERTS.md rendered from it are
+# byte-identical at 1 vs 8 workers and across repeated runs.
+echo "==> obs determinism gate (zero drift + ALERTS.md, 1 vs 8 workers)"
+cargo test --release -p hawkeye-bench --test obs_determinism -q
+
 # Report-loader error paths: corrupt/truncated wallclock sidecars must
 # warn and render n/a (never zero-fill), and expected-but-missing
 # summary metrics must be listed per target for the exit-4 gate.
@@ -69,8 +76,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # exempt and may unwrap freely.
 echo "==> cargo clippy --lib -- -D clippy::unwrap_used (core crates)"
 cargo clippy -p hawkeye-metrics -p hawkeye-mem -p hawkeye-vm -p hawkeye-tlb \
-    -p hawkeye-trace -p hawkeye-kernel -p hawkeye-virt -p hawkeye-fleet \
-    -p hawkeye-bench -p hawkeye-analyze -p hawkeye-report \
+    -p hawkeye-trace -p hawkeye-obs -p hawkeye-kernel -p hawkeye-virt \
+    -p hawkeye-fleet -p hawkeye-bench -p hawkeye-analyze -p hawkeye-report \
     --lib -- -D clippy::unwrap_used
 
 # Cycle-attribution gate: run one real traced scenario and pipe the
@@ -95,8 +102,23 @@ cargo bench -p hawkeye-bench --bench touch_throughput -- --quick
 # fail if any REPORT.md check lands outside its tolerance band (see
 # DESIGN.md §12). This regenerates target/report/REPORT.md as a side
 # effect, so a green CI run always leaves a fresh report behind.
+# The run is seeded with the committed perf-trajectory baseline
+# (bench-ledger/BENCH_*.json) so the appended entry lands next in
+# sequence, then the --trend gate compares the fresh run against the
+# baseline's deterministic work counters (wall-clock is advisory only;
+# see DESIGN.md §16).
 echo "==> hawkeye-report --check (full suite -> target/report/REPORT.md)"
-cargo run --release -q -p hawkeye-report -- --check
+ledger_dir="${CARGO_TARGET_DIR:-target}/report/ledger"
+rm -rf "$ledger_dir"
+mkdir -p "$ledger_dir"
+cp bench-ledger/BENCH_*.json "$ledger_dir/"
+# HAWKEYE_OBS=1: telemetry on, so the run also produces ALERTS.md from
+# fleet_slo.obs.json. Zero drift is the standing invariant — REPORT.md
+# and every check are bit-identical either way (obs_determinism pins it).
+HAWKEYE_OBS=1 cargo run --release -q -p hawkeye-report -- --check
+
+echo "==> hawkeye-report --trend --check (perf-trajectory gate vs committed baseline)"
+cargo run --release -q -p hawkeye-report -- --trend --check --no-run
 
 echo "==> suite wall-clock: $((SECONDS - suite_t0))s (bench steps, ${HAWKEYE_BENCH_THREADS:-auto} workers)"
 echo "==> OK"
