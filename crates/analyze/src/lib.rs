@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod envelope;
 pub mod fleet;
 pub mod json;
 pub mod obs;
@@ -30,9 +31,8 @@ pub mod render;
 pub mod summary;
 
 use hawkeye_metrics::{Cycles, LogHistogram, TimeSeries};
-use render::{bar, hist_line, pct_line};
 use hawkeye_trace::{TraceEvent, TraceRecord};
-
+use render::{bar, hist_line, pct_line};
 
 /// One parsed `.trace.json` document.
 #[derive(Debug, Clone, PartialEq)]
@@ -196,7 +196,11 @@ fn parse_scenario<'a>(p: &mut json::Parser<'a>, index: usize) -> Result<Scenario
     if !saw_events {
         return Err(format!("scenario {name}: missing \"events\""));
     }
-    Ok(ScenarioTrace { name, dropped, records })
+    Ok(ScenarioTrace {
+        name,
+        dropped,
+        records,
+    })
 }
 
 fn parse_record<'a>(
@@ -251,8 +255,9 @@ pub struct CycleBreakdown {
 }
 
 /// Subsystem labels matching [`CycleBreakdown::cpu`] order.
-pub const SUBSYSTEMS: [&str; 8] =
-    ["walk", "fault", "zero", "copy", "scan", "compact", "dedup", "idle"];
+pub const SUBSYSTEMS: [&str; 8] = [
+    "walk", "fault", "zero", "copy", "scan", "compact", "dedup", "idle",
+];
 
 impl CycleBreakdown {
     fn from_sample(machine: u32, event: &TraceEvent) -> Option<CycleBreakdown> {
@@ -346,7 +351,13 @@ pub fn latency(s: &ScenarioTrace, kind: &str) -> LatencyStats {
 pub fn mmu_overhead_series(s: &ScenarioTrace) -> TimeSeries {
     let mut per_pid: Vec<((u32, u32), TimeSeries)> = Vec::new();
     for r in &s.records {
-        let TraceEvent::QuantumEnd { load_walk, store_walk, unhalted, .. } = r.event else {
+        let TraceEvent::QuantumEnd {
+            load_walk,
+            store_walk,
+            unhalted,
+            ..
+        } = r.event
+        else {
             continue;
         };
         if unhalted == 0 {
@@ -405,15 +416,24 @@ impl ContentionRow {
 pub fn contention(s: &ScenarioTrace) -> Vec<ContentionRow> {
     let mut rows: Vec<ContentionRow> = Vec::new();
     for r in &s.records {
-        let TraceEvent::Contention { core, role, acquisitions, cas_retries, stall_cycles } =
-            r.event
+        let TraceEvent::Contention {
+            core,
+            role,
+            acquisitions,
+            cas_retries,
+            stall_cycles,
+        } = r.event
         else {
             continue;
         };
         let row = match rows.iter_mut().find(|c| c.core == core) {
             Some(row) => row,
             None => {
-                rows.push(ContentionRow { core, role, ..Default::default() });
+                rows.push(ContentionRow {
+                    core,
+                    role,
+                    ..Default::default()
+                });
                 rows.last_mut().expect("just pushed")
             }
         };
@@ -443,7 +463,9 @@ pub fn residues(doc: &TraceDoc) -> ResidueReport {
     let mut report = ResidueReport::default();
     for s in &doc.scenarios {
         for r in &s.records {
-            let Some(b) = CycleBreakdown::from_sample(r.machine, &r.event) else { continue };
+            let Some(b) = CycleBreakdown::from_sample(r.machine, &r.event) else {
+                continue;
+            };
             report.samples += 1;
             if b.unhalted == 0 {
                 continue;
@@ -551,7 +573,12 @@ mod tests {
     use super::*;
 
     fn rec(at: u64, pid: u32, machine: u32, event: TraceEvent) -> TraceRecord {
-        TraceRecord { at: Cycles::new(at), pid, machine, event }
+        TraceRecord {
+            at: Cycles::new(at),
+            pid,
+            machine,
+            event,
+        }
     }
 
     fn sample(walk: u64, idle: u64, unhalted: u64) -> TraceEvent {
@@ -572,7 +599,11 @@ mod tests {
     fn doc(records: Vec<TraceRecord>) -> TraceDoc {
         TraceDoc {
             target: "t".into(),
-            scenarios: vec![ScenarioTrace { name: "s".into(), dropped: 0, records }],
+            scenarios: vec![ScenarioTrace {
+                name: "s".into(),
+                dropped: 0,
+                records,
+            }],
         }
     }
 
@@ -601,12 +632,21 @@ mod tests {
         ]);
         let r = residues(&d);
         assert_eq!(r.samples, 3);
-        assert_eq!(r.nonzero, vec![("s".to_string(), 0, 1)], "duplicates collapse");
+        assert_eq!(
+            r.nonzero,
+            vec![("s".to_string(), 0, 1)],
+            "duplicates collapse"
+        );
     }
 
     #[test]
     fn latency_tracks_service_and_gaps_per_machine() {
-        let fault = |c| TraceEvent::Fault { vpn: 1, huge: false, cow: false, cycles: c };
+        let fault = |c| TraceEvent::Fault {
+            vpn: 1,
+            huge: false,
+            cow: false,
+            cycles: c,
+        };
         let d = doc(vec![
             rec(100, 1, 0, fault(1000)),
             rec(150, 1, 1, fault(2000)),
@@ -637,7 +677,10 @@ mod tests {
         let s = mmu_overhead_series(&d.scenarios[0]);
         assert_eq!(s.len(), 3);
         let secs: Vec<f64> = s.samples().iter().map(|x| x.secs).collect();
-        assert!(secs.windows(2).all(|w| w[0] <= w[1]), "time-sorted: {secs:?}");
+        assert!(
+            secs.windows(2).all(|w| w[0] <= w[1]),
+            "time-sorted: {secs:?}"
+        );
         assert_eq!(s.samples()[1].value, 50.0);
     }
 
@@ -652,7 +695,12 @@ mod tests {
         assert_eq!(d.scenarios[0].records.len(), 2);
         assert_eq!(
             d.scenarios[0].records[0].event,
-            TraceEvent::Fault { vpn: 7, huge: true, cow: false, cycles: 6095 }
+            TraceEvent::Fault {
+                vpn: 7,
+                huge: true,
+                cow: false,
+                cycles: 6095
+            }
         );
         assert_eq!(d.scenarios[0].records[1].event, TraceEvent::Oom);
     }
@@ -670,18 +718,39 @@ mod tests {
     fn report_is_deterministic_and_mentions_every_section() {
         let d = doc(vec![
             rec(10, 0, 0, sample(400, 600, 1000)),
-            rec(15, 1, 0, TraceEvent::Fault { vpn: 1, huge: false, cow: false, cycles: 900 }),
+            rec(
+                15,
+                1,
+                0,
+                TraceEvent::Fault {
+                    vpn: 1,
+                    huge: false,
+                    cow: false,
+                    cycles: 900,
+                },
+            ),
             rec(
                 20,
                 1,
                 0,
-                TraceEvent::QuantumEnd { load_walk: 10, store_walk: 5, unhalted: 100, walks: 2 },
+                TraceEvent::QuantumEnd {
+                    load_walk: 10,
+                    store_walk: 5,
+                    unhalted: 100,
+                    walks: 2,
+                },
             ),
         ]);
         let r1 = report(&d);
         let r2 = report(&d);
         assert_eq!(r1, r2);
-        for needle in ["hawkeye-analyze: t", "machine 0", "walk", "fault service", "mmu overhead"] {
+        for needle in [
+            "hawkeye-analyze: t",
+            "machine 0",
+            "walk",
+            "fault service",
+            "mmu overhead",
+        ] {
             assert!(r1.contains(needle), "missing {needle:?} in:\n{r1}");
         }
     }

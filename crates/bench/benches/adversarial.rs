@@ -1,0 +1,8 @@
+//! Thin wrapper: the experiment lives in `hawkeye_bench::suite::adversarial`
+//! so `hawkeye-report` can run the identical code in-process
+//! (DESIGN.md §12). Run it standalone via
+//! `cargo bench -p hawkeye-bench --bench adversarial`.
+
+fn main() {
+    hawkeye_bench::suite::run_main("adversarial");
+}

@@ -15,6 +15,8 @@
 //! with core count. [`Report`] prints the text table and writes the JSON
 //! summary (`target/bench-results/<target>.json`) every target now emits.
 
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod pool;
 pub mod scenario;
@@ -29,9 +31,7 @@ pub use scenario::{
 };
 
 use hawkeye_core::{HawkEye, HawkEyeConfig};
-use hawkeye_kernel::{
-    BasePagesOnly, HugePagePolicy, KernelConfig, Machine, Simulator, Workload,
-};
+use hawkeye_kernel::{BasePagesOnly, HugePagePolicy, KernelConfig, Machine, Simulator, Workload};
 use hawkeye_mem::{AllocPref, PageContent, Pfn};
 use hawkeye_metrics::Cycles;
 use hawkeye_policies::{FreeBsd, Ingens, IngensConfig, LinuxThp};
@@ -86,21 +86,28 @@ impl PolicyKind {
             PolicyKind::Ingens50 => Box::new(Ingens::new(IngensConfig::fixed_50())),
             PolicyKind::HawkEyeG => Box::new(HawkEye::new(HawkEyeConfig::default())),
             PolicyKind::HawkEyePmu => Box::new(HawkEye::new(HawkEyeConfig::pmu())),
-            PolicyKind::HawkEye4k => {
-                Box::new(HawkEye::new(HawkEyeConfig { huge_faults: false, ..Default::default() }))
-            }
+            PolicyKind::HawkEye4k => Box::new(HawkEye::new(HawkEyeConfig {
+                huge_faults: false,
+                ..Default::default()
+            })),
         }
     }
 
     /// Whether the policy maintains the pre-zeroed pool (buddy cross-merge
     /// off).
     pub fn wants_zero_pool(self) -> bool {
-        matches!(self, PolicyKind::HawkEyeG | PolicyKind::HawkEyePmu | PolicyKind::HawkEye4k)
+        matches!(
+            self,
+            PolicyKind::HawkEyeG | PolicyKind::HawkEyePmu | PolicyKind::HawkEye4k
+        )
     }
 
     /// Kernel config matched to the policy's allocator expectations.
     pub fn config(self, mib: u64) -> KernelConfig {
-        KernelConfig { cross_merge: !self.wants_zero_pool(), ..KernelConfig::with_mib(mib) }
+        KernelConfig {
+            cross_merge: !self.wants_zero_pool(),
+            ..KernelConfig::with_mib(mib)
+        }
     }
 }
 
@@ -116,27 +123,50 @@ impl RunOutcome {
     /// Wall-clock completion time of the workload in simulated seconds.
     pub fn exec_secs(&self) -> f64 {
         let p = self.sim.machine().process(self.pid).expect("pid valid");
-        p.finish_time().unwrap_or(self.sim.machine().now()).as_secs()
+        p.finish_time()
+            .unwrap_or(self.sim.machine().now())
+            .as_secs()
     }
 
     /// CPU seconds the workload consumed.
     pub fn cpu_secs(&self) -> f64 {
-        self.sim.machine().process(self.pid).expect("pid valid").cpu_time().as_secs()
+        self.sim
+            .machine()
+            .process(self.pid)
+            .expect("pid valid")
+            .cpu_time()
+            .as_secs()
     }
 
     /// Page faults taken.
     pub fn faults(&self) -> u64 {
-        self.sim.machine().process(self.pid).expect("pid valid").stats().faults
+        self.sim
+            .machine()
+            .process(self.pid)
+            .expect("pid valid")
+            .stats()
+            .faults
     }
 
     /// Seconds spent in the fault handler.
     pub fn fault_secs(&self) -> f64 {
-        self.sim.machine().process(self.pid).expect("pid valid").stats().fault_cycles.as_secs()
+        self.sim
+            .machine()
+            .process(self.pid)
+            .expect("pid valid")
+            .stats()
+            .fault_cycles
+            .as_secs()
     }
 
     /// Mean fault latency in microseconds.
     pub fn avg_fault_us(&self) -> f64 {
-        let s = self.sim.machine().process(self.pid).expect("pid valid").stats();
+        let s = self
+            .sim
+            .machine()
+            .process(self.pid)
+            .expect("pid valid")
+            .stats();
         if s.faults == 0 {
             return 0.0;
         }
@@ -183,7 +213,9 @@ pub fn dirty_free_memory(m: &mut Machine) {
     }
     for a in &blocks {
         for i in 0..a.order.pages() {
-            m.pm_mut().frame_mut(Pfn(a.pfn.0 + i)).set_content(PageContent::non_zero(5));
+            m.pm_mut()
+                .frame_mut(Pfn(a.pfn.0 + i))
+                .set_content(PageContent::non_zero(5));
         }
     }
     for a in blocks {
@@ -248,7 +280,13 @@ mod tests {
 
     #[test]
     fn run_one_completes_quick_workload() {
-        let out = run_one(PolicyKind::Linux4k, 64, None, 10.0, Box::new(Spinup::new("s", 1024)));
+        let out = run_one(
+            PolicyKind::Linux4k,
+            64,
+            None,
+            10.0,
+            Box::new(Spinup::new("s", 1024)),
+        );
         assert!(out.exec_secs() > 0.0);
         assert_eq!(out.faults(), 1024);
         assert!(out.avg_fault_us() > 0.0);
@@ -273,6 +311,10 @@ mod tests {
             Box::new(Spinup::new("s", 2048)),
         );
         let p = out.sim.machine().process(out.pid).unwrap();
-        assert_eq!(p.stats().huge_faults, 0, "no contiguity after fragmentation");
+        assert_eq!(
+            p.stats().huge_faults,
+            0,
+            "no contiguity after fragmentation"
+        );
     }
 }

@@ -42,6 +42,19 @@ static OBS_DOCS: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
 /// One independent unit of a bench target: a named closure producing a
 /// result on a worker thread.
+///
+/// # Examples
+///
+/// Results come back in submission order regardless of worker count,
+/// which is the whole byte-determinism story:
+///
+/// ```
+/// use hawkeye_bench::{run_scenarios_with, Scenario};
+///
+/// let scenarios: Vec<Scenario<u64>> =
+///     (0..4u64).map(|i| Scenario::new(format!("square {i}"), move || i * i)).collect();
+/// assert_eq!(run_scenarios_with(scenarios, 2), vec![0, 1, 4, 9]);
+/// ```
 pub struct Scenario<T> {
     name: String,
     job: Job<T>,
@@ -50,7 +63,10 @@ pub struct Scenario<T> {
 impl<T: Send> Scenario<T> {
     /// A scenario from any `Send` closure.
     pub fn new(name: impl Into<String>, job: impl FnOnce() -> T + Send + 'static) -> Self {
-        Scenario { name: name.into(), job: Box::new(job) }
+        Scenario {
+            name: name.into(),
+            job: Box::new(job),
+        }
     }
 
     /// The standard single-simulation shape: `build` returns a fully-built
@@ -93,7 +109,10 @@ pub fn run_scenarios<T: Send + 'static>(scenarios: Vec<Scenario<T>>) -> Vec<T> {
 ///
 /// When `HAWKEYE_TRACE` is set, each scenario additionally records an
 /// event journal, queued for [`write_json`] to dump alongside the summary.
-pub fn run_scenarios_with<T: Send + 'static>(scenarios: Vec<Scenario<T>>, threads: usize) -> Vec<T> {
+pub fn run_scenarios_with<T: Send + 'static>(
+    scenarios: Vec<Scenario<T>>,
+    threads: usize,
+) -> Vec<T> {
     let (results, journals, registries) =
         run_scenarios_inner(scenarios, threads, hawkeye_trace::env_enabled());
     if !journals.is_empty() {
@@ -319,7 +338,10 @@ pub fn trace_json(target: &str, journals: &[(String, Journal)]) -> Json {
             ])
         })
         .collect();
-    Json::obj(vec![("target", Json::str(target)), ("scenarios", Json::Arr(scenarios))])
+    Json::obj(vec![
+        ("target", Json::str(target)),
+        ("scenarios", Json::Arr(scenarios)),
+    ])
 }
 
 /// The `cycles` section of a JSON summary: for every scenario, each
@@ -338,7 +360,10 @@ pub fn cycles_json(snapshots: &[(String, Registry)]) -> Json {
                 .map(|(id, m)| {
                     let ledger = |keyed: &dyn Fn(Subsystem) -> u64| {
                         Json::obj(
-                            Subsystem::ALL.iter().map(|s| (s.name(), Json::int(keyed(*s)))).collect(),
+                            Subsystem::ALL
+                                .iter()
+                                .map(|s| (s.name(), Json::int(keyed(*s))))
+                                .collect(),
                         )
                     };
                     let counters: Vec<(&str, Json)> = m
@@ -375,15 +400,28 @@ pub fn cycles_json(snapshots: &[(String, Registry)]) -> Json {
                         ("residue", residue),
                         ("cpu", ledger(&|s| m.cpu_cycles(s))),
                         ("daemon", ledger(&|s| m.daemon_cycles(s))),
-                        ("counters", Json::Obj(
-                            counters.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-                        )),
-                        ("gauges", Json::Obj(
-                            gauges.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-                        )),
-                        ("hist", Json::Obj(
-                            hists.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
-                        )),
+                        (
+                            "counters",
+                            Json::Obj(
+                                counters
+                                    .into_iter()
+                                    .map(|(k, v)| (k.to_string(), v))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "gauges",
+                            Json::Obj(
+                                gauges
+                                    .into_iter()
+                                    .map(|(k, v)| (k.to_string(), v))
+                                    .collect(),
+                            ),
+                        ),
+                        (
+                            "hist",
+                            Json::Obj(hists.into_iter().map(|(k, v)| (k.to_string(), v)).collect()),
+                        ),
                     ])
                 })
                 .collect();
@@ -411,7 +449,11 @@ pub struct Row {
 impl Row {
     /// A row with cells only.
     pub fn new(cells: Vec<String>) -> Self {
-        Row { cells, json: Json::obj(vec![]), lines: Vec::new() }
+        Row {
+            cells,
+            json: Json::obj(vec![]),
+            lines: Vec::new(),
+        }
     }
 
     /// Attaches the JSON summary object.
@@ -442,7 +484,13 @@ impl Report {
     /// A report for bench target `target` (the JSON file stem). Empty
     /// `columns` suppresses the table (series-only figures).
     pub fn new(target: &'static str, title: impl Into<String>, columns: Vec<&'static str>) -> Self {
-        Report { target, title: title.into(), columns, rows: Vec::new(), footers: Vec::new() }
+        Report {
+            target,
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            footers: Vec::new(),
+        }
     }
 
     /// Appends one row.
@@ -497,7 +545,10 @@ impl Report {
         Json::obj(vec![
             ("target", Json::str(self.target)),
             ("title", Json::str(self.title.clone())),
-            ("rows", Json::Arr(self.rows.iter().map(|r| r.json.clone()).collect())),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| r.json.clone()).collect()),
+            ),
         ])
     }
 
@@ -615,14 +666,37 @@ mod tests {
         // escaping — the streaming writer must reproduce the tree
         // serialization byte for byte.
         let events = vec![
-            TraceEvent::Fault { vpn: 7, huge: true, cow: false, cycles: 6095 },
-            TraceEvent::Promote { hvpn: 3, copied: 512, filled: 0, cycles: 1 },
+            TraceEvent::Fault {
+                vpn: 7,
+                huge: true,
+                cow: false,
+                cycles: 6095,
+            },
+            TraceEvent::Promote {
+                hvpn: 3,
+                copied: 512,
+                filled: 0,
+                cycles: 1,
+            },
             TraceEvent::Demote { hvpn: 3, cycles: 2 },
-            TraceEvent::Compact { migrated: 10, huge_blocks: 2 },
+            TraceEvent::Compact {
+                migrated: 10,
+                huge_blocks: 2,
+            },
             TraceEvent::PreZero { pages: 512 },
-            TraceEvent::Dedup { hvpn: 4, zero_pages: 100, demoted: true, cycles: 9 },
+            TraceEvent::Dedup {
+                hvpn: 4,
+                zero_pages: 100,
+                demoted: true,
+                cycles: 9,
+            },
             TraceEvent::Oom,
-            TraceEvent::QuantumEnd { load_walk: 1, store_walk: 2, unhalted: 3, walks: 4 },
+            TraceEvent::QuantumEnd {
+                load_walk: 1,
+                store_walk: 2,
+                unhalted: 3,
+                walks: 4,
+            },
             TraceEvent::CycleSample {
                 walk: 1,
                 fault: 2,
@@ -642,8 +716,16 @@ mod tests {
                 cas_retries: 17,
                 stall_cycles: 42_000,
             },
-            TraceEvent::SloBreach { rule: 0, epoch: 3, cohort: 1 },
-            TraceEvent::SloRecover { rule: 0, epoch: 6, cohort: 1 },
+            TraceEvent::SloBreach {
+                rule: 0,
+                epoch: 3,
+                cohort: 1,
+            },
+            TraceEvent::SloRecover {
+                rule: 0,
+                epoch: 6,
+                cohort: 1,
+            },
         ];
         let records = events
             .into_iter()
@@ -656,8 +738,20 @@ mod tests {
             })
             .collect();
         let journals = vec![
-            ("quoted \"name\"\n".to_string(), Journal { records, dropped: 3 }),
-            ("empty".to_string(), Journal { records: Vec::new(), dropped: 0 }),
+            (
+                "quoted \"name\"\n".to_string(),
+                Journal {
+                    records,
+                    dropped: 3,
+                },
+            ),
+            (
+                "empty".to_string(),
+                Journal {
+                    records: Vec::new(),
+                    dropped: 0,
+                },
+            ),
         ];
         let streamed = trace_doc_string("demo \\target", &journals);
         assert_eq!(streamed, trace_json("demo \\target", &journals).to_string());
@@ -668,10 +762,8 @@ mod tests {
         let s = Scenario::sim(
             "spinup",
             || {
-                let mut sim = Simulator::new(
-                    PolicyKind::Linux4k.config(64),
-                    PolicyKind::Linux4k.build(),
-                );
+                let mut sim =
+                    Simulator::new(PolicyKind::Linux4k.config(64), PolicyKind::Linux4k.build());
                 let pid = sim.spawn(Box::new(Spinup::new("s", 512)));
                 (sim, pid)
             },

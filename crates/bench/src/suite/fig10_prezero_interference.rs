@@ -9,6 +9,7 @@
 use crate::{run_scenarios_with, Json, Report, Row, Scenario};
 use hawkeye_tlb::{InterferenceModel, StoreMode};
 
+/// Builds the `fig10` report: worst-case interference of the async pre-zeroing thread.
 pub fn report(threads: usize) -> Report {
     // (workload, LLC sensitivity, bandwidth sensitivity) — profiles chosen
     // to match the paper's measured slowdowns at 1 GB/s.
@@ -50,7 +51,12 @@ pub fn report(threads: usize) -> Report {
     let mut report = Report::new(
         "fig10_prezero_interference",
         "Fig. 10: co-runner slowdown from async pre-zeroing at 1 GB/s",
-        vec!["Workload", "caching stores", "non-temporal", "non-temporal @10k pages/s"],
+        vec![
+            "Workload",
+            "caching stores",
+            "non-temporal",
+            "non-temporal @10k pages/s",
+        ],
     );
     report.extend(run_scenarios_with(scenarios, threads));
     report.footer(

@@ -19,9 +19,16 @@ fn kv(seed: u64) -> Box<dyn Workload> {
     Box::new(RedisKv::new(
         24 * 1024,
         vec![
-            RedisOp::Insert { keys: 21 * 1024, value_pages: 1, think: 300 },
+            RedisOp::Insert {
+                keys: 21 * 1024,
+                value_pages: 1,
+                think: 300,
+            },
             RedisOp::DeleteFrac { fraction: 0.7 },
-            RedisOp::Serve { requests: 400_000, think: 2_000 },
+            RedisOp::Serve {
+                requests: 400_000,
+                think: 2_000,
+            },
         ],
         seed,
     ))
@@ -44,7 +51,11 @@ fn guest_policy(hawkeye: bool) -> Box<dyn HugePagePolicy> {
 }
 
 fn run(c: Config) -> (Vec<f64>, u64, u64) {
-    let vcfg = VirtConfig { ksm: c.ksm, balloon: c.balloon, ..Default::default() };
+    let vcfg = VirtConfig {
+        ksm: c.ksm,
+        balloon: c.balloon,
+        ..Default::default()
+    };
     // Host 256 MiB; 4 VMs x 96 MiB = 1.5x overcommit.
     let mut sys = VirtSystem::with_virt_config(
         PolicyKind::Linux2m.config(256),
@@ -78,24 +89,55 @@ fn run(c: Config) -> (Vec<f64>, u64, u64) {
     (times, st.swap_outs, st.ksm_merged + st.ballooned)
 }
 
+/// Builds the `fig11` report: overcommitted VMs under pre-zeroing + host KSM.
 pub fn report(threads: usize) -> Report {
     let configs = [
-        Config { label: "no balloon, Linux guests", guests_hawkeye: false, ksm: false, balloon: false },
-        Config { label: "balloon, Linux guests", guests_hawkeye: false, ksm: false, balloon: true },
-        Config { label: "HawkEye guests + host KSM", guests_hawkeye: true, ksm: true, balloon: false },
+        Config {
+            label: "no balloon, Linux guests",
+            guests_hawkeye: false,
+            ksm: false,
+            balloon: false,
+        },
+        Config {
+            label: "balloon, Linux guests",
+            guests_hawkeye: false,
+            ksm: false,
+            balloon: true,
+        },
+        Config {
+            label: "HawkEye guests + host KSM",
+            guests_hawkeye: true,
+            ksm: true,
+            balloon: false,
+        },
     ];
     let names = ["Redis", "MongoDB", "PageRank", "cg"];
     // Each configuration is one heavyweight four-VM system — three
     // scenarios fan out; the no-balloon result is the speedup base.
-    let scenarios: Vec<Scenario<(Vec<f64>, u64, u64)>> =
-        configs.iter().map(|c| Scenario::new(c.label, { let c = *c; move || run(c) })).collect();
+    let scenarios: Vec<Scenario<(Vec<f64>, u64, u64)>> = configs
+        .iter()
+        .map(|c| {
+            Scenario::new(c.label, {
+                let c = *c;
+                move || run(c)
+            })
+        })
+        .collect();
     let results = run_scenarios_with(scenarios, threads);
     let base = &results[0];
 
     let mut report = Report::new(
         "fig11_overcommit",
         "Fig. 11: overcommitted VMs (4 x 96 MiB on a 256 MiB host), perf vs no-balloon",
-        vec!["Configuration", "Redis", "MongoDB", "PageRank", "cg", "swap-outs", "pages recovered"],
+        vec![
+            "Configuration",
+            "Redis",
+            "MongoDB",
+            "PageRank",
+            "cg",
+            "swap-outs",
+            "pages recovered",
+        ],
     );
     for (c, (times, swaps, recovered)) in configs.iter().zip(&results) {
         let mut row = vec![c.label.to_string()];

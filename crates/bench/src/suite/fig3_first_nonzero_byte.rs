@@ -8,6 +8,7 @@
 use crate::{run_scenarios_with, Json, Report, Row, Scenario};
 use hawkeye_workloads::DirtModel;
 
+/// Builds the `fig3` report: average distance to the first non-zero byte in 4 KB pages.
 pub fn report(threads: usize) -> Report {
     // (family, configured mean, paper context)
     let families: Vec<(&'static str, f64)> = vec![

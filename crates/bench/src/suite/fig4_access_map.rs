@@ -51,12 +51,16 @@ fn build_example() -> (BTreeMap<char, AccessMap>, BTreeMap<(char, u64), String>)
 fn scenario() -> Scenario<Row> {
     Scenario::new("access-map example", || {
         let (mut maps, label) = build_example();
-        let mut text = String::from("== Fig. 4: access_map state (bucket -> regions, head first) ==\n");
+        let mut text =
+            String::from("== Fig. 4: access_map state (bucket -> regions, head first) ==\n");
         for (p, map) in &maps {
             let mut per_bucket: BTreeMap<usize, Vec<String>> = BTreeMap::new();
             for (h, ema) in map.iter() {
                 let bucket = ((ema / 50.0) as usize).min(9);
-                per_bucket.entry(bucket).or_default().push(label[&(*p, h.0)].clone());
+                per_bucket
+                    .entry(bucket)
+                    .or_default()
+                    .push(label[&(*p, h.0)].clone());
             }
             let desc: Vec<String> = per_bucket
                 .iter()
@@ -75,7 +79,9 @@ fn scenario() -> Scenario<Row> {
             let mut best: Option<usize> = None;
             let mut holders: Vec<char> = Vec::new();
             for (p, map) in &maps {
-                let Some(idx) = map.highest_index() else { continue };
+                let Some(idx) = map.highest_index() else {
+                    continue;
+                };
                 match best {
                     Some(b) if idx < b => {}
                     Some(b) if idx == b => holders.push(*p),
@@ -93,7 +99,11 @@ fn scenario() -> Scenario<Row> {
                 last = '\0';
                 last_bucket = best.expect("non-empty holders imply a bucket");
             }
-            let p = holders.iter().copied().find(|p| *p > last).unwrap_or(holders[0]);
+            let p = holders
+                .iter()
+                .copied()
+                .find(|p| *p > last)
+                .unwrap_or(holders[0]);
             last = p;
             let map = maps.get_mut(&p).expect("holder");
             let h = map.pop_best(0.0).expect("non-empty");
@@ -112,6 +122,7 @@ fn scenario() -> Scenario<Row> {
     })
 }
 
+/// Builds the `fig4` report: the `access_map` bucket structure and promotion ordering.
 pub fn report(threads: usize) -> Report {
     let mut report = Report::new(
         "fig4_access_map",

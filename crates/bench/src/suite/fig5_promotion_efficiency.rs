@@ -30,6 +30,7 @@ const KINDS: [PolicyKind; 5] = [
     PolicyKind::HawkEyeG,
 ];
 
+/// Builds the `fig5` report: speedup from huge-page promotion after fragmentation.
 pub fn report(threads: usize) -> Report {
     // Every (workload, policy) cell is an independent simulation; the
     // speedup column is assembled afterwards from the ordered results.

@@ -19,52 +19,61 @@ fn workload(name: &str) -> Box<dyn Workload> {
     }
 }
 
+/// Builds the `fig6` report: MMU overhead and huge-page count over time.
 pub fn report(threads: usize) -> Report {
     let mut scenarios: Vec<Scenario<Row>> = Vec::new();
     for name in ["graph500", "xsbench"] {
-        for (ki, kind) in
-            [PolicyKind::Linux2m, PolicyKind::Ingens, PolicyKind::HawkEyeG].into_iter().enumerate()
+        for (ki, kind) in [
+            PolicyKind::Linux2m,
+            PolicyKind::Ingens,
+            PolicyKind::HawkEyeG,
+        ]
+        .into_iter()
+        .enumerate()
         {
-            scenarios.push(Scenario::new(format!("{name} {}", kind.label()), move || {
-                let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
-                let m = out.sim.machine();
-                let mut text = String::new();
-                if ki == 0 {
-                    text.push_str(&format!("===== Fig. 6: {name} =====\n"));
-                }
-                let key_mmu = format!("p{}.mmu_overhead", out.pid);
-                let key_huge = format!("p{}.huge_pages", out.pid);
-                if let Some(s) = m.recorder().series(&key_mmu) {
-                    text.push_str(&format_series(
-                        &format!("{} {name}: MMU overhead (fraction)", kind.label()),
-                        s,
-                        12,
+            scenarios.push(Scenario::new(
+                format!("{name} {}", kind.label()),
+                move || {
+                    let out = run_one(kind, 768, Some((1.0, 0.55)), 300.0, workload(name));
+                    let m = out.sim.machine();
+                    let mut text = String::new();
+                    if ki == 0 {
+                        text.push_str(&format!("===== Fig. 6: {name} =====\n"));
+                    }
+                    let key_mmu = format!("p{}.mmu_overhead", out.pid);
+                    let key_huge = format!("p{}.huge_pages", out.pid);
+                    if let Some(s) = m.recorder().series(&key_mmu) {
+                        text.push_str(&format_series(
+                            &format!("{} {name}: MMU overhead (fraction)", kind.label()),
+                            s,
+                            12,
+                        ));
+                    }
+                    if let Some(s) = m.recorder().series(&key_huge) {
+                        text.push_str(&format_series(
+                            &format!("{} {name}: huge pages mapped", kind.label()),
+                            s,
+                            12,
+                        ));
+                    }
+                    let overhead = out.mmu_overhead();
+                    let promos = m.stats().promotions;
+                    text.push_str(&format!(
+                        "{} {name}: final overhead {:.1}%, promotions {}\n",
+                        kind.label(),
+                        overhead * 100.0,
+                        promos
                     ));
-                }
-                if let Some(s) = m.recorder().series(&key_huge) {
-                    text.push_str(&format_series(
-                        &format!("{} {name}: huge pages mapped", kind.label()),
-                        s,
-                        12,
-                    ));
-                }
-                let overhead = out.mmu_overhead();
-                let promos = m.stats().promotions;
-                text.push_str(&format!(
-                    "{} {name}: final overhead {:.1}%, promotions {}\n",
-                    kind.label(),
-                    overhead * 100.0,
-                    promos
-                ));
-                Row::new(vec![])
-                    .with_json(Json::obj(vec![
-                        ("workload", Json::str(name)),
-                        ("policy", Json::str(kind.label())),
-                        ("final_mmu_overhead", Json::num(overhead)),
-                        ("promotions", Json::int(promos)),
-                    ]))
-                    .line(text)
-            }));
+                    Row::new(vec![])
+                        .with_json(Json::obj(vec![
+                            ("workload", Json::str(name)),
+                            ("policy", Json::str(kind.label())),
+                            ("final_mmu_overhead", Json::num(overhead)),
+                            ("promotions", Json::int(promos)),
+                        ]))
+                        .line(text)
+                },
+            ));
         }
     }
     let mut report = Report::new(

@@ -48,6 +48,7 @@ const KINDS: [PolicyKind; 5] = [
     PolicyKind::HawkEyeG,
 ];
 
+/// Builds the `fig7_table5` report: fairness across identical co-running instances.
 pub fn report(threads: usize) -> Report {
     // One scenario per (workload, policy); the 4KB cell doubles as the
     // speedup base for its workload (assembled after the ordered run).
@@ -56,7 +57,9 @@ pub fn report(threads: usize) -> Report {
         .flat_map(|name| {
             KINDS.iter().map(move |kind| {
                 let (name, kind) = (*name, *kind);
-                Scenario::new(format!("{name} {}", kind.label()), move || run_three(kind, name))
+                Scenario::new(format!("{name} {}", kind.label()), move || {
+                    run_three(kind, name)
+                })
             })
         })
         .collect();
@@ -81,7 +84,11 @@ pub fn report(threads: usize) -> Report {
         let avg4k = cells[0].0.iter().sum::<f64>() / 3.0;
         for (ki, kind) in KINDS.iter().enumerate() {
             let (times, promos) = &cells[ki];
-            let promos = if *kind == PolicyKind::Linux4k { 0 } else { *promos };
+            let promos = if *kind == PolicyKind::Linux4k {
+                0
+            } else {
+                *promos
+            };
             let avg = times.iter().sum::<f64>() / 3.0;
             report.add(
                 Row::new(vec![

@@ -40,7 +40,11 @@ fn run_pair(kind: PolicyKind, name: &str, sensitive_first: bool) -> f64 {
         sim.spawn(redis());
         sim.spawn(sensitive(name))
     };
-    sim.run_while(|m| m.process(sens_pid).map(|p| !p.is_finished()).unwrap_or(false));
+    sim.run_while(|m| {
+        m.process(sens_pid)
+            .map(|p| !p.is_finished())
+            .unwrap_or(false)
+    });
     sim.machine()
         .process(sens_pid)
         .and_then(|p| p.finish_time())
@@ -57,6 +61,7 @@ const KINDS: [PolicyKind; 5] = [
     PolicyKind::HawkEyeG,
 ];
 
+/// Builds the `fig8` report: a TLB-sensitive tenant next to a lightly-loaded one.
 pub fn report(threads: usize) -> Report {
     // One scenario per (workload, policy, launch order) — 30 independent
     // pair simulations, fanned across cores.
@@ -67,7 +72,11 @@ pub fn report(threads: usize) -> Report {
                 [true, false].into_iter().map(move |first| {
                     let (name, kind) = (*name, *kind);
                     Scenario::new(
-                        format!("{name} {} {}", kind.label(), if first { "before" } else { "after" }),
+                        format!(
+                            "{name} {} {}",
+                            kind.label(),
+                            if first { "before" } else { "after" }
+                        ),
                         move || run_pair(kind, name, first),
                     )
                 })

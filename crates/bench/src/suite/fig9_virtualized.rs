@@ -46,9 +46,14 @@ fn run(name: &str, host_hawkeye: bool, guest_hawkeye: bool) -> f64 {
         .as_secs()
 }
 
-const CONFIGS: [(&str, bool, bool); 4] =
-    [("all-linux", false, false), ("host", true, false), ("guest", false, true), ("both", true, true)];
+const CONFIGS: [(&str, bool, bool); 4] = [
+    ("all-linux", false, false),
+    ("host", true, false),
+    ("guest", false, true),
+    ("both", true, true),
+];
 
+/// Builds the `fig9_table6` report: virtualized speedups, host and guest policies crossed.
 pub fn report(threads: usize) -> Report {
     // One scenario per (workload, layer config): 8 independent two-level
     // systems. Speedups are assembled from the ordered results.

@@ -11,6 +11,7 @@
 //! `ablations` and `touch_throughput` stay standalone benches: they are
 //! exploratory tools, not rows of the experiment index.
 
+pub mod adversarial;
 pub mod fig10_prezero_interference;
 pub mod fig11_overcommit;
 pub mod fig1_redis_bloat;
@@ -22,7 +23,9 @@ pub mod fig7_table5_identical_workloads;
 pub mod fig8_heterogeneous;
 pub mod fig9_virtualized;
 pub mod fleet_slo;
+pub mod hpc_stencil;
 pub mod multicore_contention;
+pub mod oltp_btree;
 pub mod table1_fault_latency;
 pub mod table2_tlb_sensitivity;
 pub mod table3_npb_characteristics;
@@ -141,6 +144,21 @@ pub const TARGETS: &[Target] = &[
         name: "fleet_slo",
         paper: "§Fleet SLOs",
         build: fleet_slo::report,
+    },
+    Target {
+        name: "oltp_btree",
+        paper: "§17 OLTP B-tree",
+        build: oltp_btree::report,
+    },
+    Target {
+        name: "hpc_stencil",
+        paper: "§17 HPC stencil",
+        build: hpc_stencil::report,
+    },
+    Target {
+        name: "adversarial",
+        paper: "§17 adversarial",
+        build: adversarial::report,
     },
 ];
 

@@ -25,18 +25,42 @@ fn contending_workload(tag: String) -> Box<dyn hawkeye_kernel::Workload> {
     script(
         tag,
         vec![
-            MemOp::Mmap { start: Vpn(0), pages, kind: VmaKind::Anon },
-            MemOp::TouchRange { start: Vpn(0), pages, write: true, think: 50, stride: 1, repeats: 1 },
+            MemOp::Mmap {
+                start: Vpn(0),
+                pages,
+                kind: VmaKind::Anon,
+            },
+            MemOp::TouchRange {
+                start: Vpn(0),
+                pages,
+                write: true,
+                think: 50,
+                stride: 1,
+                repeats: 1,
+            },
             // Idle across many policy ticks: khugepaged chews on the
             // regions the faults above touched.
-            MemOp::Compute { cycles: 120_000_000 },
-            MemOp::Madvise { start: Vpn(0), pages: 1024 },
-            MemOp::TouchRange { start: Vpn(0), pages, write: false, think: 0, stride: 1, repeats: 2 },
+            MemOp::Compute {
+                cycles: 120_000_000,
+            },
+            MemOp::Madvise {
+                start: Vpn(0),
+                pages: 1024,
+            },
+            MemOp::TouchRange {
+                start: Vpn(0),
+                pages,
+                write: false,
+                think: 0,
+                stride: 1,
+                repeats: 2,
+            },
             MemOp::Compute { cycles: 60_000_000 },
         ],
     )
 }
 
+/// Builds the `multicore_contention` report: lock contention as simulated cores scale.
 pub fn report(threads: usize) -> Report {
     let mut scenarios: Vec<Scenario<Row>> = Vec::new();
     for kind in [PolicyKind::HawkEyeG, PolicyKind::Linux2m] {
@@ -165,7 +189,10 @@ mod tests {
         assert!(results[0] > 0);
         let (_, reg) = &registries[0];
         let m = reg.machine(0).expect("machine attached");
-        assert!(m.counter("lock.acquisitions") > 0, "lock.* missing from registry");
+        assert!(
+            m.counter("lock.acquisitions") > 0,
+            "lock.* missing from registry"
+        );
         assert!(m.counter("lock.cas_retries") > 0, "no modeled contention");
     }
 }

@@ -8,7 +8,8 @@
 //! from the fault path (HawkEye's async pre-zeroing) wins on both axes.
 
 use crate::{
-    dirty_free_memory, run_scenarios_with, secs, Json, PolicyKind, Report, Row, RunOutcome, Scenario,
+    dirty_free_memory, run_scenarios_with, secs, Json, PolicyKind, Report, Row, RunOutcome,
+    Scenario,
 };
 use hawkeye_kernel::{workload::script, MemOp, Simulator};
 use hawkeye_metrics::Cycles;
@@ -23,7 +24,12 @@ fn run_dirty(kind: PolicyKind, pages: u64, runs: u32) -> RunOutcome {
     dirty_free_memory(sim.machine_mut());
     if kind.wants_zero_pool() {
         // The async pre-zeroing daemon gets its steady-state head start.
-        sim.spawn(script("warmup", vec![MemOp::Compute { cycles: 3_000_000_000 }]));
+        sim.spawn(script(
+            "warmup",
+            vec![MemOp::Compute {
+                cycles: 3_000_000_000,
+            }],
+        ));
         sim.run();
     }
     let pid = sim.spawn(Box::new(AllocTouch::new(pages, runs, 1150)));
@@ -31,6 +37,7 @@ fn run_dirty(kind: PolicyKind, pages: u64, runs: u32) -> RunOutcome {
     RunOutcome { sim, pid }
 }
 
+/// Builds the `table1` report: page faults and allocation latency at 4 KB vs 2 MB.
 pub fn report(threads: usize) -> Report {
     let pages_per_run = 40 * 1024; // 160 MiB
     let runs = 10;
@@ -65,7 +72,13 @@ pub fn report(threads: usize) -> Report {
     let mut report = Report::new(
         "table1_fault_latency",
         "Table 1: alloc-touch microbenchmark (scaled: 10 x 160 MiB)",
-        vec!["Config", "#Page faults", "Fault time (s)", "Avg fault (us)", "Total time (s)"],
+        vec![
+            "Config",
+            "#Page faults",
+            "Fault time (s)",
+            "Avg fault (us)",
+            "Total time (s)",
+        ],
     );
     report.extend(run_scenarios_with(scenarios, threads));
     report.footer(

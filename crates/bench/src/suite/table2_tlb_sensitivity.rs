@@ -17,21 +17,31 @@ struct AppResult {
     expected: bool,
 }
 
+/// Builds the `table2` report: TLB-sensitive application counts per benchmark suite.
 pub fn report(threads: usize) -> Report {
     let iters = 120;
     let scenarios: Vec<Scenario<AppResult>> = census()
         .into_iter()
         .map(|app| {
             Scenario::new(app.name, move || {
-                let base =
-                    run_one(PolicyKind::Linux4k, 512, None, 120.0, Box::new(app.workload(iters)));
-                let huge =
-                    run_one(PolicyKind::Linux2m, 512, None, 120.0, Box::new(app.workload(iters)));
+                let base = run_one(
+                    PolicyKind::Linux4k,
+                    512,
+                    None,
+                    120.0,
+                    Box::new(app.workload(iters)),
+                );
+                let huge = run_one(
+                    PolicyKind::Linux2m,
+                    512,
+                    None,
+                    120.0,
+                    Box::new(app.workload(iters)),
+                );
                 // Steady-state comparison: the paper's applications run for
                 // minutes, so demand-paging warmup is negligible there;
                 // exclude fault-handler time to match.
-                let steady =
-                    |o: &crate::RunOutcome| (o.cpu_secs() - o.fault_secs()).max(1e-9);
+                let steady = |o: &crate::RunOutcome| (o.cpu_secs() - o.fault_secs()).max(1e-9);
                 let speedup = steady(&base) / steady(&huge);
                 AppResult {
                     suite: app.suite,
@@ -64,13 +74,18 @@ pub fn report(threads: usize) -> Report {
     let mut total = (0, 0, 0);
     for (suite, (n, s, e)) in &per_suite {
         report.add(
-            Row::new(vec![suite.to_string(), n.to_string(), s.to_string(), e.to_string()])
-                .with_json(Json::obj(vec![
-                    ("suite", Json::str(*suite)),
-                    ("total", Json::int(*n as u64)),
-                    ("sensitive", Json::int(*s as u64)),
-                    ("paper", Json::int(*e as u64)),
-                ])),
+            Row::new(vec![
+                suite.to_string(),
+                n.to_string(),
+                s.to_string(),
+                e.to_string(),
+            ])
+            .with_json(Json::obj(vec![
+                ("suite", Json::str(*suite)),
+                ("total", Json::int(*n as u64)),
+                ("sensitive", Json::int(*s as u64)),
+                ("paper", Json::int(*e as u64)),
+            ])),
         );
         total.0 += n;
         total.1 += s;

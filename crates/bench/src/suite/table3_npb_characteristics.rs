@@ -34,11 +34,19 @@ fn virt_time(name: &str, host_huge: bool) -> f64 {
     let mut sys = VirtSystem::new(PolicyKind::Linux2m.config(1024), host);
     let vm = sys.add_vm(
         VmSpec { frames: 192 * 1024 },
-        if host_huge { Box::new(LinuxThp::default()) } else { Box::new(BasePagesOnly) },
+        if host_huge {
+            Box::new(LinuxThp::default())
+        } else {
+            Box::new(BasePagesOnly)
+        },
     );
     let pid = sys.spawn_in_vm(vm, kernel(name, 1200));
     sys.run();
-    sys.guest(vm).process(pid).expect("pid").cpu_time().as_secs()
+    sys.guest(vm)
+        .process(pid)
+        .expect("pid")
+        .cpu_time()
+        .as_secs()
 }
 
 /// One scenario per workload: native base + huge runs, then both
@@ -60,8 +68,8 @@ fn scenario(name: &'static str) -> Scenario<Row> {
                 / (1024.0 * 1024.0)
         };
         let stats = base.sim.machine().process(base.pid).expect("pid").stats();
-        let miss_rate = base.sim.machine().mmu().lifetime(base.pid).walks as f64
-            / stats.accesses.max(1) as f64;
+        let miss_rate =
+            base.sim.machine().mmu().lifetime(base.pid).walks as f64 / stats.accesses.max(1) as f64;
         let vb = virt_time(name, false);
         let vh = virt_time(name, true);
         Row::new(vec![
@@ -79,15 +87,20 @@ fn scenario(name: &'static str) -> Scenario<Row> {
             ("tlb_miss_per_access", Json::num(miss_rate)),
             ("mmu_overhead_4k", Json::num(base.mmu_overhead())),
             ("mmu_overhead_2m", Json::num(huge.mmu_overhead())),
-            ("native_speedup", Json::num(base.cpu_secs() / huge.cpu_secs())),
+            (
+                "native_speedup",
+                Json::num(base.cpu_secs() / huge.cpu_secs()),
+            ),
             ("virtual_speedup", Json::num(vb / vh)),
         ]))
     })
 }
 
+/// Builds the `table3` report: NPB memory characteristics and translation overheads.
 pub fn report(threads: usize) -> Report {
-    let scenarios: Vec<Scenario<Row>> =
-        ["bt.D", "sp.D", "lu.D", "mg.D", "cg.D", "ft.D", "ua.D"].map(scenario).into();
+    let scenarios: Vec<Scenario<Row>> = ["bt.D", "sp.D", "lu.D", "mg.D", "cg.D", "ft.D", "ua.D"]
+        .map(scenario)
+        .into();
     let mut report = Report::new(
         "table3_npb_characteristics",
         "Table 3: NPB characteristics (class-D footprints scaled /128)",

@@ -13,12 +13,22 @@ use hawkeye_workloads::{RedisKv, RedisOp};
 
 fn script() -> Vec<RedisOp> {
     vec![
-        RedisOp::Insert { keys: 24 * 1024, value_pages: 1, think: 300 },
+        RedisOp::Insert {
+            keys: 24 * 1024,
+            value_pages: 1,
+            think: 300,
+        },
         RedisOp::DeleteFrac { fraction: 0.6 },
         // Gap for khugepaged to act (bloat window).
-        RedisOp::Serve { requests: 20_000, think: 120_000 },
+        RedisOp::Serve {
+            requests: 20_000,
+            think: 120_000,
+        },
         // Measured serving phase.
-        RedisOp::Serve { requests: 200_000, think: 2_000 },
+        RedisOp::Serve {
+            requests: 200_000,
+            think: 2_000,
+        },
     ]
 }
 
@@ -34,9 +44,22 @@ fn run(kind: PolicyKind, mib: u64, hog_pages: u64) -> (f64, f64) {
         sim.spawn(kscript(
             "hog",
             vec![
-                MemOp::Mmap { start: Vpn(0), pages: hog_pages, kind: VmaKind::Anon },
-                MemOp::TouchRange { start: Vpn(0), pages: hog_pages, write: true, think: 0, stride: 1, repeats: 1 },
-                MemOp::Compute { cycles: 40_000_000_000 },
+                MemOp::Mmap {
+                    start: Vpn(0),
+                    pages: hog_pages,
+                    kind: VmaKind::Anon,
+                },
+                MemOp::TouchRange {
+                    start: Vpn(0),
+                    pages: hog_pages,
+                    write: true,
+                    think: 0,
+                    stride: 1,
+                    repeats: 1,
+                },
+                MemOp::Compute {
+                    cycles: 40_000_000_000,
+                },
             ],
         ));
     }
@@ -44,10 +67,17 @@ fn run(kind: PolicyKind, mib: u64, hog_pages: u64) -> (f64, f64) {
     // Run the loaded phases; measure the final serve phase throughput by
     // time difference around the last 200k requests.
     sim.run_while(|m| {
-        m.process(pid).map(|p| p.stats().touches < (24 * 1024 + 20_000) as u64).unwrap_or(false)
+        m.process(pid)
+            .map(|p| p.stats().touches < (24 * 1024 + 20_000) as u64)
+            .unwrap_or(false)
     });
     let t0 = sim.machine().now();
-    let touches0 = sim.machine().process(pid).expect("redis process exists").stats().touches;
+    let touches0 = sim
+        .machine()
+        .process(pid)
+        .expect("redis process exists")
+        .stats()
+        .touches;
     // Finish all but the last 2k requests, then read memory while the
     // server is still live (RSS is meaningless after exit).
     sim.run_while(|m| {
@@ -63,16 +93,23 @@ fn run(kind: PolicyKind, mib: u64, hog_pages: u64) -> (f64, f64) {
         .filter(|p| p.name() == "hog")
         .map(|p| p.space().rss_pages())
         .sum();
-    let mem_mib = (sim.machine().pm().allocated_pages() - hog_rss) as f64 * 4096.0
-        / (1024.0 * 1024.0);
+    let mem_mib =
+        (sim.machine().pm().allocated_pages() - hog_rss) as f64 * 4096.0 / (1024.0 * 1024.0);
     // Capture throughput *now*, before draining unrelated processes.
     let dt = (sim.machine().now() - t0).as_secs();
-    let reqs = sim.machine().process(pid).expect("redis process exists").stats().touches - touches0;
+    let reqs = sim
+        .machine()
+        .process(pid)
+        .expect("redis process exists")
+        .stats()
+        .touches
+        - touches0;
     let kops = reqs as f64 / dt.max(1e-9) / 1e3;
     sim.run();
     (mem_mib, kops)
 }
 
+/// Builds the `table7` report: Redis memory vs throughput under bloat recovery.
 pub fn report(threads: usize) -> Report {
     let scenarios: Vec<Scenario<Row>> = [
         (PolicyKind::Linux4k, "No", 0u64),
@@ -104,7 +141,12 @@ pub fn report(threads: usize) -> Report {
     let mut report = Report::new(
         "table7_bloat_recovery",
         "Table 7: Redis memory vs throughput (96 MiB dataset, 60% deleted)",
-        vec!["Kernel", "Self-tuning", "Memory (MiB)", "Throughput (Kops/s)"],
+        vec![
+            "Kernel",
+            "Self-tuning",
+            "Memory (MiB)",
+            "Throughput (Kops/s)",
+        ],
     );
     report.extend(run_scenarios_with(scenarios, threads));
     report.footer(

@@ -8,7 +8,8 @@
 //! threshold *hurts* these workloads by multiplying faults.
 
 use crate::{
-    dirty_free_memory, run_scenarios_with, secs, Json, PolicyKind, Report, Row, RunOutcome, Scenario,
+    dirty_free_memory, run_scenarios_with, secs, Json, PolicyKind, Report, Row, RunOutcome,
+    Scenario,
 };
 use hawkeye_kernel::{workload::script, MemOp, Simulator, Workload};
 use hawkeye_metrics::Cycles;
@@ -20,7 +21,12 @@ fn run_steady(kind: PolicyKind, mib: u64, w: Box<dyn Workload>) -> RunOutcome {
     let mut sim = Simulator::new(cfg, kind.build());
     dirty_free_memory(sim.machine_mut());
     if kind.wants_zero_pool() {
-        sim.spawn(script("warmup", vec![MemOp::Compute { cycles: 3_000_000_000 }]));
+        sim.spawn(script(
+            "warmup",
+            vec![MemOp::Compute {
+                cycles: 3_000_000_000,
+            }],
+        ));
         sim.run();
     }
     let pid = sim.spawn(w);
@@ -35,17 +41,26 @@ fn workloads() -> Vec<(&'static str, WorkloadCtor)> {
         ("Redis 2MB-values (Kops/s)", || {
             Box::new(RedisKv::new(
                 80 * 1024,
-                vec![RedisOp::Insert { keys: 120, value_pages: 512, think: 500 }],
+                vec![RedisOp::Insert {
+                    keys: 120,
+                    value_pages: 512,
+                    think: 500,
+                }],
                 41,
             ))
         }),
         ("SparseHash (s)", || Box::new(SparseHash::new(2048, 5, 60))),
         ("HACC-IO (s)", || Box::new(HaccIo::new(24 * 1024, 3))),
-        ("JVM spin-up (s)", || Box::new(Spinup::new("jvm", 24 * 1024))),
-        ("KVM spin-up (s)", || Box::new(Spinup::new("kvm", 24 * 1024))),
+        ("JVM spin-up (s)", || {
+            Box::new(Spinup::new("jvm", 24 * 1024))
+        }),
+        ("KVM spin-up (s)", || {
+            Box::new(Spinup::new("kvm", 24 * 1024))
+        }),
     ]
 }
 
+/// Builds the `table8` report: fault-bound workloads under async pre-zeroing.
 pub fn report(threads: usize) -> Report {
     let kinds = [
         PolicyKind::Linux4k,

@@ -14,11 +14,20 @@ use hawkeye_workloads::{NpbKernel, PatternScan};
 fn set(name: &str) -> Vec<(&'static str, Box<dyn Workload>)> {
     match name {
         "set1" => vec![
-            ("random(192MB)", Box::new(PatternScan::random(48 * 1024, 6_000_000, 60)) as Box<dyn Workload>),
-            ("sequential(192MB)", Box::new(PatternScan::sequential(48 * 1024, 6_000_000, 60))),
+            (
+                "random(192MB)",
+                Box::new(PatternScan::random(48 * 1024, 6_000_000, 60)) as Box<dyn Workload>,
+            ),
+            (
+                "sequential(192MB)",
+                Box::new(PatternScan::sequential(48 * 1024, 6_000_000, 60)),
+            ),
         ],
         _ => vec![
-            ("cg.D(128MB)", Box::new(NpbKernel::cg(64, 5000)) as Box<dyn Workload>),
+            (
+                "cg.D(128MB)",
+                Box::new(NpbKernel::cg(64, 5000)) as Box<dyn Workload>,
+            ),
             ("mg.D(192MB)", Box::new(NpbKernel::mg(96, 5000))),
         ],
     }
@@ -44,15 +53,23 @@ fn run_set(kind: PolicyKind, which: &str) -> Vec<(String, f64, f64)> {
         .collect()
 }
 
+/// Builds the `table9` report: HawkEye-PMU vs HawkEye-G on co-running pairs.
 pub fn report(threads: usize) -> Report {
     // One scenario per (set, policy): each runs the co-scheduled pair.
-    let matrix =
-        [("set1", PolicyKind::Linux4k), ("set1", PolicyKind::HawkEyePmu), ("set1", PolicyKind::HawkEyeG),
-         ("set2", PolicyKind::Linux4k), ("set2", PolicyKind::HawkEyePmu), ("set2", PolicyKind::HawkEyeG)];
+    let matrix = [
+        ("set1", PolicyKind::Linux4k),
+        ("set1", PolicyKind::HawkEyePmu),
+        ("set1", PolicyKind::HawkEyeG),
+        ("set2", PolicyKind::Linux4k),
+        ("set2", PolicyKind::HawkEyePmu),
+        ("set2", PolicyKind::HawkEyeG),
+    ];
     let scenarios: Vec<Scenario<Vec<(String, f64, f64)>>> = matrix
         .into_iter()
         .map(|(which, kind)| {
-            Scenario::new(format!("{which} {}", kind.label()), move || run_set(kind, which))
+            Scenario::new(format!("{which} {}", kind.label()), move || {
+                run_set(kind, which)
+            })
         })
         .collect();
     let results = run_scenarios_with(scenarios, threads);

@@ -46,6 +46,28 @@ pub struct HostObs {
 
 /// A userspace fleet policy: observes per-host event streams and gauges,
 /// returns steering decisions.
+///
+/// # Examples
+///
+/// A three-line controller: pause khugepaged on any host past 90%
+/// utilization, release it otherwise.
+///
+/// ```
+/// use hawkeye_fleet::{FleetHook, HostObs};
+/// use hawkeye_kernel::Steering;
+///
+/// struct PauseWhenFull;
+///
+/// impl FleetHook for PauseWhenFull {
+///     fn name(&self) -> &str {
+///         "pause-when-full"
+///     }
+///     fn steer(&mut self, obs: &HostObs) -> Option<Steering> {
+///         (obs.utilization > 0.9)
+///             .then(|| Steering { khugepaged_budget: Some(0), ..Steering::default() })
+///     }
+/// }
+/// ```
 pub trait FleetHook: Send {
     /// Hook name, for tables and cohort labels.
     fn name(&self) -> &str;
@@ -91,7 +113,11 @@ impl ThrottleUnderPressure {
     /// Creates the controller with the given utilization band.
     pub fn new(low: f64, high: f64) -> Self {
         assert!(0.0 < low && low < high, "bad utilization band");
-        ThrottleUnderPressure { low, high, engaged: BTreeSet::new() }
+        ThrottleUnderPressure {
+            low,
+            high,
+            engaged: BTreeSet::new(),
+        }
     }
 }
 
@@ -101,7 +127,10 @@ impl FleetHook for ThrottleUnderPressure {
     }
 
     fn steer(&mut self, obs: &HostObs) -> Option<Steering> {
-        let oomed = obs.events.iter().any(|r| matches!(r.event, TraceEvent::Oom));
+        let oomed = obs
+            .events
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::Oom));
         if oomed || obs.utilization >= self.high {
             self.engaged.insert(obs.host);
             return Some(Steering {
@@ -154,7 +183,10 @@ mod tests {
     #[test]
     fn throttle_band_engages_and_releases() {
         let mut h = ThrottleUnderPressure::new(0.6, 0.9);
-        assert!(h.steer(&obs(0, 0.3, vec![])).is_none(), "idle host untouched");
+        assert!(
+            h.steer(&obs(0, 0.3, vec![])).is_none(),
+            "idle host untouched"
+        );
         let mid = h.steer(&obs(0, 0.75, vec![])).expect("band engages");
         assert!(mid.promotion_throttle > 0.0 && mid.promotion_throttle < 1.0);
         assert!(mid.demotion_pressure > 0.0);
@@ -163,7 +195,10 @@ mod tests {
         assert_eq!(hi.khugepaged_budget, Some(0));
         let release = h.steer(&obs(0, 0.3, vec![])).expect("explicit release");
         assert_eq!(release, Steering::default());
-        assert!(h.steer(&obs(0, 0.3, vec![])).is_none(), "released host untouched");
+        assert!(
+            h.steer(&obs(0, 0.3, vec![])).is_none(),
+            "released host untouched"
+        );
     }
 
     #[test]
@@ -175,7 +210,9 @@ mod tests {
             machine: 0,
             event: TraceEvent::Oom,
         };
-        let s = h.steer(&obs(1, 0.2, vec![oom])).expect("OOM overrides utilization");
+        let s = h
+            .steer(&obs(1, 0.2, vec![oom]))
+            .expect("OOM overrides utilization");
         assert_eq!(s.demotion_pressure, 1.0);
     }
 }

@@ -14,7 +14,7 @@ use hawkeye_report::paper;
 fn usage() -> &'static str {
     "usage: hawkeye-report [--check] [--no-run] [--threads N] [--slack F]\n\
      \x20                     [--only t1,t2,...] [--dir DIR] [--trend]\n\
-     \x20                     [--ledger DIR]\n\
+     \x20                     [--ledger DIR] [--counts]\n\
      \n\
      Runs the full paper-experiment suite in-process (tracing forced on),\n\
      writes per-target summaries + trace journals under DIR, and renders\n\
@@ -38,9 +38,14 @@ fn usage() -> &'static str {
      --ledger DIR  perf-trajectory ledger directory holding BENCH_<n>.json\n\
      \x20             entries (default: <dir>/ledger); every suite run\n\
      \x20             appends one entry\n\
+     --counts      print `targets=N checks=M` (registry size and total\n\
+     \x20             check rows) and exit — the docs-drift CI gate\n\
+     \x20             compares these against README/EXPERIMENTS.md\n\
      \n\
      When the selection includes fleet_slo, DIR/FLEET.md (per-cohort\n\
-     fleet SLO tables) is written next to REPORT.md. When the run was\n\
+     fleet SLO tables) is written next to REPORT.md; when it includes\n\
+     adversarial, DIR/ENVELOPES.md (the failure-envelope atlas) is\n\
+     written the same way. When the run was\n\
      telemetry-enabled (HAWKEYE_OBS=1) DIR/ALERTS.md (SLO burn-rate\n\
      transitions + anomaly annotations) is rendered from the\n\
      fleet_slo.obs.json artifact.\n\
@@ -67,9 +72,7 @@ fn main() -> ExitCode {
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |flag: &str| {
-            args.next().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
         match arg.as_str() {
             "--check" => check = true,
             "--no-run" => run = false,
@@ -92,9 +95,7 @@ fn main() -> ExitCode {
                 }
             },
             "--only" => match value("--only") {
-                Ok(list) => {
-                    only = Some(list.split(',').map(|s| s.trim().to_string()).collect())
-                }
+                Ok(list) => only = Some(list.split(',').map(|s| s.trim().to_string()).collect()),
                 Err(e) => {
                     eprintln!("hawkeye-report: {e}");
                     return ExitCode::from(2);
@@ -108,6 +109,33 @@ fn main() -> ExitCode {
                 }
             },
             "--trend" => trend = true,
+            "--counts" => {
+                // Registry size and total check rows, computed from the
+                // section builders alone (they register a fixed check
+                // vector per target) — no suite run, no artifacts.
+                let total: usize = hawkeye_bench::suite::TARGETS
+                    .iter()
+                    .map(|t| {
+                        let d = hawkeye_report::TargetData {
+                            name: t.name,
+                            paper_ref: t.paper,
+                            summary: hawkeye_analyze::summary::SummaryDoc {
+                                target: t.name.to_string(),
+                                title: String::new(),
+                                rows: Vec::new(),
+                                cycles: Vec::new(),
+                            },
+                            trace: None,
+                        };
+                        paper::section(&d).checks.len()
+                    })
+                    .sum();
+                println!(
+                    "targets={} checks={total}",
+                    hawkeye_bench::suite::TARGETS.len()
+                );
+                return ExitCode::SUCCESS;
+            }
             "--ledger" => match value("--ledger") {
                 Ok(d) => ledger_dir = Some(PathBuf::from(d)),
                 Err(e) => {
@@ -144,12 +172,13 @@ fn main() -> ExitCode {
         walls = hawkeye_report::run_suite(&targets, threads, &data_dir);
         let table = hawkeye_report::wallclock_table(&walls, threads);
         let wall_path = dir.join("WALLCLOCK.md");
-        match std::fs::create_dir_all(&dir)
-            .and_then(|()| std::fs::write(&wall_path, &table))
-        {
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&wall_path, &table)) {
             Ok(()) => eprintln!("[hawkeye-report] wrote {}", wall_path.display()),
             Err(e) => {
-                eprintln!("[hawkeye-report] could not write {}: {e}", wall_path.display())
+                eprintln!(
+                    "[hawkeye-report] could not write {}: {e}",
+                    wall_path.display()
+                )
             }
         }
         let total: f64 = walls.iter().map(|w| w.total_secs).sum();
@@ -167,10 +196,12 @@ fn main() -> ExitCode {
     let report = hawkeye_report::render(&sections, slack);
 
     let out_path = dir.join("REPORT.md");
-    if let Err(e) = std::fs::create_dir_all(&dir)
-        .and_then(|()| std::fs::write(&out_path, &report))
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&out_path, &report))
     {
-        eprintln!("hawkeye-report: gate=load: could not write {}: {e}", out_path.display());
+        eprintln!(
+            "hawkeye-report: gate=load: could not write {}: {e}",
+            out_path.display()
+        );
         return ExitCode::from(3);
     }
     eprintln!("[hawkeye-report] wrote {}", out_path.display());
@@ -186,6 +217,24 @@ fn main() -> ExitCode {
                     eprintln!(
                         "hawkeye-report: gate=load: could not write {}: {e}",
                         fleet_path.display()
+                    );
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    }
+
+    // ENVELOPES.md: the failure-envelope atlas, whenever the adversarial
+    // target is in the selection (same deterministic-bytes rule).
+    for d in &data {
+        if let Some(md) = hawkeye_analyze::envelope::envelopes_md(&d.summary, d.trace.as_ref()) {
+            let env_path = dir.join("ENVELOPES.md");
+            match std::fs::write(&env_path, &md) {
+                Ok(()) => eprintln!("[hawkeye-report] wrote {}", env_path.display()),
+                Err(e) => {
+                    eprintln!(
+                        "hawkeye-report: gate=load: could not write {}: {e}",
+                        env_path.display()
                     );
                     return ExitCode::from(3);
                 }
@@ -232,8 +281,7 @@ fn main() -> ExitCode {
         let entry = hawkeye_report::ledger_entry(n, &walls, &sections, slack);
         let doc = hawkeye_report::ledger_json(&entry).to_string() + "\n";
         let entry_path = ledger_dir.join(format!("BENCH_{n}.json"));
-        match std::fs::create_dir_all(&ledger_dir)
-            .and_then(|()| std::fs::write(&entry_path, &doc))
+        match std::fs::create_dir_all(&ledger_dir).and_then(|()| std::fs::write(&entry_path, &doc))
         {
             Ok(()) => eprintln!("[hawkeye-report] appended {}", entry_path.display()),
             Err(e) => {
@@ -264,7 +312,11 @@ fn main() -> ExitCode {
             );
             return ExitCode::from(3);
         }
-        eprintln!("[hawkeye-report] wrote {} ({} run(s))", trend_path.display(), runs.len());
+        eprintln!(
+            "[hawkeye-report] wrote {} ({} run(s))",
+            trend_path.display(),
+            runs.len()
+        );
         if runs.len() >= 2 {
             trend_regressions =
                 hawkeye_obs::regressions(&runs[runs.len() - 2], &runs[runs.len() - 1]);

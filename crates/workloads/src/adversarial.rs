@@ -1,0 +1,456 @@
+//! Adversarial workloads: attackers engineered to break huge-page
+//! policies.
+//!
+//! Two attackers, each with a continuous `intensity` knob in `[0, 1]`
+//! that the `adversarial` suite target sweeps to find each policy's
+//! failure knee (recorded in ENVELOPES.md):
+//!
+//! * [`FragAttacker`] pessimizes the free-memory fragmentation index
+//!   (FMFI): it backs a large arena, then frees everything *except one
+//!   pinned page per 2 MB region*, leaving the buddy allocator with
+//!   plenty of free memory but no contiguity. Intensity is the fraction
+//!   of the arena's regions attacked this way; the rest are handed back
+//!   whole, so intensity scales fragmentation while the attacker's
+//!   resident footprint stays a handful of pins.
+//! * [`BloatAttacker`] weaponizes bloat *recovery*: it grows a fully
+//!   written, dense arena — every one of its pages non-zero, so the
+//!   recovery daemon can never reclaim anything *from it* — until
+//!   machine utilization crosses the recovery watermark. The only
+//!   zero-filled huge pages on the machine then belong to the co-running
+//!   victim (the free tails inside its fault-time huge pages), so
+//!   HawkEye's recovery demotes the *victim's* huge pages to feed the
+//!   attacker, while Linux-2MB simply OOM-kills the attacker and the
+//!   victim keeps its huge pages. Intensity scales the grown footprint.
+
+use crate::content::DirtModel;
+use hawkeye_kernel::rng::SplitMix64;
+use hawkeye_kernel::{MemOp, Workload};
+use hawkeye_vm::{VmaKind, Vpn};
+
+/// Base pages per 2 MB region.
+const REGION_PAGES: u64 = 512;
+
+/// Pins one page per region and frees the rest, destroying contiguity.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_workloads::FragAttacker;
+/// use hawkeye_kernel::Workload;
+///
+/// let mut a = FragAttacker::new(8, 1.0, 50, 7);
+/// assert_eq!(a.name(), "frag-attacker");
+/// assert!(a.next_op().is_some());
+/// ```
+#[derive(Debug)]
+pub struct FragAttacker {
+    regions: u64,
+    /// Regions attacked (pin + free); the rest stay fully backed.
+    attacked: u64,
+    /// The pinned page offset inside each attacked region.
+    pins: Vec<u64>,
+    /// Steady-state keep-warm rounds after the attack is planted.
+    rounds_left: u64,
+    next_region: u64,
+    phase: u8,
+    dirt: DirtModel,
+}
+
+impl FragAttacker {
+    /// An attacker over `regions` 2 MB regions; `intensity` in `[0, 1]`
+    /// is the fraction of regions shattered (clamped).
+    pub fn new(regions: u64, intensity: f64, rounds: u64, seed: u64) -> Self {
+        assert!(regions > 0, "empty arena");
+        let attacked = ((regions as f64 * intensity.clamp(0.0, 1.0)).round() as u64).min(regions);
+        let mut rng = SplitMix64::new(seed);
+        // Pins stay off the region edges so both freed spans are
+        // non-empty and never spill into a neighbouring region.
+        let pins = (0..attacked)
+            .map(|_| 1 + rng.below(REGION_PAGES - 2))
+            .collect();
+        FragAttacker {
+            regions,
+            attacked,
+            pins,
+            rounds_left: rounds,
+            next_region: 0,
+            phase: 0,
+            dirt: DirtModel::paper_average(seed),
+        }
+    }
+
+    /// Arena footprint in base pages.
+    pub fn pages(&self) -> u64 {
+        self.regions * REGION_PAGES
+    }
+
+    /// Regions shattered by the attack.
+    pub fn attacked_regions(&self) -> u64 {
+        self.attacked
+    }
+}
+
+impl Workload for FragAttacker {
+    fn name(&self) -> &str {
+        "frag-attacker"
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Some(MemOp::Mmap {
+                    start: Vpn(0),
+                    pages: self.pages(),
+                    kind: VmaKind::Anon,
+                })
+            }
+            1 => {
+                self.phase = 2;
+                // Back and dirty the whole arena so the frames the frees
+                // return are spread across every buddy block.
+                Some(MemOp::TouchRange {
+                    start: Vpn(0),
+                    pages: self.pages(),
+                    write: true,
+                    think: 10,
+                    stride: 1,
+                    repeats: 1,
+                })
+            }
+            2 => {
+                // Shatter one region per op: free everything around the
+                // pinned page (two MADV_DONTNEED spans), keeping the pin
+                // resident so the buddy can never reassemble the block.
+                // Non-attacked regions are handed back whole — the attack
+                // knob shapes *fragmentation*, not footprint.
+                if self.next_region == self.regions {
+                    self.phase = 3;
+                    return self.next_op();
+                }
+                let r = self.next_region;
+                self.next_region += 1;
+                let base = r * REGION_PAGES;
+                if r >= self.attacked {
+                    return Some(MemOp::Madvise {
+                        start: Vpn(base),
+                        pages: REGION_PAGES,
+                    });
+                }
+                let pin = self.pins[r as usize];
+                // Free the span below the pin this op; above it next.
+                self.phase = 20;
+                Some(MemOp::Madvise {
+                    start: Vpn(base),
+                    pages: pin,
+                })
+            }
+            20 => {
+                self.phase = 2;
+                let r = self.next_region - 1;
+                let base = r * REGION_PAGES;
+                let pin = self.pins[r as usize];
+                Some(MemOp::Madvise {
+                    start: Vpn(base + pin + 1),
+                    pages: REGION_PAGES - pin - 1,
+                })
+            }
+            _ => {
+                if self.rounds_left == 0 {
+                    return None;
+                }
+                self.rounds_left -= 1;
+                // Keep the pins warm so reclaim never evicts them.
+                let vpns: Vec<Vpn> = self
+                    .pins
+                    .iter()
+                    .enumerate()
+                    .map(|(r, pin)| Vpn(r as u64 * REGION_PAGES + pin))
+                    .collect();
+                if vpns.is_empty() {
+                    // Intensity 0: nothing pinned, just idle compute.
+                    return Some(MemOp::Compute { cycles: 200_000 });
+                }
+                Some(MemOp::TouchList {
+                    vpns,
+                    write: true,
+                    think: 50,
+                })
+            }
+        }
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+/// Grows a dense, unrecoverable arena to point bloat recovery at the
+/// victim.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_workloads::BloatAttacker;
+/// use hawkeye_kernel::Workload;
+///
+/// let mut a = BloatAttacker::new(32, 0.5, 20, 9);
+/// assert_eq!(a.name(), "bloat-attacker");
+/// assert!(a.next_op().is_some());
+/// ```
+#[derive(Debug)]
+pub struct BloatAttacker {
+    /// Regions actually grown (scaled by intensity; 0 at intensity 0).
+    regions: u64,
+    /// Growth cursor: next region to write-fill.
+    grown: u64,
+    rounds_left: u64,
+    phase: u8,
+    dirt: DirtModel,
+}
+
+impl BloatAttacker {
+    /// An attacker with a maximum arena of `max_regions` 2 MB regions;
+    /// `intensity` in `[0, 1]` scales how many are grown (0 means the
+    /// attacker only idles — the unattacked control point).
+    pub fn new(max_regions: u64, intensity: f64, rounds: u64, seed: u64) -> Self {
+        assert!(max_regions > 0, "empty arena");
+        let regions =
+            ((max_regions as f64 * intensity.clamp(0.0, 1.0)).round() as u64).min(max_regions);
+        BloatAttacker {
+            regions,
+            grown: 0,
+            rounds_left: rounds,
+            phase: 0,
+            dirt: DirtModel::paper_average(seed),
+        }
+    }
+
+    /// Grown arena footprint in base pages.
+    pub fn pages(&self) -> u64 {
+        self.regions * REGION_PAGES
+    }
+}
+
+impl Workload for BloatAttacker {
+    fn name(&self) -> &str {
+        "bloat-attacker"
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                if self.regions == 0 {
+                    return self.next_op();
+                }
+                Some(MemOp::Mmap {
+                    start: Vpn(0),
+                    pages: self.pages(),
+                    kind: VmaKind::Anon,
+                })
+            }
+            1 => {
+                // Grow one region per op, writing every page: dense and
+                // non-zero throughout, so the recovery daemon finds
+                // nothing reclaimable here — all the pressure it relieves
+                // must come out of someone else's huge pages.
+                if self.grown == self.regions {
+                    self.phase = 2;
+                    return self.next_op();
+                }
+                let r = self.grown;
+                self.grown += 1;
+                Some(MemOp::TouchRange {
+                    start: Vpn(r * REGION_PAGES),
+                    pages: REGION_PAGES,
+                    write: true,
+                    think: 10,
+                    stride: 1,
+                    repeats: 1,
+                })
+            }
+            _ => {
+                if self.rounds_left == 0 {
+                    return None;
+                }
+                self.rounds_left -= 1;
+                if self.regions == 0 {
+                    // Intensity 0: no footprint, just idle compute.
+                    return Some(MemOp::Compute { cycles: 200_000 });
+                }
+                // Keep-warm reads over the whole arena: stays resident
+                // and hot for as long as the victim runs.
+                Some(MemOp::TouchRange {
+                    start: Vpn(0),
+                    pages: self.pages(),
+                    write: false,
+                    think: 4,
+                    stride: 1,
+                    repeats: 1,
+                })
+            }
+        }
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{BasePagesOnly, KernelConfig, Simulator};
+
+    #[test]
+    fn frag_intensity_scales_attacked_regions() {
+        assert_eq!(FragAttacker::new(16, 0.0, 1, 7).attacked_regions(), 0);
+        assert_eq!(FragAttacker::new(16, 0.5, 1, 7).attacked_regions(), 8);
+        assert_eq!(FragAttacker::new(16, 1.0, 1, 7).attacked_regions(), 16);
+        assert_eq!(
+            FragAttacker::new(16, 9.0, 1, 7).attacked_regions(),
+            16,
+            "clamped"
+        );
+    }
+
+    #[test]
+    fn frag_attack_leaves_one_pin_per_region() {
+        let mut a = FragAttacker::new(4, 1.0, 0, 7);
+        let _ = a.next_op(); // mmap
+        let _ = a.next_op(); // init
+        let mut freed = [0u64; 4];
+        while let Some(op) = a.next_op() {
+            let MemOp::Madvise { start, pages } = op else {
+                panic!("attack phase must madvise, got {op:?}")
+            };
+            freed[(start.0 / REGION_PAGES) as usize] += pages;
+        }
+        for (r, f) in freed.iter().enumerate() {
+            // Both spans together free all but the pin.
+            assert_eq!(*f, REGION_PAGES - 1, "region {r} freed {f}");
+        }
+    }
+
+    #[test]
+    fn frag_unattacked_regions_are_freed_whole() {
+        let mut a = FragAttacker::new(4, 0.5, 0, 7);
+        let _ = a.next_op(); // mmap
+        let _ = a.next_op(); // init
+        let mut whole = 0;
+        while let Some(op) = a.next_op() {
+            let MemOp::Madvise { start, pages } = op else {
+                panic!("attack phase must madvise, got {op:?}")
+            };
+            if pages == REGION_PAGES {
+                assert!(
+                    start.0 / REGION_PAGES >= 2,
+                    "whole frees are the unattacked tail"
+                );
+                whole += 1;
+            }
+        }
+        assert_eq!(whole, 2, "both unattacked regions handed back whole");
+    }
+
+    #[test]
+    fn frag_shatters_contiguity_in_simulator() {
+        // A 24 MiB machine mostly covered by a 20 MiB arena: the pins
+        // must leave nearly all free memory below the huge order.
+        let mut sim = Simulator::new(KernelConfig::with_mib(24), Box::new(BasePagesOnly));
+        // Step in small slices and observe the machine once the attack
+        // is planted (all frees done, one pin per region resident).
+        let pid = sim.spawn(Box::new(FragAttacker::new(10, 1.0, 100_000, 7)));
+        let mut planted = false;
+        for _ in 0..1000 {
+            sim.run_for(hawkeye_metrics::Cycles::from_millis(5));
+            let p = sim.machine().process(pid).unwrap();
+            assert!(!p.is_oom());
+            if p.is_finished() {
+                break;
+            }
+            if p.space().rss_pages() == 10 {
+                planted = true;
+                break;
+            }
+        }
+        assert!(planted, "attack never reached steady state");
+        assert!(sim.machine().fmfi() > 0.7, "fmfi {}", sim.machine().fmfi());
+    }
+
+    #[test]
+    fn bloat_grows_dense_writes_then_keeps_warm() {
+        let mut a = BloatAttacker::new(8, 1.0, 3, 9);
+        let _ = a.next_op(); // mmap
+        for r in 0..8u64 {
+            let Some(MemOp::TouchRange {
+                start,
+                pages,
+                stride,
+                write,
+                ..
+            }) = a.next_op()
+            else {
+                panic!("expected dense growth op {r}")
+            };
+            assert_eq!(
+                (start.0, pages, stride, write),
+                (r * REGION_PAGES, REGION_PAGES, 1, true)
+            );
+        }
+        let mut sweeps = 0;
+        while let Some(MemOp::TouchRange {
+            pages,
+            stride,
+            write,
+            ..
+        }) = a.next_op()
+        {
+            assert_eq!((pages, stride, write), (8 * REGION_PAGES, 1, false));
+            sweeps += 1;
+        }
+        assert_eq!(sweeps, 3);
+    }
+
+    #[test]
+    fn bloat_intensity_scales_footprint() {
+        assert_eq!(BloatAttacker::new(32, 1.0, 1, 9).pages(), 32 * REGION_PAGES);
+        assert_eq!(BloatAttacker::new(32, 0.25, 1, 9).pages(), 8 * REGION_PAGES);
+        assert_eq!(
+            BloatAttacker::new(32, 0.0, 1, 9).pages(),
+            0,
+            "intensity 0 grows nothing"
+        );
+    }
+
+    #[test]
+    fn bloat_at_intensity_zero_only_computes() {
+        let mut a = BloatAttacker::new(8, 0.0, 2, 9);
+        for _ in 0..2 {
+            let Some(MemOp::Compute { .. }) = a.next_op() else {
+                panic!("intensity-0 attacker must idle")
+            };
+        }
+        assert!(a.next_op().is_none());
+    }
+
+    #[test]
+    fn bloat_attacker_pages_are_never_recoverable() {
+        // Dense + written everywhere: after the attack is planted, the
+        // attacker holds no zero pages for bloat recovery to reclaim.
+        let mut sim = Simulator::new(KernelConfig::with_mib(24), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(BloatAttacker::new(4, 1.0, 10, 9)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.is_finished() && !p.is_oom());
+        let pm = sim.machine().pm();
+        let zero_owned = (0..sim.machine().config().frames)
+            .filter(|i| {
+                let f = pm.frame(hawkeye_mem::Pfn(*i));
+                f.owner().is_some_and(|o| o.pid == pid) && f.is_zeroed()
+            })
+            .count();
+        assert_eq!(zero_owned, 0, "attacker must hold no zero pages");
+    }
+}

@@ -18,17 +18,36 @@
 //! * [`mod@census`] — 79 synthetic application profiles across 7 suites for
 //!   Table 2's TLB-sensitivity census.
 //! * [`content`] — first-non-zero-byte distributions (Fig. 3).
+//!
+//! Beyond the paper's own applications, three families probe where its
+//! conclusions generalize (DESIGN.md §17):
+//!
+//! * [`oltp`] — a TPC-C-like B-tree buffer manager whose pointer-chasing
+//!   root→leaf lookups are the TLB's worst case.
+//! * [`stencil`] — A64FX/FLASH-style multi-grid stencil sweeps, the
+//!   TLB's best case (sequential, prefetch-friendly).
+//! * [`adversarial`] — attackers engineered to break the policies: an
+//!   FMFI pessimizer and an access-coverage gamer, swept over intensity
+//!   by the `adversarial` suite target to map each policy's failure
+//!   envelope.
 
+pub mod adversarial;
 pub mod census;
 pub mod content;
 pub mod graph;
 pub mod micro;
 pub mod npb;
+pub mod oltp;
 pub mod redis;
+pub mod stencil;
 
+pub use adversarial::{BloatAttacker, FragAttacker};
 pub use census::{census, AppProfile};
 pub use content::DirtModel;
 pub use graph::HotspotWorkload;
 pub use micro::{AllocTouch, HaccIo, PatternScan, SparseHash, Spinup};
 pub use npb::{NpbKernel, Pattern};
-pub use redis::{RedisKv, RedisOp};
+pub use oltp::BtreeOltp;
+pub use redis::RedisKv;
+pub use redis::RedisOp;
+pub use stencil::StencilSweep;

@@ -1,0 +1,429 @@
+//! TPC-C-like B-tree buffer-manager workload.
+//!
+//! Models the page-access pattern of an in-memory B-tree under an OLTP
+//! transaction mix (the btree-techniques TPC-C setup): every lookup is a
+//! root→leaf pointer chase — one page per tree level, each level's page
+//! picked by key — so consecutive accesses land in unrelated 2 MB
+//! regions and the TLB sees almost no spatial locality. Inner nodes are
+//! a small, scorching-hot set at low virtual addresses; the leaf level
+//! dominates the footprint but each leaf region's *access coverage* is
+//! sparse, which is exactly the shape that separates coverage-based
+//! promotion (HawkEye-G) from fault-time huge-page allocation
+//! (Linux-2MB).
+
+use crate::content::DirtModel;
+use hawkeye_kernel::rng::SplitMix64;
+use hawkeye_kernel::{MemOp, Workload};
+use hawkeye_vm::{VmaKind, Vpn};
+
+/// Transactions batched into one [`MemOp::TouchList`] pointer chase.
+const TXN_BATCH: usize = 64;
+
+/// Base pages per 2 MB region.
+const REGION_PAGES: u64 = 512;
+
+/// A B-tree buffer manager driven by a skewed OLTP transaction mix.
+///
+/// # Examples
+///
+/// ```
+/// use hawkeye_workloads::BtreeOltp;
+/// use hawkeye_kernel::Workload;
+///
+/// let mut w = BtreeOltp::tpcc(16, 200);
+/// assert_eq!(w.name(), "tpcc-btree");
+/// assert!(w.next_op().is_some());
+/// ```
+#[derive(Debug)]
+pub struct BtreeOltp {
+    name: String,
+    /// Pages per tree level, root first; the leaf level is last.
+    level_pages: Vec<u64>,
+    /// First page of each level in the buffer-pool arena.
+    level_starts: Vec<u64>,
+    /// Fraction of lookups that hit the hot (low-key) end of the leaves.
+    skew: f64,
+    /// Fraction of transactions that write their leaf page.
+    write_fraction: f64,
+    /// Leaf pages appended to a lookup by a range scan, when one fires.
+    scan_len: u64,
+    /// Fraction of transactions that run a range scan.
+    scan_fraction: f64,
+    txns_left: u64,
+    think: u32,
+    /// Fraction of each 2 MB leaf region holding data; the tail is the
+    /// page-level free space a real B-tree keeps for inserts, and the
+    /// bulk load never touches it (so under fault-time huge pages it
+    /// stays zero-filled — exactly what bloat recovery hunts for).
+    fill: f64,
+    /// Bulk-load cursor over leaf regions (used when `fill < 1`).
+    load_region: u64,
+    phase: u8,
+    rng: SplitMix64,
+    dirt: DirtModel,
+}
+
+impl BtreeOltp {
+    /// Fully parameterized constructor. `leaf_regions` sizes the leaf
+    /// level in 2 MB regions; inner levels are derived with a fanout of
+    /// 64 pages per parent entry, root last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_regions` is 0.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        leaf_regions: u64,
+        skew: f64,
+        write_fraction: f64,
+        scan_len: u64,
+        scan_fraction: f64,
+        txns: u64,
+        think: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(leaf_regions > 0, "empty tree");
+        // Build the level sizes leaf-up (fanout 64), then lay them out
+        // root-first so inner nodes sit at low VAs like an arena
+        // allocator would place them.
+        let mut sizes = vec![leaf_regions * 512];
+        while *sizes.last().expect("non-empty") > 1 {
+            let parent = sizes.last().expect("non-empty").div_ceil(64);
+            sizes.push(parent);
+        }
+        sizes.reverse();
+        let mut starts = Vec::with_capacity(sizes.len());
+        let mut at = 0u64;
+        for s in &sizes {
+            starts.push(at);
+            at += s;
+        }
+        BtreeOltp {
+            name: name.into(),
+            level_pages: sizes,
+            level_starts: starts,
+            skew,
+            write_fraction,
+            scan_len,
+            scan_fraction,
+            txns_left: txns,
+            think,
+            fill: 1.0,
+            load_region: 0,
+            phase: 0,
+            rng: SplitMix64::new(seed),
+            dirt: DirtModel::paper_average(seed),
+        }
+    }
+
+    /// Sets the leaf fill factor: only the first `fill` fraction of every
+    /// leaf region's pages carries data (B-trees typically run ~⅔ full).
+    /// Lookups and scans target data pages only.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fill <= 1`.
+    #[must_use]
+    pub fn with_fill(mut self, fill: f64) -> Self {
+        assert!(fill > 0.0 && fill <= 1.0, "fill factor out of range");
+        self.fill = fill;
+        self
+    }
+
+    /// The TPC-C-like mix: 70 % of lookups in the hot key range, ~30 %
+    /// of transactions writing, 10 % running an 8-page range scan.
+    pub fn tpcc(leaf_regions: u64, txns: u64) -> Self {
+        Self::new("tpcc-btree", leaf_regions, 0.7, 0.3, 8, 0.1, txns, 90, 401)
+    }
+
+    /// Total buffer-pool footprint in base pages.
+    pub fn pages(&self) -> u64 {
+        self.level_pages.iter().sum()
+    }
+
+    /// Tree height (number of levels, root and leaf included).
+    pub fn height(&self) -> usize {
+        self.level_pages.len()
+    }
+
+    /// Data pages per 2 MB leaf region under the configured fill factor.
+    fn filled_per_region(&self) -> u64 {
+        ((REGION_PAGES as f64 * self.fill) as u64).clamp(1, REGION_PAGES)
+    }
+
+    /// Number of 2 MB regions in the leaf level.
+    fn leaf_regions(&self) -> u64 {
+        self.level_pages.last().expect("leaf level") / REGION_PAGES
+    }
+
+    /// Leaf data pages (excluding per-region free space).
+    fn data_leaf_pages(&self) -> u64 {
+        self.leaf_regions() * self.filled_per_region()
+    }
+
+    /// Arena offset (from the leaf start) of data-page `slot`: slots pack
+    /// the filled head of each region, skipping the free tails.
+    fn leaf_offset(&self, slot: u64) -> u64 {
+        let fpr = self.filled_per_region();
+        (slot / fpr) * REGION_PAGES + slot % fpr
+    }
+
+    /// The root→leaf page path for one key in `[0, 1)`.
+    fn chase(&self, key: f64) -> impl Iterator<Item = Vpn> + '_ {
+        let leaf = self.level_pages.len() - 1;
+        self.level_pages
+            .iter()
+            .enumerate()
+            .zip(&self.level_starts)
+            .map(move |((lvl, pages), start)| {
+                if lvl == leaf {
+                    let data = self.data_leaf_pages();
+                    let slot = ((key * data as f64) as u64).min(data - 1);
+                    Vpn(start + self.leaf_offset(slot))
+                } else {
+                    let slot = ((key * *pages as f64) as u64).min(pages - 1);
+                    Vpn(start + slot)
+                }
+            })
+    }
+
+    /// One transaction's key: 70/30-style skew toward the low key range
+    /// (hot warehouses), the rest uniform.
+    fn key(&mut self) -> f64 {
+        if self.rng.unit() < self.skew {
+            // Hot range: the lowest 10 % of the key space.
+            self.rng.unit() * 0.1
+        } else {
+            self.rng.unit()
+        }
+    }
+}
+
+impl Workload for BtreeOltp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_op(&mut self) -> Option<MemOp> {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Some(MemOp::Mmap {
+                    start: Vpn(0),
+                    pages: self.pages(),
+                    kind: VmaKind::Anon,
+                })
+            }
+            1 => {
+                if self.fill >= 1.0 {
+                    // Bulk-load the tree: the buffer manager writes every
+                    // page once (index build), so the whole arena is backed.
+                    self.phase = 3;
+                    return Some(MemOp::TouchRange {
+                        start: Vpn(0),
+                        pages: self.pages(),
+                        write: true,
+                        think: 20,
+                        stride: 1,
+                        repeats: 1,
+                    });
+                }
+                // Partial fill: load the inner levels whole, then each
+                // leaf region's data head (phase 2); the free tails are
+                // never written.
+                self.phase = 2;
+                let inner = *self.level_starts.last().expect("leaf level");
+                if inner == 0 {
+                    return self.next_op();
+                }
+                Some(MemOp::TouchRange {
+                    start: Vpn(0),
+                    pages: inner,
+                    write: true,
+                    think: 20,
+                    stride: 1,
+                    repeats: 1,
+                })
+            }
+            2 => {
+                if self.load_region == self.leaf_regions() {
+                    self.phase = 3;
+                    return self.next_op();
+                }
+                let start =
+                    self.level_starts.last().expect("leaf level") + self.load_region * REGION_PAGES;
+                self.load_region += 1;
+                Some(MemOp::TouchRange {
+                    start: Vpn(start),
+                    pages: self.filled_per_region(),
+                    write: true,
+                    think: 20,
+                    stride: 1,
+                    repeats: 1,
+                })
+            }
+            _ => {
+                if self.txns_left == 0 {
+                    return None;
+                }
+                let batch = (self.txns_left).min(TXN_BATCH as u64);
+                self.txns_left -= batch;
+                let mut vpns = Vec::with_capacity(batch as usize * (self.height() + 2));
+                let mut writes = false;
+                for _ in 0..batch {
+                    let key = self.key();
+                    vpns.extend(self.chase(key));
+                    if self.rng.unit() < self.scan_fraction {
+                        // Range scan: walk `scan_len` sibling data leaves.
+                        let data = self.data_leaf_pages();
+                        let leaf_start = *self.level_starts.last().expect("leaf level");
+                        let slot = ((key * data as f64) as u64).min(data - 1);
+                        for i in 1..=self.scan_len {
+                            vpns.push(Vpn(leaf_start + self.leaf_offset((slot + i) % data)));
+                        }
+                    }
+                    writes |= self.rng.unit() < self.write_fraction;
+                }
+                Some(MemOp::TouchList {
+                    vpns,
+                    write: writes,
+                    think: self.think,
+                })
+            }
+        }
+    }
+
+    fn dirt_offset(&mut self) -> u16 {
+        self.dirt.sample()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawkeye_kernel::{BasePagesOnly, KernelConfig, Simulator};
+
+    #[test]
+    fn levels_shrink_by_fanout_root_first() {
+        let w = BtreeOltp::tpcc(16, 10);
+        // 16 regions of leaves = 8192 pages -> 128 -> 2 -> 1 root.
+        assert_eq!(w.level_pages, vec![1, 2, 128, 8192]);
+        assert_eq!(w.level_starts, vec![0, 1, 3, 131]);
+        assert_eq!(w.pages(), 8323);
+        assert_eq!(w.height(), 4);
+    }
+
+    #[test]
+    fn every_txn_chases_root_to_leaf() {
+        let mut w = BtreeOltp::new("t", 8, 0.7, 0.0, 4, 0.0, 10, 0, 1);
+        let _ = w.next_op(); // mmap
+        let _ = w.next_op(); // bulk load
+        let Some(MemOp::TouchList { vpns, .. }) = w.next_op() else {
+            panic!("expected pointer chase")
+        };
+        let height = w.height() as u64;
+        assert_eq!(vpns.len() as u64 % height, 0, "whole paths only");
+        // Each path starts at the root page and ends inside the leaves.
+        assert_eq!(vpns[0], Vpn(0));
+        assert!(vpns[height as usize - 1].0 >= w.level_starts[w.height() - 1]);
+    }
+
+    #[test]
+    fn skewed_keys_concentrate_on_hot_leaves() {
+        let mut w = BtreeOltp::new("t", 8, 0.7, 0.0, 0, 0.0, 2000, 0, 2);
+        let _ = w.next_op();
+        let _ = w.next_op();
+        let leaf_start = *w.level_starts.last().unwrap();
+        let leaf_pages = *w.level_pages.last().unwrap();
+        let (mut hot, mut leaves) = (0u64, 0u64);
+        while let Some(MemOp::TouchList { vpns, .. }) = w.next_op() {
+            for v in vpns {
+                if v.0 >= leaf_start {
+                    leaves += 1;
+                    // The hot key range is the lowest 10 % of keys.
+                    hot += (v.0 < leaf_start + leaf_pages / 10) as u64;
+                }
+            }
+        }
+        let frac = hot as f64 / leaves as f64;
+        // 70% targeted + 10%-of-space uniform remainder ≈ 0.73
+        assert!((0.67..0.8).contains(&frac), "hot-leaf fraction {frac}");
+    }
+
+    #[test]
+    fn runs_to_completion_in_simulator() {
+        let mut sim = Simulator::new(KernelConfig::small(), Box::new(BasePagesOnly));
+        let pid = sim.spawn(Box::new(BtreeOltp::tpcc(8, 200)));
+        sim.run();
+        let p = sim.machine().process(pid).unwrap();
+        assert!(p.is_finished() && !p.is_oom());
+        // Bulk load faults the whole arena exactly once.
+        assert_eq!(p.stats().faults, BtreeOltp::tpcc(8, 200).pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tree")]
+    fn zero_leaves_rejected() {
+        let _ = BtreeOltp::new("t", 0, 0.5, 0.0, 0, 0.0, 1, 0, 0);
+    }
+
+    #[test]
+    fn fill_factor_loads_only_region_heads() {
+        let mut w = BtreeOltp::new("t", 4, 0.7, 0.0, 0, 0.0, 0, 0, 1).with_fill(0.65);
+        let _ = w.next_op(); // mmap
+        let fpr = (512.0 * 0.65) as u64;
+        let leaf_start = *w.level_starts.last().unwrap();
+        // Inner levels load whole, then one ranged write per leaf region
+        // covering exactly the filled head.
+        let Some(MemOp::TouchRange { start, pages, .. }) = w.next_op() else {
+            panic!()
+        };
+        assert_eq!((start.0, pages), (0, leaf_start));
+        for r in 0..4u64 {
+            let Some(MemOp::TouchRange {
+                start,
+                pages,
+                write,
+                ..
+            }) = w.next_op()
+            else {
+                panic!("expected leaf-region load {r}")
+            };
+            assert_eq!((start.0, pages, write), (leaf_start + r * 512, fpr, true));
+        }
+        assert!(w.next_op().is_none(), "no transactions requested");
+    }
+
+    #[test]
+    fn fill_factor_lookups_avoid_free_tails() {
+        let mut w = BtreeOltp::new("t", 4, 0.7, 0.3, 8, 0.2, 3000, 0, 2).with_fill(0.65);
+        for _ in 0..6 {
+            let _ = w.next_op(); // mmap + inner + 4 leaf regions
+        }
+        let fpr = (512.0 * 0.65) as u64;
+        let leaf_start = *w.level_starts.last().unwrap();
+        while let Some(MemOp::TouchList { vpns, .. }) = w.next_op() {
+            for v in vpns {
+                if v.0 >= leaf_start {
+                    assert!((v.0 - leaf_start) % 512 < fpr, "touched free tail at {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_fill_is_the_default_and_identical() {
+        // `with_fill(1.0)` must not change op streams (byte determinism
+        // of the pre-fill targets depends on it).
+        let mut a = BtreeOltp::tpcc(4, 50);
+        let mut b = BtreeOltp::tpcc(4, 50).with_fill(1.0);
+        loop {
+            let (x, y) = (a.next_op(), b.next_op());
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Docs-drift gate: README.md and EXPERIMENTS.md state the suite's target
+# count and gated-check count in prose; those numbers rot every time a
+# PR adds a target. This script extracts every stated count and fails
+# when any of them disagrees with the registry — the single source of
+# truth is `hawkeye-report --counts`, which sums the static check
+# vectors the `--check` gate runs (targets=N checks=M).
+#
+# Phrasings the gate recognizes (and requires — deleting the sentences
+# does not pass vacuously):
+#   "<N> paper-experiment targets"   "all <N> targets" / "all <N> paper targets"
+#   "<M> gated metrics"              "<M>/<M> checks"
+# Bare table cells like "67/67" (the PR-history ledger) are history,
+# not current claims, and are deliberately not matched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+report_bin="${HAWKEYE_REPORT_BIN:-target/release/hawkeye-report}"
+if [[ ! -x "$report_bin" ]]; then
+    echo "==> building hawkeye-report for --counts" >&2
+    cargo build --release -q -p hawkeye-report
+fi
+counts=$("$report_bin" --counts)
+targets=$(sed -n 's/.*targets=\([0-9]*\).*/\1/p' <<<"$counts")
+checks=$(sed -n 's/.*checks=\([0-9]*\).*/\1/p' <<<"$counts")
+if [[ -z "$targets" || -z "$checks" ]]; then
+    echo "docs-drift: could not parse '$counts' from $report_bin --counts" >&2
+    exit 1
+fi
+echo "==> registry says: $targets targets, $checks checks"
+
+fail=0
+
+# scan FILE PATTERN KIND EXPECTED: every number captured by PATTERN's
+# first group must equal EXPECTED; at least one match must exist.
+scan() {
+    local file=$1 pattern=$2 kind=$3 expected=$4 found=0 n
+    while read -r n; do
+        [[ -z "$n" ]] && continue
+        found=1
+        if [[ "$n" != "$expected" ]]; then
+            echo "docs-drift: $file states $n $kind, registry says $expected" >&2
+            grep -En "$pattern" "$file" | sed 's/^/    /' >&2
+            fail=1
+        fi
+    done < <(grep -Eo "$pattern" "$file" | grep -Eo '[0-9]+' | sort -u)
+    if [[ "$found" == 0 ]]; then
+        echo "docs-drift: $file never states the $kind (expected pattern: $pattern)" >&2
+        fail=1
+    fi
+}
+
+for f in README.md EXPERIMENTS.md; do
+    scan "$f" '(all |the )?[0-9]+ (paper-experiment |paper |suite )?targets' "targets" "$targets"
+done
+scan README.md '[0-9]+ gated metrics' "gated-metric checks" "$checks"
+scan EXPERIMENTS.md '[0-9]+/[0-9]+ checks' "checks" "$checks"
+
+if [[ "$fail" != 0 ]]; then
+    echo "docs-drift: FAIL — update the stated counts (or the registry)" >&2
+    exit 1
+fi
+echo "==> docs-drift: OK ($targets targets, $checks checks everywhere)"

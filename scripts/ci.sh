@@ -33,6 +33,13 @@ cargo test --release -p hawkeye-bench --test fleet_determinism -q
 echo "==> obs determinism gate (zero drift + ALERTS.md, 1 vs 8 workers)"
 cargo test --release -p hawkeye-bench --test obs_determinism -q
 
+# Workload-family determinism gate (DESIGN.md §17): the oltp_btree,
+# hpc_stencil, and adversarial summaries, traces, and the generated
+# ENVELOPES.md atlas are byte-identical at 1 vs 8 workers and across
+# repeated runs (reduced-scale sweep).
+echo "==> workload-family determinism gate (1 vs 8 workers + ENVELOPES.md)"
+cargo test --release -p hawkeye-bench --test workload_families_determinism -q
+
 # Report-loader error paths: corrupt/truncated wallclock sidecars must
 # warn and render n/a (never zero-fill), and expected-but-missing
 # summary metrics must be listed per target for the exit-4 gate.
@@ -59,6 +66,11 @@ cargo test --release -p hawkeye-kernel --test skip_efficiency -q
 # cannot flake on a slow host.
 echo "==> serial-vs-multicore differential gate (counter-based)"
 cargo test --release -p hawkeye-kernel --test multicore_diff -q
+
+# Docs-drift gate: the target and check counts stated in README.md and
+# EXPERIMENTS.md must agree with the registry (hawkeye-report --counts).
+echo "==> docs-drift gate (README/EXPERIMENTS counts vs registry)"
+bash scripts/check_docs_drift.sh
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
